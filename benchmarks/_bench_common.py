@@ -1,0 +1,24 @@
+"""Shared configuration and helpers for the benchmark modules.
+
+Kept outside ``conftest.py`` so benchmark modules can import it directly
+(``conftest.py`` is reserved for pytest fixture discovery).
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Benchmark workload scale; override with REPRO_BENCH_SCALE=1.0 for
+#: paper-like sizes (~128 stations, four months of hourly data).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+#: Threshold used by the headline experiments (the paper's beta).
+BENCH_THRESHOLD = float(os.environ.get("REPRO_BENCH_THRESHOLD", "0.7"))
+
+
+def print_experiment_table(result) -> None:
+    """Print an ExperimentResult table (visible with ``-s``; recorded in logs)."""
+    print()
+    print(result.table())
+    if result.notes:
+        print(f"[{result.experiment_id}] workload: {result.notes}")

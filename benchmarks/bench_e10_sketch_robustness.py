@@ -1,0 +1,74 @@
+"""E10 — robustness of frequency/projection sketches vs spectrum concentration.
+
+Related work (§2) notes that frequency-transform methods "only succeed when
+energy concentrates in a few domains".  Tomborg makes that knob explicit:
+identical correlation structure, different spectrum shapes.  This module times
+the unverified sketch baselines on peaked / power-law / flat spectra and
+prints their recall alongside Dangoron's (which is insensitive to the
+spectrum), regenerating the E10 table.
+"""
+
+import pytest
+
+from repro.analysis.accuracy import compare_results
+from repro.baselines.brute_force import BruteForceEngine
+from repro.baselines.parcorr import ParCorrEngine
+from repro.baselines.statstream import StatStreamEngine
+from repro.core.dangoron import DangoronEngine
+from repro.experiments.registry import experiment_e10_sketch_robustness
+from repro.experiments.workloads import tomborg_workload
+
+from _bench_common import BENCH_SCALE, print_experiment_table
+
+SPECTRA = ["peaked", "power_law", "flat"]
+
+
+def _workload(spectrum):
+    return tomborg_workload(
+        scale=BENCH_SCALE * 0.8, distribution="bimodal", spectrum=spectrum
+    )
+
+
+@pytest.mark.parametrize("spectrum", SPECTRA)
+@pytest.mark.parametrize("engine_name", ["statstream", "parcorr", "dangoron"])
+def test_e10_engine_on_spectrum(benchmark, spectrum, engine_name):
+    workload = _workload(spectrum)
+    engines = {
+        "statstream": StatStreamEngine(
+            num_coefficients=8, verify=False, candidate_margin=0.0
+        ),
+        "parcorr": ParCorrEngine(verify=False, candidate_margin=0.0, seed=3),
+        "dangoron": DangoronEngine(basic_window_size=workload.basic_window_size),
+    }
+    engine = engines[engine_name]
+    result = benchmark(engine.run, workload.matrix, workload.query)
+
+    reference = BruteForceEngine().run(workload.matrix, workload.query)
+    recall = compare_results(result, reference).recall
+    benchmark.extra_info["recall"] = round(recall, 3)
+    if engine_name == "dangoron":
+        # The exact sketch is insensitive to where the energy lives.
+        assert recall >= 0.85
+
+
+def test_e10_robustness_table(benchmark):
+    result = benchmark.pedantic(
+        experiment_e10_sketch_robustness,
+        kwargs={"scale": BENCH_SCALE * 0.6},
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment_table(result)
+    recall_index = result.headers.index("recall")
+
+    def recall_for(spectrum, engine_prefix):
+        for row in result.rows:
+            if row[0] == spectrum and row[1].startswith(engine_prefix):
+                return row[recall_index]
+        raise AssertionError(f"missing row for {spectrum}/{engine_prefix}")
+
+    # The DFT-truncation baseline must degrade from peaked to flat spectra,
+    # while Dangoron stays at full recall on both.
+    assert recall_for("peaked", "statstream") >= recall_for("flat", "statstream")
+    assert recall_for("flat", "dangoron") >= 0.85
+    assert recall_for("peaked", "dangoron") >= 0.85

@@ -1,0 +1,54 @@
+"""E11 — incremental rolling sums vs Dangoron vs TSUBASA across step sizes.
+
+The incremental engine updates raw sufficient statistics in O(N^2 * eta) per
+slide regardless of the threshold; Dangoron's work shrinks with the edge
+density instead.  This module times the three engines at a small and a large
+sliding step and prints the E11 table, whose crossover EXPERIMENTS.md records.
+"""
+
+import pytest
+
+from repro.baselines.tsubasa import TsubasaEngine
+from repro.core.dangoron import DangoronEngine
+from repro.core.incremental import IncrementalEngine
+from repro.core.query import SlidingQuery
+from repro.experiments.ablations import experiment_e11_incremental
+
+from _bench_common import BENCH_SCALE, BENCH_THRESHOLD, print_experiment_table
+
+ENGINES = {
+    "tsubasa": lambda b: TsubasaEngine(basic_window_size=b),
+    "dangoron": lambda b: DangoronEngine(basic_window_size=b),
+    "incremental": lambda b: IncrementalEngine(),
+}
+
+
+@pytest.mark.parametrize("step", [24, 168])
+@pytest.mark.parametrize("engine_name", list(ENGINES))
+def test_e11_engine_by_step(benchmark, climate_bench_workload, engine_name, step):
+    workload = climate_bench_workload
+    query = SlidingQuery(
+        start=0,
+        end=workload.matrix.length,
+        window=workload.query.window,
+        step=step,
+        threshold=BENCH_THRESHOLD,
+    )
+    engine = ENGINES[engine_name](workload.basic_window_size)
+    result = benchmark(engine.run, workload.matrix, query)
+    assert result.num_windows == query.num_windows
+
+
+def test_e11_table(benchmark):
+    result = benchmark.pedantic(
+        experiment_e11_incremental,
+        kwargs={"scale": BENCH_SCALE, "steps": (24, 72, 168)},
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment_table(result)
+    recall_index = result.headers.index("recall")
+    incremental_rows = [r for r in result.rows if r[2].startswith("incremental")]
+    assert incremental_rows
+    # The rolling-sums engine is exact at every step size.
+    assert all(r[recall_index] == pytest.approx(1.0) for r in incremental_rows)

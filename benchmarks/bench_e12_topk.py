@@ -1,0 +1,46 @@
+"""E12 — top-k correlated pair queries: sketch recombination vs brute force.
+
+Times the sketch-based and the direct top-k paths across k and prints the
+agreement table (pair-set overlap per window) plus the per-k data-driven
+threshold the top-k result suggests.
+"""
+
+import pytest
+
+from repro.core.topk import sliding_top_k, top_k_brute_force
+from repro.experiments.ablations import experiment_e12_topk
+
+from _bench_common import BENCH_SCALE, print_experiment_table
+
+
+@pytest.mark.parametrize("k", [5, 50])
+def test_e12_sketch_topk_runtime(benchmark, climate_bench_workload, k):
+    workload = climate_bench_workload
+    result = benchmark(
+        sliding_top_k,
+        workload.matrix,
+        workload.query,
+        k,
+        workload.basic_window_size,
+    )
+    assert result.num_windows == workload.query.num_windows
+    assert all(window.k == k for window in result)
+
+
+@pytest.mark.parametrize("k", [5])
+def test_e12_brute_force_topk_runtime(benchmark, climate_bench_workload, k):
+    workload = climate_bench_workload
+    result = benchmark(top_k_brute_force, workload.matrix, workload.query, k)
+    assert result.num_windows == workload.query.num_windows
+
+
+def test_e12_table(benchmark):
+    result = benchmark.pedantic(
+        experiment_e12_topk,
+        kwargs={"scale": BENCH_SCALE, "ks": (1, 5, 10, 50)},
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment_table(result)
+    overlap_index = result.headers.index("mean_overlap")
+    assert all(row[overlap_index] >= 0.95 for row in result.rows)

@@ -1,0 +1,44 @@
+"""E13 — slack sweep: buying recall back from the Eq. 2 bound on drifting data.
+
+Runs the pruned engine with increasing slack on a Tomborg workload whose
+correlations hover near the threshold (the adversarial case for temporal
+jumping) and prints the recall / skipped-work trade-off table.
+"""
+
+import pytest
+
+from repro.core.dangoron import DangoronEngine
+from repro.experiments.ablations import experiment_e13_slack
+from repro.experiments.workloads import tomborg_workload
+
+from _bench_common import BENCH_SCALE, print_experiment_table
+
+
+@pytest.mark.parametrize("slack", [0.0, 0.1])
+def test_e13_slack_runtime(benchmark, slack):
+    workload = tomborg_workload(
+        scale=BENCH_SCALE * 0.8,
+        distribution="uniform",
+        spectrum="power_law",
+        distribution_kwargs={"low": 0.3, "high": 0.8},
+    )
+    engine = DangoronEngine(basic_window_size=workload.basic_window_size, slack=slack)
+    result = benchmark(engine.run, workload.matrix, workload.query)
+    assert result.num_windows == workload.query.num_windows
+
+
+def test_e13_table(benchmark):
+    result = benchmark.pedantic(
+        experiment_e13_slack,
+        kwargs={"scale": BENCH_SCALE * 0.8, "slacks": (0.0, 0.05, 0.1, 0.2)},
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment_table(result)
+    recall_index = result.headers.index("recall")
+    eval_index = result.headers.index("eval_fraction")
+    recalls = [row[recall_index] for row in result.rows]
+    evals = [row[eval_index] for row in result.rows]
+    # More slack never hurts recall and never reduces the work performed.
+    assert all(b >= a - 1e-9 for a, b in zip(recalls, recalls[1:]))
+    assert all(b >= a - 1e-9 for a, b in zip(evals, evals[1:]))

@@ -1,0 +1,40 @@
+"""E14 — horizontal pruning pivot count: pruning power vs pivot analysis cost.
+
+With temporal pruning disabled, each window pays ``num_pivots * N`` exact
+evaluations to bound all pairs; the table shows the fraction of pairs the
+triangle bound then prunes and the resulting net query time.
+"""
+
+import pytest
+
+from repro.core.dangoron import DangoronEngine
+from repro.experiments.ablations import experiment_e14_pivot_count
+
+from _bench_common import BENCH_SCALE, print_experiment_table
+
+
+@pytest.mark.parametrize("num_pivots", [1, 4, 8])
+def test_e14_pivot_runtime(benchmark, climate_bench_workload, num_pivots):
+    workload = climate_bench_workload
+    query = workload.query.with_threshold(0.75)
+    engine = DangoronEngine(
+        basic_window_size=workload.basic_window_size,
+        use_temporal_pruning=False,
+        use_horizontal_pruning=True,
+        num_pivots=num_pivots,
+    )
+    result = benchmark(engine.run, workload.matrix, query)
+    assert result.num_windows == query.num_windows
+
+
+def test_e14_table(benchmark):
+    result = benchmark.pedantic(
+        experiment_e14_pivot_count,
+        kwargs={"scale": BENCH_SCALE, "pivot_counts": (1, 2, 4, 8)},
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment_table(result)
+    recall_index = result.headers.index("recall")
+    # The triangle bound is exact: horizontal pruning never loses an edge.
+    assert all(row[recall_index] == pytest.approx(1.0) for row in result.rows)

@@ -1,0 +1,45 @@
+"""E15 — the named Tomborg robustness suite end to end.
+
+Runs Dangoron over every case of the standard suite (distributions x spectra x
+measurement corruption) and prints the per-case accuracy table.  Three
+representative cases are additionally timed individually.
+"""
+
+import pytest
+
+from repro.core.dangoron import DangoronEngine
+from repro.experiments.ablations import experiment_e15_robustness_suite
+from repro.tomborg.suite import case_by_name
+
+from _bench_common import BENCH_SCALE, print_experiment_table
+
+TIMED_CASES = ["bimodal_reference", "bimodal_flat_spectrum", "bimodal_white_noise"]
+
+
+@pytest.mark.parametrize("case_name", TIMED_CASES)
+def test_e15_case_runtime(benchmark, case_name):
+    case = case_by_name(case_name)
+    dataset, query = case.generate(
+        num_series=max(12, int(48 * BENCH_SCALE)),
+        segment_columns=max(256, int(768 * BENCH_SCALE) // 32 * 32),
+        seed=301,
+    )
+    engine = DangoronEngine(basic_window_size=32)
+    result = benchmark(engine.run, dataset.matrix, query)
+    assert result.num_windows == query.num_windows
+
+
+def test_e15_table(benchmark):
+    result = benchmark.pedantic(
+        experiment_e15_robustness_suite,
+        kwargs={"scale": BENCH_SCALE},
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment_table(result)
+    precision_index = result.headers.index("precision")
+    recall_index = result.headers.index("recall")
+    assert all(row[precision_index] == pytest.approx(1.0) for row in result.rows)
+    # Recall may legitimately dip on the noisy / near-threshold cases; it must
+    # stay usable everywhere.
+    assert all(row[recall_index] >= 0.7 for row in result.rows)

@@ -1,0 +1,61 @@
+"""E2 — accuracy: Dangoron vs ParCorr vs StatStream against the exact answer.
+
+The paper reports Dangoron "achieves an accuracy above 90 percent, comparable
+to Parcorr".  This module times the approximate/pruned engines on the climate
+workload and prints their edge-set precision / recall / F1 against the
+brute-force ground truth (the E2 table).
+"""
+
+import pytest
+
+from repro.analysis.accuracy import compare_results
+from repro.baselines.brute_force import BruteForceEngine
+from repro.baselines.parcorr import ParCorrEngine
+from repro.baselines.statstream import StatStreamEngine
+from repro.core.dangoron import DangoronEngine
+from repro.experiments.registry import experiment_e2_accuracy
+
+from _bench_common import BENCH_SCALE, BENCH_THRESHOLD, print_experiment_table
+
+
+def _engines(basic_window_size):
+    return {
+        "dangoron": DangoronEngine(basic_window_size=basic_window_size),
+        "parcorr": ParCorrEngine(seed=1),
+        "parcorr_unverified": ParCorrEngine(verify=False, seed=1),
+        "statstream": StatStreamEngine(),
+    }
+
+
+@pytest.mark.parametrize(
+    "engine_name", ["dangoron", "parcorr", "parcorr_unverified", "statstream"]
+)
+def test_e2_engine_runtime(benchmark, climate_bench_workload, engine_name):
+    workload = climate_bench_workload
+    engine = _engines(workload.basic_window_size)[engine_name]
+    result = benchmark(engine.run, workload.matrix, workload.query)
+    assert result.num_windows == workload.query.num_windows
+
+
+def test_e2_accuracy_table(benchmark, climate_bench_workload):
+    """Regenerate the E2 accuracy table and assert the paper's accuracy level."""
+    workload = climate_bench_workload
+    reference = BruteForceEngine().run(workload.matrix, workload.query)
+    dangoron = DangoronEngine(basic_window_size=workload.basic_window_size)
+
+    result = benchmark(dangoron.run, workload.matrix, workload.query)
+    report = compare_results(result, reference)
+    assert report.precision == pytest.approx(1.0)
+    assert report.f1 >= 0.9
+
+    table = experiment_e2_accuracy(scale=BENCH_SCALE, threshold=BENCH_THRESHOLD)
+    print_experiment_table(table)
+    f1_index = table.headers.index("f1")
+    dangoron_f1 = next(
+        row[f1_index] for row in table.rows if row[0].startswith("dangoron")
+    )
+    parcorr_f1 = next(
+        row[f1_index] for row in table.rows if row[0].startswith("parcorr[")
+    )
+    # "comparable to Parcorr": within 5 F1 points of the verified ParCorr run.
+    assert dangoron_f1 >= parcorr_f1 - 0.05

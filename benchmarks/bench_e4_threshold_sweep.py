@@ -1,0 +1,41 @@
+"""E4 — threshold sweep: how pruning effectiveness scales with beta (Fig. 2).
+
+Dangoron's temporal jumping skips a pair's windows while its Eq. 2 bound stays
+below the threshold, so the higher (sparser) the threshold, the more work is
+skipped.  This module times Dangoron at several thresholds and prints the
+evaluation-fraction / speedup / recall table (E4).
+"""
+
+import pytest
+
+from repro.core.dangoron import DangoronEngine
+from repro.experiments.registry import experiment_e4_threshold_sweep
+
+from _bench_common import BENCH_SCALE, print_experiment_table
+
+THRESHOLDS = [0.5, 0.6, 0.7, 0.8, 0.9]
+
+
+@pytest.mark.parametrize("beta", THRESHOLDS)
+def test_e4_dangoron_at_threshold(benchmark, climate_bench_workload, beta):
+    workload = climate_bench_workload
+    query = workload.query.with_threshold(beta)
+    engine = DangoronEngine(basic_window_size=workload.basic_window_size)
+    result = benchmark(engine.run, workload.matrix, query)
+    assert result.stats.evaluation_fraction <= 1.0
+
+
+def test_e4_threshold_table(benchmark):
+    result = benchmark.pedantic(
+        experiment_e4_threshold_sweep,
+        kwargs={"scale": BENCH_SCALE, "thresholds": tuple(THRESHOLDS)},
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment_table(result)
+    eval_index = result.headers.index("eval_fraction")
+    recall_index = result.headers.index("recall")
+    fractions = [row[eval_index] for row in result.rows]
+    # Monotone trend: higher thresholds never require more exact evaluations.
+    assert all(b <= a + 0.02 for a, b in zip(fractions, fractions[1:]))
+    assert all(row[recall_index] >= 0.85 for row in result.rows)

@@ -1,0 +1,57 @@
+"""E5 — scalability in the number of series N.
+
+Brute force and TSUBASA spend Θ(N²) per window regardless of the threshold;
+Dangoron's exact work scales with the number of *candidate* pair-windows.
+This module times TSUBASA and Dangoron at increasing N and prints the E5 table
+so the divergence of the two curves is visible.
+"""
+
+import pytest
+
+from repro.baselines.tsubasa import TsubasaEngine
+from repro.core.dangoron import DangoronEngine
+from repro.experiments.registry import experiment_e5_scalability
+from repro.experiments.workloads import climate_workload
+
+from _bench_common import BENCH_SCALE, BENCH_THRESHOLD, print_experiment_table
+
+SCALES = [0.25, 0.5, 0.75, 1.0]
+
+
+@pytest.fixture(scope="module", params=SCALES)
+def scaled_workload(request):
+    return climate_workload(
+        scale=request.param * BENCH_SCALE * 2,
+        threshold=BENCH_THRESHOLD,
+        window_hours=1440,
+    )
+
+
+@pytest.mark.parametrize("engine_name", ["tsubasa", "dangoron"])
+def test_e5_engine_at_scale(benchmark, scaled_workload, engine_name):
+    workload = scaled_workload
+    if engine_name == "tsubasa":
+        engine = TsubasaEngine(basic_window_size=workload.basic_window_size)
+    else:
+        engine = DangoronEngine(basic_window_size=workload.basic_window_size)
+    benchmark.extra_info["num_series"] = workload.num_series
+    result = benchmark(engine.run, workload.matrix, workload.query)
+    assert result.num_series == workload.num_series
+
+
+def test_e5_scalability_table(benchmark):
+    result = benchmark.pedantic(
+        experiment_e5_scalability,
+        kwargs={
+            "scales": tuple(s * BENCH_SCALE * 2 for s in (0.25, 0.5, 1.0)),
+            "threshold": BENCH_THRESHOLD,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment_table(result)
+    speedup_index = result.headers.index("speedup")
+    dangoron_rows = [row for row in result.rows if row[2].startswith("dangoron")]
+    largest = max(dangoron_rows, key=lambda row: row[0])
+    # At the largest N Dangoron must beat TSUBASA on pure query time.
+    assert largest[speedup_index] > 1.0

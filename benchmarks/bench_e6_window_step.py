@@ -1,0 +1,65 @@
+"""E6 — sensitivity to the query window size and sliding step.
+
+The Eq. 1 combination cost per pair is proportional to the number of basic
+windows per query window (n_s = l / b), while the jumping structure benefits
+from smaller steps (more window overlap, more skippable windows).  This module
+times Dangoron and TSUBASA over a grid of (window, step) settings and prints
+the E6 table.
+"""
+
+import pytest
+
+from repro.baselines.tsubasa import TsubasaEngine
+from repro.core.dangoron import DangoronEngine
+from repro.core.query import SlidingQuery
+from repro.experiments.registry import experiment_e6_window_step
+from repro.experiments.workloads import climate_workload
+
+from _bench_common import BENCH_SCALE, BENCH_THRESHOLD, print_experiment_table
+
+WINDOWS = [240, 720, 1440]
+STEPS = [24, 168]
+
+
+@pytest.fixture(scope="module")
+def base_workload():
+    return climate_workload(
+        scale=max(BENCH_SCALE, 0.5), threshold=BENCH_THRESHOLD, window_hours=1440
+    )
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+@pytest.mark.parametrize("step", STEPS)
+@pytest.mark.parametrize("engine_name", ["tsubasa", "dangoron"])
+def test_e6_window_step(benchmark, base_workload, window, step, engine_name):
+    matrix = base_workload.matrix
+    if window > matrix.length:
+        pytest.skip("window larger than the generated series")
+    query = SlidingQuery(
+        start=0, end=matrix.length, window=window, step=step,
+        threshold=BENCH_THRESHOLD,
+    )
+    if engine_name == "tsubasa":
+        engine = TsubasaEngine(basic_window_size=base_workload.basic_window_size)
+    else:
+        engine = DangoronEngine(basic_window_size=base_workload.basic_window_size)
+    benchmark.extra_info["window"] = window
+    benchmark.extra_info["step"] = step
+    result = benchmark(engine.run, matrix, query)
+    assert result.num_windows == query.num_windows
+
+
+def test_e6_window_step_table(benchmark):
+    result = benchmark.pedantic(
+        experiment_e6_window_step,
+        kwargs={
+            "scale": max(BENCH_SCALE, 0.5),
+            "windows": tuple(WINDOWS),
+            "steps": tuple(STEPS),
+            "threshold": BENCH_THRESHOLD,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment_table(result)
+    assert len(result.rows) >= 4

@@ -1,0 +1,52 @@
+"""E7 — ablation of Dangoron's pruning mechanisms.
+
+Four configurations of the same engine (no pruning, temporal jumping only,
+horizontal pruning only, both) plus the prefix-sum combination variant are
+timed on the same workload; the printed table shows what each mechanism
+contributes in skipped work and what it costs in recall.
+"""
+
+import pytest
+
+from repro.core.dangoron import DangoronEngine
+from repro.experiments.registry import experiment_e7_pruning_ablation
+
+from _bench_common import BENCH_SCALE, print_experiment_table
+
+CONFIGURATIONS = {
+    "none": dict(use_temporal_pruning=False, use_horizontal_pruning=False),
+    "temporal": dict(use_temporal_pruning=True, use_horizontal_pruning=False),
+    "horizontal": dict(use_temporal_pruning=False, use_horizontal_pruning=True),
+    "temporal+horizontal": dict(use_temporal_pruning=True, use_horizontal_pruning=True),
+    "prefix_combination": dict(use_temporal_pruning=True, prefix_combination=True),
+}
+
+
+@pytest.mark.parametrize("config_name", list(CONFIGURATIONS))
+def test_e7_configuration_runtime(benchmark, climate_bench_workload, config_name):
+    workload = climate_bench_workload
+    query = workload.query.with_threshold(0.75)
+    engine = DangoronEngine(
+        basic_window_size=workload.basic_window_size, **CONFIGURATIONS[config_name]
+    )
+    result = benchmark(engine.run, workload.matrix, query)
+    assert result.num_windows == query.num_windows
+
+
+def test_e7_ablation_table(benchmark):
+    result = benchmark.pedantic(
+        experiment_e7_pruning_ablation,
+        kwargs={"scale": BENCH_SCALE, "threshold": 0.75},
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment_table(result)
+    headers = result.headers
+    eval_index = headers.index("eval_fraction")
+    recall_index = headers.index("recall")
+    rows = {row[0]: row for row in result.rows}
+    # Temporal pruning must reduce exact work relative to no pruning, and the
+    # unpruned configuration must be exact.
+    assert rows["temporal"][eval_index] < rows["none"][eval_index]
+    assert rows["none"][recall_index] == pytest.approx(1.0)
+    assert rows["horizontal"][recall_index] == pytest.approx(1.0)

@@ -1,0 +1,56 @@
+"""E8 — sketch construction cost vs basic-window size.
+
+The paper separates the one-off precomputation ("pre-compute and store basic
+window statistics") from the pure query time its evaluation reports.  This
+module measures that precomputation: how long the basic-window sketch takes to
+build and how much memory it occupies as the basic-window size varies, along
+with the query time the resulting sketch enables.
+"""
+
+import pytest
+
+from repro.core.basic_window import BasicWindowLayout
+from repro.core.sketch import BasicWindowSketch
+from repro.experiments.registry import experiment_e8_sketch_build
+from repro.storage.stats_index import StatsIndex
+
+from _bench_common import BENCH_SCALE, print_experiment_table
+
+BASIC_WINDOW_SIZES = [8, 24, 48, 120]
+
+
+@pytest.mark.parametrize("size", BASIC_WINDOW_SIZES)
+def test_e8_sketch_build_time(benchmark, climate_bench_workload, size):
+    values = climate_bench_workload.matrix.values
+    layout = BasicWindowLayout.for_range(0, values.shape[1], size)
+    sketch = benchmark(BasicWindowSketch.build, values, layout)
+    benchmark.extra_info["memory_mb"] = round(sketch.memory_bytes() / 1e6, 2)
+    assert sketch.num_basic_windows == layout.count
+
+
+def test_e8_index_persistence_cost(benchmark, climate_bench_workload, tmp_path):
+    """Building + persisting the statistics index (the stored artefact)."""
+    values = climate_bench_workload.matrix.values
+
+    def build_and_save():
+        index = StatsIndex.build(values, basic_window_size=24)
+        return index.save(tmp_path / "index.npz")
+
+    path = benchmark(build_and_save)
+    assert path.exists()
+
+
+def test_e8_sketch_table(benchmark):
+    result = benchmark.pedantic(
+        experiment_e8_sketch_build,
+        kwargs={"scale": BENCH_SCALE, "basic_window_sizes": tuple(BASIC_WINDOW_SIZES)},
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment_table(result)
+    memory_index = result.headers.index("memory_MB")
+    sizes = [row[0] for row in result.rows]
+    memories = [row[memory_index] for row in result.rows]
+    # Larger basic windows -> fewer of them -> smaller pairwise sketches.
+    assert sizes == sorted(sizes)
+    assert memories == sorted(memories, reverse=True)

@@ -1,0 +1,68 @@
+"""E9 — empirical quality of the Eq. 2 temporal bound.
+
+The temporal bound is derived under a per-basic-window stationarity
+assumption, so on real-ish data it can be violated; each violation is a
+potentially missed edge.  This module measures the violation rate and mean
+slack of the bound at several look-ahead horizons (the E9 table) and times the
+vectorized bound-evaluation kernel itself (the operation Dangoron performs
+instead of an exact combination).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.basic_window import BasicWindowLayout
+from repro.core.bounds import first_possible_crossing
+from repro.core.sketch import BasicWindowSketch
+from repro.experiments.registry import experiment_e9_bound_quality
+
+from _bench_common import BENCH_SCALE, BENCH_THRESHOLD, print_experiment_table
+
+
+@pytest.fixture(scope="module")
+def bound_inputs(climate_bench_workload):
+    workload = climate_bench_workload
+    layout = BasicWindowLayout.for_query(workload.query, workload.basic_window_size)
+    sketch = BasicWindowSketch.build(workload.matrix.values, layout)
+    rows, cols = np.triu_indices(workload.num_series, k=1)
+    window_bw = workload.query.window // layout.size
+    step_bw = workload.query.step // layout.size
+    corr_now = sketch.exact_pairs_scan(rows, cols, 0, window_bw)
+    return sketch, rows, cols, corr_now, window_bw, step_bw, workload
+
+
+def test_e9_bound_evaluation_kernel(benchmark, bound_inputs):
+    """Time the vectorized binary search over all pairs (one window's worth)."""
+    sketch, rows, cols, corr_now, window_bw, step_bw, workload = bound_inputs
+    max_steps = workload.query.num_windows - 1
+    jumps = benchmark(
+        first_possible_crossing,
+        corr_now,
+        BENCH_THRESHOLD,
+        sketch.corr_prefix,
+        rows,
+        cols,
+        0,
+        step_bw,
+        window_bw,
+        max_steps,
+    )
+    assert len(jumps) == len(rows)
+    assert jumps.min() >= 1
+
+
+def test_e9_bound_quality_table(benchmark):
+    result = benchmark.pedantic(
+        experiment_e9_bound_quality,
+        kwargs={"scale": BENCH_SCALE, "horizons": (1, 2, 4, 8, 16)},
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment_table(result)
+    rate_index = result.headers.index("violation_rate")
+    slack_index = result.headers.index("mean_slack")
+    rates = [row[rate_index] for row in result.rows]
+    slacks = [row[slack_index] for row in result.rows]
+    # Violations are rare at short horizons and the bound loosens with distance.
+    assert rates[0] <= 0.2
+    assert slacks == sorted(slacks)

@@ -1,0 +1,34 @@
+"""Pytest fixtures for the benchmark harness.
+
+Every ``bench_e*.py`` module regenerates one experiment from DESIGN.md §3
+(the per-experiment index).  The pytest-benchmark fixture times the engine
+runs; the accompanying summary rows (speedups, accuracy, pruning counters)
+are printed so that ``pytest benchmarks/ --benchmark-only -s`` shows the same
+tables EXPERIMENTS.md records.
+
+Workload size is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(default 0.5); ``1.0`` approximates the paper-like setting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workloads import climate_workload
+
+from _bench_common import BENCH_SCALE, BENCH_THRESHOLD
+
+
+def pytest_report_header(config):
+    return (
+        f"dangoron-repro benchmarks: scale={BENCH_SCALE}, "
+        f"threshold={BENCH_THRESHOLD} (REPRO_BENCH_SCALE / REPRO_BENCH_THRESHOLD)"
+    )
+
+
+@pytest.fixture(scope="session")
+def climate_bench_workload():
+    """The E1/E2 workload: USCRN-like anomalies, 30-day window, daily step."""
+    return climate_workload(
+        scale=BENCH_SCALE, threshold=BENCH_THRESHOLD, window_hours=1440
+    )

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` / ``python setup.py develop`` keep working in offline
+environments whose setuptools lacks the PEP 660 editable-wheel path (no
+``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,109 @@
+"""Reproduction of *Dangoron: Network Construction on Large-scale Time Series
+Data across Sliding Windows* (Xu, Yang, Tao; SIGMOD-Companion 2023).
+
+The library computes series of thresholded Pearson-correlation matrices —
+dynamic correlation networks — over sliding windows of a large collection of
+time series, using the paper's pruning framework (Dangoron), its benchmark
+generator (Tomborg), and reimplementations of the baselines it compares
+against (TSUBASA, ParCorr, StatStream, brute force).
+
+Quick start::
+
+    from repro import DangoronEngine, SlidingQuery
+    from repro.datasets import SyntheticUSCRN
+
+    data = SyntheticUSCRN(num_stations=64, num_days=60).generate_anomalies()
+    query = SlidingQuery(start=0, end=data.length, window=240, step=24,
+                         threshold=0.7)
+    result = DangoronEngine(basic_window_size=24).run(data, query)
+    print(result.describe())
+
+Subpackages
+-----------
+``repro.core``
+    The Dangoron engine and its building blocks (basic-window sketch, Eq. 2
+    temporal bound, triangle bound, jump scheduler).
+``repro.baselines``
+    Brute force, TSUBASA, ParCorr and StatStream engines behind the same API.
+``repro.tomborg``
+    The Tomborg benchmark data generator.
+``repro.datasets``
+    Synthetic climate / fMRI / finance data plus USCRN-format loaders.
+``repro.timeseries``, ``repro.storage``, ``repro.streaming``
+    Substrates: containers and alignment, persisted statistics, online
+    ingestion and monitoring.
+``repro.network``, ``repro.analysis``, ``repro.experiments``
+    Network construction, accuracy/timing analysis, and the experiment
+    harness regenerating every reported result.
+"""
+
+from repro.baselines import (
+    BruteForceEngine,
+    ParCorrEngine,
+    StatStreamEngine,
+    TsubasaEngine,
+)
+from repro.core import (
+    BasicWindowSketch,
+    CorrelationSeriesResult,
+    DangoronEngine,
+    EngineStats,
+    IncrementalEngine,
+    SlidingCorrelationEngine,
+    SlidingQuery,
+    ThresholdedMatrix,
+    TopKResult,
+    available_engines,
+    create_engine,
+    sliding_lagged_correlation,
+    sliding_top_k,
+)
+from repro.exceptions import (
+    AlignmentError,
+    DataValidationError,
+    ExperimentError,
+    GenerationError,
+    QueryValidationError,
+    ReproError,
+    SketchError,
+    StorageError,
+    StreamingError,
+)
+from repro.timeseries import TimeAxis, TimeSeriesMatrix
+from repro.tomborg import TomborgDataset, TomborgGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlignmentError",
+    "BasicWindowSketch",
+    "BruteForceEngine",
+    "CorrelationSeriesResult",
+    "DangoronEngine",
+    "DataValidationError",
+    "EngineStats",
+    "ExperimentError",
+    "GenerationError",
+    "IncrementalEngine",
+    "ParCorrEngine",
+    "QueryValidationError",
+    "ReproError",
+    "SketchError",
+    "SlidingCorrelationEngine",
+    "SlidingQuery",
+    "StatStreamEngine",
+    "StorageError",
+    "StreamingError",
+    "ThresholdedMatrix",
+    "TimeAxis",
+    "TimeSeriesMatrix",
+    "TomborgDataset",
+    "TomborgGenerator",
+    "TopKResult",
+    "TsubasaEngine",
+    "__version__",
+    "available_engines",
+    "create_engine",
+    "sliding_lagged_correlation",
+    "sliding_top_k",
+]

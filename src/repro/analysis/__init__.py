@@ -1,0 +1,62 @@
+"""Accuracy, timing, stability, significance and reporting utilities (substrate S10)."""
+
+from repro.analysis.accuracy import (
+    AccuracyReport,
+    WindowAccuracy,
+    compare_results,
+    matrix_rmse,
+)
+from repro.analysis.report import (
+    format_markdown_table,
+    format_table,
+    rows_from_dicts,
+)
+from repro.analysis.significance import (
+    SignificanceReport,
+    correlation_confidence_interval,
+    correlation_pvalue,
+    edge_pvalues,
+    evaluate_significance,
+    filter_significant,
+    fisher_z,
+    fisher_z_inverse,
+    significance_threshold,
+)
+from repro.analysis.stability import (
+    CrossingReport,
+    DriftReport,
+    correlation_drift,
+    dense_correlation_series,
+    stability_summary,
+    threshold_crossings,
+)
+from repro.analysis.timing import Timer, TimingSummary, measure, speedup
+
+__all__ = [
+    "AccuracyReport",
+    "CrossingReport",
+    "DriftReport",
+    "SignificanceReport",
+    "Timer",
+    "TimingSummary",
+    "WindowAccuracy",
+    "compare_results",
+    "correlation_confidence_interval",
+    "correlation_drift",
+    "correlation_pvalue",
+    "dense_correlation_series",
+    "edge_pvalues",
+    "evaluate_significance",
+    "filter_significant",
+    "fisher_z",
+    "fisher_z_inverse",
+    "format_markdown_table",
+    "format_table",
+    "matrix_rmse",
+    "measure",
+    "rows_from_dicts",
+    "significance_threshold",
+    "speedup",
+    "stability_summary",
+    "threshold_crossings",
+]

@@ -1,0 +1,203 @@
+"""Quantifying how stable window-to-window correlations actually are.
+
+Dangoron's whole premise is "the relatively stable correlation when
+transitioning to the next sliding window": the Eq. 2 bound only buys long
+jumps when consecutive windows' correlations change slowly, and recall only
+stays high when pairs rarely cross the threshold between the windows the
+engine chose to skip.  The helpers here measure both quantities on a concrete
+workload — per-transition correlation drift and threshold-crossing rates — so
+an analyst can predict, before running the pruned engine, how much pruning
+the data will allow and how much recall it will cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE
+from repro.core.correlation import correlation_matrix
+from repro.core.query import SlidingQuery
+from repro.exceptions import ExperimentError, QueryValidationError
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+
+def dense_correlation_series(
+    matrix: TimeSeriesMatrix, query: SlidingQuery
+) -> np.ndarray:
+    """Unthresholded correlation matrices of every window, stacked.
+
+    Returns an array of shape ``(num_windows, N, N)``.  This is the exact
+    ground truth the stability statistics are computed from; for workloads
+    where the full series does not fit in memory use ``max_pairs`` sampling in
+    :func:`correlation_drift` instead.
+    """
+    query.validate_against_length(matrix.length)
+    windows = np.zeros(
+        (query.num_windows, matrix.num_series, matrix.num_series), dtype=FLOAT_DTYPE
+    )
+    for k, begin, end in query.iter_windows():
+        windows[k] = correlation_matrix(matrix.values[:, begin:end])
+    return windows
+
+
+@dataclass
+class DriftReport:
+    """Distribution of per-pair correlation changes between consecutive windows."""
+
+    num_windows: int
+    num_pairs: int
+    mean_abs_drift: float
+    median_abs_drift: float
+    p95_abs_drift: float
+    max_abs_drift: float
+    mean_signed_drift: float
+    per_transition_mean: np.ndarray
+
+    def fraction_within(self, delta: float) -> float:
+        """Fraction of transitions whose *mean* absolute drift is below ``delta``."""
+        if len(self.per_transition_mean) == 0:
+            return 1.0
+        return float(np.mean(self.per_transition_mean <= delta))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_windows": self.num_windows,
+            "num_pairs": self.num_pairs,
+            "mean_abs_drift": self.mean_abs_drift,
+            "median_abs_drift": self.median_abs_drift,
+            "p95_abs_drift": self.p95_abs_drift,
+            "max_abs_drift": self.max_abs_drift,
+            "mean_signed_drift": self.mean_signed_drift,
+        }
+
+
+def correlation_drift(
+    matrix: TimeSeriesMatrix,
+    query: SlidingQuery,
+    max_pairs: Optional[int] = None,
+    seed: int = 0,
+) -> DriftReport:
+    """Per-transition correlation drift statistics over a sliding query.
+
+    ``max_pairs`` restricts the computation to a random sample of pairs (all
+    pairs by default); the drift of pair ``(i, j)`` at transition ``k`` is
+    ``c_{k+1}(i, j) - c_k(i, j)``.
+    """
+    query.validate_against_length(matrix.length)
+    if query.num_windows < 2:
+        raise ExperimentError("drift analysis needs at least two windows")
+    n = matrix.num_series
+    rows, cols = np.triu_indices(n, k=1)
+    if max_pairs is not None:
+        if max_pairs < 1:
+            raise QueryValidationError(f"max_pairs must be >= 1, got {max_pairs}")
+        if max_pairs < len(rows):
+            chosen = np.random.default_rng(seed).choice(
+                len(rows), size=max_pairs, replace=False
+            )
+            rows, cols = rows[chosen], cols[chosen]
+
+    previous = None
+    all_abs: List[np.ndarray] = []
+    all_signed: List[np.ndarray] = []
+    per_transition_mean = np.zeros(query.num_windows - 1, dtype=FLOAT_DTYPE)
+    for k, begin, end in query.iter_windows():
+        corr = correlation_matrix(matrix.values[:, begin:end])[rows, cols]
+        if previous is not None:
+            drift = corr - previous
+            all_signed.append(drift)
+            all_abs.append(np.abs(drift))
+            per_transition_mean[k - 1] = float(np.mean(np.abs(drift)))
+        previous = corr
+
+    abs_drift = np.concatenate(all_abs)
+    signed_drift = np.concatenate(all_signed)
+    return DriftReport(
+        num_windows=query.num_windows,
+        num_pairs=len(rows),
+        mean_abs_drift=float(np.mean(abs_drift)),
+        median_abs_drift=float(np.median(abs_drift)),
+        p95_abs_drift=float(np.percentile(abs_drift, 95)),
+        max_abs_drift=float(np.max(abs_drift)),
+        mean_signed_drift=float(np.mean(signed_drift)),
+        per_transition_mean=per_transition_mean,
+    )
+
+
+@dataclass
+class CrossingReport:
+    """How often pairs cross the threshold between consecutive windows."""
+
+    threshold: float
+    num_transitions: int
+    num_pairs: int
+    upward_crossings: int
+    downward_crossings: int
+    crossing_rate: float
+    mean_windows_between_crossings: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "threshold": self.threshold,
+            "num_transitions": self.num_transitions,
+            "num_pairs": self.num_pairs,
+            "upward_crossings": self.upward_crossings,
+            "downward_crossings": self.downward_crossings,
+            "crossing_rate": self.crossing_rate,
+            "mean_windows_between_crossings": self.mean_windows_between_crossings,
+        }
+
+
+def threshold_crossings(
+    matrix: TimeSeriesMatrix,
+    query: SlidingQuery,
+    threshold: Optional[float] = None,
+) -> CrossingReport:
+    """Count upward/downward threshold crossings between consecutive windows.
+
+    An *upward* crossing (below the threshold in window ``k``, above it in
+    window ``k+1``) is exactly the event Dangoron's jumping can miss when the
+    Eq. 2 bound underestimates the rise; their rate upper-bounds the recall
+    the pruned engine can lose.
+    """
+    beta = query.threshold if threshold is None else threshold
+    dense = dense_correlation_series(matrix, query)
+    n = matrix.num_series
+    rows, cols = np.triu_indices(n, k=1)
+    values = dense[:, rows, cols]
+    if query.threshold_mode == "absolute":
+        above = np.abs(values) >= beta
+    else:
+        above = values >= beta
+
+    upward = int(np.count_nonzero(~above[:-1] & above[1:]))
+    downward = int(np.count_nonzero(above[:-1] & ~above[1:]))
+    transitions = (query.num_windows - 1) * len(rows)
+    total_crossings = upward + downward
+    return CrossingReport(
+        threshold=beta,
+        num_transitions=query.num_windows - 1,
+        num_pairs=len(rows),
+        upward_crossings=upward,
+        downward_crossings=downward,
+        crossing_rate=total_crossings / transitions if transitions else 0.0,
+        mean_windows_between_crossings=(
+            transitions / total_crossings if total_crossings else float("inf")
+        ),
+    )
+
+
+def stability_summary(
+    matrix: TimeSeriesMatrix,
+    query: SlidingQuery,
+    max_pairs: Optional[int] = 2000,
+) -> Dict[str, float]:
+    """One-call summary combining drift and crossing statistics (report-friendly)."""
+    drift = correlation_drift(matrix, query, max_pairs=max_pairs)
+    crossings = threshold_crossings(matrix, query)
+    summary = drift.as_dict()
+    summary.update(crossings.as_dict())
+    return summary

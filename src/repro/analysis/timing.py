@@ -1,0 +1,92 @@
+"""Timing utilities for the experiment harness.
+
+pytest-benchmark handles the statistically careful timing inside
+``benchmarks/``; the helpers here serve the experiment *reports*: a simple
+context-manager timer, repeated-measurement summaries, and the speedup
+arithmetic used when comparing engines.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    >>> with Timer() as timer:
+    ...     sum(range(1000))
+    500500
+    >>> timer.seconds >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._started is None:
+            raise ExperimentError("Timer exited without being entered")
+        self.seconds = time.perf_counter() - self._started
+        self._started = None
+
+
+@dataclass
+class TimingSummary:
+    """Summary of repeated measurements of one callable."""
+
+    label: str
+    samples: List[float] = field(default_factory=list)
+
+    @property
+    def best(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples)) if self.samples else 0.0
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.samples)) if self.samples else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"label": self.label, "best": self.best, "mean": self.mean, "std": self.std}
+
+
+def measure(
+    function: Callable[[], object],
+    repeats: int = 3,
+    label: str = "",
+) -> TimingSummary:
+    """Run ``function`` ``repeats`` times and collect wall-clock samples."""
+    if repeats < 1:
+        raise ExperimentError(f"repeats must be at least 1, got {repeats}")
+    summary = TimingSummary(label=label or getattr(function, "__name__", "callable"))
+    for _ in range(repeats):
+        with Timer() as timer:
+            function()
+        summary.samples.append(timer.seconds)
+    return summary
+
+
+def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
+    """How many times faster the candidate is than the baseline.
+
+    Returns ``inf`` when the candidate took (measurably) zero time and the
+    baseline did not; 1.0 when both are zero.
+    """
+    if candidate_seconds <= 0.0:
+        return float("inf") if baseline_seconds > 0.0 else 1.0
+    return baseline_seconds / candidate_seconds

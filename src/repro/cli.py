@@ -1,0 +1,238 @@
+"""Command-line interface for the Dangoron reproduction.
+
+Four subcommands cover the workflow a user of the system actually runs:
+
+``repro generate``
+    Produce a synthetic dataset (climate, fMRI, finance, rain gauges, or a
+    Tomborg configuration) and write it as a wide CSV.
+``repro query``
+    Run a sliding correlation query over a wide CSV with a chosen engine and
+    print the per-window summary (optionally exporting the temporal edge list).
+``repro experiment``
+    Regenerate one of the experiments (E1–E14) and print its table.
+``repro info``
+    Show the library version, registered engines and known experiments.
+
+The module is also installed as the ``repro`` console script; every function
+is importable so tests drive :func:`main` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import __version__
+from repro.analysis.report import format_table
+from repro.core.engine import available_engines, create_engine
+from repro.core.query import THRESHOLD_ABSOLUTE, THRESHOLD_SIGNED, SlidingQuery
+from repro.datasets.climate import SyntheticUSCRN
+from repro.datasets.finance import SyntheticMarket
+from repro.datasets.fmri import SyntheticBOLD
+from repro.datasets.loaders import load_wide_csv, write_wide_csv
+from repro.datasets.raingauge import SyntheticRainGauges
+from repro.exceptions import ReproError
+from repro.network.export import write_temporal_edge_list
+from repro.timeseries.matrix import TimeSeriesMatrix
+from repro.tomborg.generator import TomborgGenerator
+from repro.tomborg.distributions import named_distribution
+from repro.tomborg.spectral import named_spectrum
+
+_DATASETS = ("climate", "fmri", "finance", "raingauge", "tomborg")
+
+
+# ---------------------------------------------------------------------------
+# Dataset generation
+# ---------------------------------------------------------------------------
+
+def _generate_dataset(args: argparse.Namespace) -> TimeSeriesMatrix:
+    if args.dataset == "climate":
+        return SyntheticUSCRN(
+            num_stations=args.num_series, num_days=max(2, args.length // 24),
+            seed=args.seed,
+        ).generate_anomalies()
+    if args.dataset == "fmri":
+        side = max(3, int(round(args.num_series ** (1.0 / 3.0))) + 1)
+        matrix, _ = SyntheticBOLD(
+            grid_shape=(side, side, max(2, args.num_series // (side * side) + 1)),
+            num_volumes=args.length,
+            seed=args.seed,
+        ).generate()
+        return matrix
+    if args.dataset == "finance":
+        return SyntheticMarket(
+            num_assets=args.num_series, num_days=args.length, seed=args.seed
+        ).generate_returns()
+    if args.dataset == "raingauge":
+        return SyntheticRainGauges(
+            num_gauges=args.num_series, num_days=args.length, seed=args.seed
+        ).generate()
+    distribution = named_distribution(args.distribution)
+    spectrum = named_spectrum(args.spectrum)
+    generator = TomborgGenerator(
+        num_series=args.num_series, spectrum=spectrum, seed=args.seed
+    )
+    return generator.generate(args.length, distribution).matrix
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    matrix = _generate_dataset(args)
+    path = write_wide_csv(matrix, args.output)
+    print(
+        f"wrote {matrix.num_series} series x {matrix.length} columns "
+        f"({args.dataset}) to {path}"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+def _command_query(args: argparse.Namespace) -> int:
+    matrix = load_wide_csv(args.input)
+    end = args.end if args.end is not None else matrix.length
+    query = SlidingQuery(
+        start=args.start,
+        end=end,
+        window=args.window,
+        step=args.step,
+        threshold=args.threshold,
+        threshold_mode=THRESHOLD_ABSOLUTE if args.absolute else THRESHOLD_SIGNED,
+    )
+    engine_kwargs = {}
+    if args.engine in ("dangoron", "tsubasa"):
+        engine_kwargs["basic_window_size"] = args.basic_window
+    engine = create_engine(args.engine, **engine_kwargs)
+    result = engine.run(matrix, query)
+
+    print(result.describe())
+    headers = ["window", "start", "end", "edges", "density"]
+    rows = []
+    starts = result.window_starts()
+    for k, matrix_k in enumerate(result.matrices):
+        rows.append(
+            [k, int(starts[k]), int(starts[k]) + query.window, matrix_k.num_edges,
+             matrix_k.density()]
+        )
+    print(format_table(headers, rows, title=f"{engine.describe()} on {args.input}"))
+    stats_rows = [[key, value] for key, value in sorted(result.stats.as_dict().items())]
+    print(format_table(["stat", "value"], stats_rows, title="engine statistics"))
+
+    if args.edges_output:
+        path = write_temporal_edge_list(result, args.edges_output)
+        print(f"wrote temporal edge list to {path}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Experiments and info
+# ---------------------------------------------------------------------------
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    # Imported lazily: the registry pulls in every engine and workload builder.
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+    if args.list:
+        for experiment_id, function in sorted(EXPERIMENTS.items()):
+            print(f"{experiment_id}: {(function.__doc__ or '').strip().splitlines()[0]}")
+        return 0
+    if not args.experiment_id:
+        print("error: specify an experiment id or --list", file=sys.stderr)
+        return 2
+    result = run_experiment(args.experiment_id, scale=args.scale)
+    print(result.table())
+    if result.notes:
+        print(f"[{result.experiment_id}] {result.notes}")
+    return 0
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import EXPERIMENTS
+
+    print(f"dangoron-repro {__version__}")
+    print("engines: " + ", ".join(sorted(available_engines())))
+    print("experiments: " + ", ".join(sorted(EXPERIMENTS)))
+    print("datasets: " + ", ".join(_DATASETS))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dangoron reproduction: sliding-window correlation networks.",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    subparsers = parser.add_subparsers(dest="command")
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a synthetic dataset and write it as a wide CSV"
+    )
+    generate.add_argument("dataset", choices=_DATASETS)
+    generate.add_argument("--output", "-o", required=True, help="output CSV path")
+    generate.add_argument("--num-series", type=int, default=32)
+    generate.add_argument(
+        "--length", type=int, default=1024,
+        help="series length (days for finance/raingauge, hours/volumes otherwise)",
+    )
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument(
+        "--distribution", default="bimodal", help="Tomborg correlation distribution"
+    )
+    generate.add_argument("--spectrum", default="power_law", help="Tomborg spectrum")
+    generate.set_defaults(handler=_command_generate)
+
+    query = subparsers.add_parser(
+        "query", help="run a sliding correlation query over a wide CSV"
+    )
+    query.add_argument("input", help="wide CSV produced by 'repro generate'")
+    query.add_argument("--engine", default="dangoron", choices=sorted(available_engines()))
+    query.add_argument("--window", type=int, required=True)
+    query.add_argument("--step", type=int, required=True)
+    query.add_argument("--threshold", type=float, default=0.7)
+    query.add_argument("--start", type=int, default=0)
+    query.add_argument("--end", type=int, default=None)
+    query.add_argument("--basic-window", type=int, default=32)
+    query.add_argument(
+        "--absolute", action="store_true", help="threshold on |c| instead of c"
+    )
+    query.add_argument(
+        "--edges-output", default=None, help="also write the temporal edge list CSV"
+    )
+    query.set_defaults(handler=_command_query)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's experiments"
+    )
+    experiment.add_argument("experiment_id", nargs="?", default=None)
+    experiment.add_argument("--scale", type=float, default=0.3)
+    experiment.add_argument("--list", action="store_true", help="list experiment ids")
+    experiment.set_defaults(handler=_command_experiment)
+
+    info = subparsers.add_parser("info", help="show version, engines and experiments")
+    info.set_defaults(handler=_command_info)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if not getattr(args, "handler", None):
+        parser.print_help()
+        return 2
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,284 @@
+"""Basic-window layout and the Eq. 1 statistics it induces.
+
+Dangoron (like TSUBASA before it) divides every series into consecutive
+*basic windows* of ``b`` time points.  For each basic window the sketch stores
+per-series means and standard deviations and, for every pair, the basic-window
+correlation.  Equation 1 of the paper recombines those statistics into the
+exact Pearson correlation of any query window that is a union of basic
+windows:
+
+.. math::
+
+    Corr(x, y) = \\frac{\\sum_j B_j (\\sigma_{x_j}\\sigma_{y_j} c_j
+                 + \\delta_{x_j}\\delta_{y_j})}
+                {\\sqrt{\\sum_i B_i(\\sigma_{x_i}^2 + \\delta_{x_i}^2)}
+                 \\sqrt{\\sum_i B_i(\\sigma_{y_i}^2 + \\delta_{y_i}^2)}}
+
+with :math:`\\delta_{x_i} = \\bar{x}_i - \\mathrm{mean}_k(\\bar{x}_k)`.  The
+formula is the classical within/between decomposition of covariance; it is
+exact when the grand mean is the *size-weighted* mean of the basic-window
+means (which reduces to the paper's unweighted mean when all basic windows
+have equal size, the layout this module produces).
+
+This module contains the layout arithmetic (:class:`BasicWindowLayout`) and
+scalar reference implementations of Eq. 1 (:func:`combine_pair_eq1`) used for
+testing; the vectorised sketch lives in :mod:`repro.core.sketch`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.config import (
+    DEFAULT_BASIC_WINDOW_SIZE,
+    FLOAT_DTYPE,
+    VARIANCE_EPSILON,
+    clamp_correlation,
+)
+from repro.core.query import SlidingQuery
+from repro.exceptions import SketchError
+
+
+@dataclass(frozen=True)
+class BasicWindowLayout:
+    """A partition of the column range ``[offset, offset + size*count)``.
+
+    Every basic window has exactly ``size`` columns; basic window ``w`` covers
+    columns ``[offset + w*size, offset + (w+1)*size)``.  Query windows handled
+    by the pruned engine must be unions of whole basic windows, which the
+    layout checks with :meth:`covering`.
+    """
+
+    offset: int
+    size: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.size < 2:
+            raise SketchError(f"basic window size must be at least 2, got {self.size}")
+        if self.count < 1:
+            raise SketchError(f"layout must contain at least one basic window")
+        if self.offset < 0:
+            raise SketchError(f"layout offset must be non-negative, got {self.offset}")
+
+    # ------------------------------------------------------------------ extent
+    @property
+    def covered_start(self) -> int:
+        """First column covered by the layout."""
+        return self.offset
+
+    @property
+    def covered_end(self) -> int:
+        """One past the last column covered by the layout."""
+        return self.offset + self.size * self.count
+
+    def window_bounds(self, w: int) -> Tuple[int, int]:
+        """Column range ``[start, end)`` of basic window ``w``."""
+        if not 0 <= w < self.count:
+            raise SketchError(f"basic window index {w} out of range [0, {self.count})")
+        begin = self.offset + w * self.size
+        return begin, begin + self.size
+
+    # ------------------------------------------------------------------ mapping
+    def is_aligned(self, start: int, end: int) -> bool:
+        """``True`` when ``[start, end)`` is a union of whole basic windows."""
+        if start < self.covered_start or end > self.covered_end or start >= end:
+            return False
+        return (start - self.offset) % self.size == 0 and (end - self.offset) % self.size == 0
+
+    def covering(self, start: int, end: int) -> Tuple[int, int]:
+        """Return ``(first_basic_window, num_basic_windows)`` covering ``[start, end)``.
+
+        Raises :class:`SketchError` when the range is not aligned to the
+        layout; the unaligned case is handled by the TSUBASA edge-correction
+        path, not by the layout.
+        """
+        if not self.is_aligned(start, end):
+            raise SketchError(
+                f"column range [{start}, {end}) is not aligned to basic windows of "
+                f"size {self.size} starting at {self.offset}"
+            )
+        first = (start - self.offset) // self.size
+        count = (end - start) // self.size
+        return first, count
+
+    def enclosing(self, start: int, end: int) -> Tuple[int, int, int, int]:
+        """Return the aligned core of an arbitrary range plus the raw edges.
+
+        Returns ``(first_bw, num_bw, head_cols, tail_cols)`` where the aligned
+        core covers ``num_bw`` basic windows starting at ``first_bw``,
+        ``head_cols`` columns precede it and ``tail_cols`` columns follow it
+        inside ``[start, end)``.  Used by the exact unaligned path.
+        """
+        if start < self.covered_start or end > self.covered_end or start >= end:
+            raise SketchError(
+                f"column range [{start}, {end}) is outside the sketch coverage "
+                f"[{self.covered_start}, {self.covered_end})"
+            )
+        first = math.ceil((start - self.offset) / self.size)
+        last = (end - self.offset) // self.size
+        if last <= first:
+            # Range fits inside fewer than one whole basic window.
+            return first, 0, end - start, 0
+        head = (self.offset + first * self.size) - start
+        tail = end - (self.offset + last * self.size)
+        return first, last - first, head, tail
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def for_range(cls, start: int, end: int, size: int) -> "BasicWindowLayout":
+        """Layout covering as much of ``[start, end)`` as whole windows allow."""
+        if end - start < size:
+            raise SketchError(
+                f"range [{start}, {end}) is shorter than one basic window ({size})"
+            )
+        count = (end - start) // size
+        return cls(offset=start, size=size, count=count)
+
+    @classmethod
+    def for_query(
+        cls,
+        query: SlidingQuery,
+        requested_size: int = DEFAULT_BASIC_WINDOW_SIZE,
+    ) -> "BasicWindowLayout":
+        """Layout aligned with a sliding query.
+
+        The basic window size must divide both the query window ``l`` and the
+        sliding step ``eta`` so that every sliding window is a union of whole
+        basic windows.  The chosen size is the largest divisor of
+        ``gcd(l, eta)`` that does not exceed ``requested_size`` (and is at
+        least 2).
+        """
+        size = choose_basic_window_size(query.window, query.step, requested_size)
+        return cls.for_range(query.start, query.end, size)
+
+
+def choose_basic_window_size(window: int, step: int, requested: int) -> int:
+    """Largest divisor of ``gcd(window, step)`` that is ``<= requested`` and ``>= 2``.
+
+    Raises :class:`SketchError` when no such divisor exists (e.g. the gcd is 1),
+    because the pruned engine then cannot align basic windows with the query.
+    """
+    if requested < 2:
+        raise SketchError(f"requested basic window size must be >= 2, got {requested}")
+    gcd = math.gcd(int(window), int(step))
+    best = 0
+    for candidate in range(2, min(gcd, requested) + 1):
+        if gcd % candidate == 0:
+            best = candidate
+    if best == 0:
+        raise SketchError(
+            f"cannot align basic windows with window={window}, step={step}: "
+            f"gcd={gcd} has no divisor in [2, {requested}]"
+        )
+    return best
+
+
+# --------------------------------------------------------------------------
+# Scalar reference implementation of Eq. 1 (used by tests and documentation).
+# --------------------------------------------------------------------------
+
+def basic_window_statistics(series: np.ndarray, size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-basic-window means and population standard deviations of one series.
+
+    The series length must be a multiple of ``size``.  Returns ``(means, stds)``
+    each of length ``len(series) // size``.
+    """
+    series = np.asarray(series, dtype=FLOAT_DTYPE)
+    if series.ndim != 1:
+        raise SketchError("basic_window_statistics() expects a 1-D series")
+    if len(series) % size != 0:
+        raise SketchError(
+            f"series length {len(series)} is not a multiple of the basic window "
+            f"size {size}"
+        )
+    blocks = series.reshape(-1, size)
+    return blocks.mean(axis=1), blocks.std(axis=1)
+
+
+def basic_window_correlations(x: np.ndarray, y: np.ndarray, size: int) -> np.ndarray:
+    """Pearson correlation of each aligned basic-window pair of two series."""
+    x = np.asarray(x, dtype=FLOAT_DTYPE)
+    y = np.asarray(y, dtype=FLOAT_DTYPE)
+    if x.shape != y.shape:
+        raise SketchError("series must have equal length")
+    if len(x) % size != 0:
+        raise SketchError(
+            f"series length {len(x)} is not a multiple of the basic window size {size}"
+        )
+    xb = x.reshape(-1, size)
+    yb = y.reshape(-1, size)
+    xc = xb - xb.mean(axis=1, keepdims=True)
+    yc = yb - yb.mean(axis=1, keepdims=True)
+    var_x = np.einsum("ij,ij->i", xc, xc)
+    var_y = np.einsum("ij,ij->i", yc, yc)
+    degenerate = (var_x < VARIANCE_EPSILON * size) | (var_y < VARIANCE_EPSILON * size)
+    safe = np.sqrt(np.where(degenerate, 1.0, var_x * var_y))
+    corr = np.where(degenerate, 0.0, np.einsum("ij,ij->i", xc, yc) / safe)
+    return np.clip(corr, -1.0, 1.0)
+
+
+def combine_pair_eq1(
+    sizes: Sequence[int],
+    means_x: Sequence[float],
+    means_y: Sequence[float],
+    stds_x: Sequence[float],
+    stds_y: Sequence[float],
+    corrs: Sequence[float],
+    weighted_grand_mean: bool = True,
+) -> float:
+    """Equation 1: recombine basic-window statistics into a window correlation.
+
+    Parameters mirror the paper's notation: ``sizes`` are the basic-window
+    sizes ``B_j``, ``means_*``/``stds_*`` the per-basic-window means and
+    population standard deviations, and ``corrs`` the per-basic-window
+    correlations ``c_j``.
+
+    ``weighted_grand_mean=True`` uses the size-weighted grand mean (exact for
+    unequal basic windows); ``False`` uses the paper's plain average of
+    basic-window means (identical when all sizes are equal).
+    """
+    sizes_arr = np.asarray(sizes, dtype=FLOAT_DTYPE)
+    mx = np.asarray(means_x, dtype=FLOAT_DTYPE)
+    my = np.asarray(means_y, dtype=FLOAT_DTYPE)
+    sx = np.asarray(stds_x, dtype=FLOAT_DTYPE)
+    sy = np.asarray(stds_y, dtype=FLOAT_DTYPE)
+    c = np.asarray(corrs, dtype=FLOAT_DTYPE)
+    if not (len(sizes_arr) == len(mx) == len(my) == len(sx) == len(sy) == len(c)):
+        raise SketchError("Eq. 1 inputs must all have the same number of basic windows")
+    if len(sizes_arr) == 0:
+        raise SketchError("Eq. 1 needs at least one basic window")
+
+    if weighted_grand_mean:
+        grand_x = float(np.dot(sizes_arr, mx) / sizes_arr.sum())
+        grand_y = float(np.dot(sizes_arr, my) / sizes_arr.sum())
+    else:
+        grand_x = float(mx.mean())
+        grand_y = float(my.mean())
+
+    delta_x = mx - grand_x
+    delta_y = my - grand_y
+    numerator = float(np.dot(sizes_arr, sx * sy * c + delta_x * delta_y))
+    denom_x = float(np.dot(sizes_arr, sx * sx + delta_x * delta_x))
+    denom_y = float(np.dot(sizes_arr, sy * sy + delta_y * delta_y))
+    if denom_x < VARIANCE_EPSILON * sizes_arr.sum() or denom_y < VARIANCE_EPSILON * sizes_arr.sum():
+        return 0.0
+    return clamp_correlation(numerator / math.sqrt(denom_x * denom_y))
+
+
+def combine_pair_from_series(x: np.ndarray, y: np.ndarray, size: int) -> float:
+    """Convenience wrapper: run Eq. 1 end-to-end on two raw series.
+
+    Splits both series into basic windows of ``size`` points, computes the
+    per-window statistics and recombines them.  Tests compare the output with
+    :func:`repro.core.correlation.pearson` to validate the decomposition.
+    """
+    mx, sx = basic_window_statistics(x, size)
+    my, sy = basic_window_statistics(y, size)
+    c = basic_window_correlations(x, y, size)
+    sizes = [size] * len(c)
+    return combine_pair_eq1(sizes, mx, my, sx, sy, c)

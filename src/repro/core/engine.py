@@ -1,0 +1,70 @@
+"""Common interface implemented by Dangoron and every baseline engine.
+
+All engines answer the same question (a :class:`SlidingQuery` over a
+:class:`TimeSeriesMatrix`) and return the same result type, which is what
+makes the paper's comparisons ("Dangoron is an order of magnitude faster than
+TSUBASA … accuracy comparable to Parcorr") expressible as simple loops over a
+list of engines in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Type
+
+from repro.core.query import SlidingQuery
+from repro.core.result import CorrelationSeriesResult
+from repro.exceptions import ExperimentError
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+
+class SlidingCorrelationEngine(abc.ABC):
+    """Abstract base class for sliding correlation-matrix engines."""
+
+    #: Short machine-readable engine name (used in reports and registries).
+    name: str = "abstract"
+
+    #: Whether the engine guarantees exact correlation values for reported
+    #: edges (Dangoron, TSUBASA, brute force) or returns approximations
+    #: (ParCorr / StatStream without verification).
+    exact: bool = True
+
+    @abc.abstractmethod
+    def run(
+        self, matrix: TimeSeriesMatrix, query: SlidingQuery
+    ) -> CorrelationSeriesResult:
+        """Answer the sliding query over the matrix."""
+
+    def describe(self) -> str:
+        """Human-readable engine description (engine name plus key options)."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}(name={self.name!r})"
+
+
+_ENGINE_REGISTRY: Dict[str, Type[SlidingCorrelationEngine]] = {}
+
+
+def register_engine(cls: Type[SlidingCorrelationEngine]) -> Type[SlidingCorrelationEngine]:
+    """Class decorator adding an engine to the global registry by its ``name``."""
+    if not cls.name or cls.name == "abstract":
+        raise ExperimentError(f"engine class {cls.__name__} must define a name")
+    _ENGINE_REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_engines() -> Dict[str, Type[SlidingCorrelationEngine]]:
+    """Mapping of registered engine names to their classes (copy)."""
+    return dict(_ENGINE_REGISTRY)
+
+
+def create_engine(name: str, **kwargs) -> SlidingCorrelationEngine:
+    """Instantiate a registered engine by name with keyword options."""
+    try:
+        cls = _ENGINE_REGISTRY[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown engine {name!r}; available: {sorted(_ENGINE_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,177 @@
+"""Horizontal computation pruning via pivot series and the triangle bound.
+
+Given exact correlations of a handful of *pivot* series against every other
+series in the current window (``P · N`` pairs), the triangle bound restricts
+every remaining pair's correlation to an interval.  Pairs whose interval lies
+entirely below the threshold cannot be edges and need no exact evaluation in
+this window — the paper's "horizontal computation pruning".
+
+The quality of the pruning depends on the pivots: a pivot highly correlated
+with both members of a pair gives a tight interval.  Pivot selection
+strategies provided here:
+
+``"kcenter"``
+    Greedy max-min selection in correlation distance (the first pivot is the
+    series with the highest variance, each further pivot is the series least
+    correlated with all pivots chosen so far).  Gives pivots that spread over
+    the correlation structure.
+``"variance"``
+    The series with the largest variances in the window.
+``"random"``
+    Uniform random rows.
+``"first"``
+    Rows ``0 … P-1`` (deterministic, used in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config import DEFAULT_NUM_PIVOTS, FLOAT_DTYPE
+from repro.core.bounds import triangle_bounds_from_pivots
+from repro.core.correlation import correlation_against
+from repro.core.query import THRESHOLD_ABSOLUTE
+from repro.exceptions import QueryValidationError
+
+_STRATEGIES = ("kcenter", "variance", "random", "first")
+
+
+def select_pivots(
+    window_values: np.ndarray,
+    num_pivots: int = DEFAULT_NUM_PIVOTS,
+    strategy: str = "kcenter",
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Choose pivot row indices for horizontal pruning.
+
+    ``window_values`` is the ``(N, l)`` slice of the current window.  Returns
+    an array of at most ``num_pivots`` distinct row indices (fewer when the
+    matrix has fewer rows).
+    """
+    if strategy not in _STRATEGIES:
+        raise QueryValidationError(
+            f"unknown pivot strategy {strategy!r}; expected one of {_STRATEGIES}"
+        )
+    window_values = np.asarray(window_values, dtype=FLOAT_DTYPE)
+    if window_values.ndim != 2:
+        raise QueryValidationError("window_values must be an (N, l) array")
+    n = window_values.shape[0]
+    num_pivots = max(1, min(num_pivots, n))
+
+    if strategy == "first":
+        return np.arange(num_pivots)
+    if strategy == "random":
+        rng = rng if rng is not None else np.random.default_rng()
+        return rng.choice(n, size=num_pivots, replace=False)
+    variances = window_values.var(axis=1)
+    if strategy == "variance":
+        return np.argsort(variances)[::-1][:num_pivots].copy()
+
+    # kcenter: greedy max-min on correlation distance 1 - |c|.
+    pivots = [int(np.argmax(variances))]
+    closest = np.abs(
+        correlation_against(window_values, window_values[pivots[-1]])
+    ).ravel()
+    while len(pivots) < num_pivots:
+        candidate = int(np.argmin(closest))
+        if candidate in pivots:
+            break
+        pivots.append(candidate)
+        corr_to_new = np.abs(
+            correlation_against(window_values, window_values[candidate])
+        ).ravel()
+        closest = np.maximum(closest, corr_to_new)
+    return np.asarray(pivots, dtype=int)
+
+
+@dataclass
+class HorizontalPruneResult:
+    """Output of one window's horizontal pruning pass."""
+
+    pivots: np.ndarray
+    pivot_correlations: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def prunable_mask(self, beta: float, threshold_mode: str) -> np.ndarray:
+        """Symmetric boolean matrix: ``True`` where the pair cannot be an edge.
+
+        In signed mode a pair is prunable when its upper bound is below
+        ``beta``; in absolute mode both the upper bound and the negated lower
+        bound must be below ``beta``.
+        """
+        if threshold_mode == THRESHOLD_ABSOLUTE:
+            mask = (self.upper < beta) & (-self.lower < beta)
+        else:
+            mask = self.upper < beta
+        np.fill_diagonal(mask, False)
+        return mask
+
+    def surrogate_upper(self) -> np.ndarray:
+        """Upper-bound matrix usable as a conservative stand-in for the exact value."""
+        return self.upper
+
+
+class HorizontalPruner:
+    """Computes pivot correlations and triangle-bound intervals per window."""
+
+    def __init__(
+        self,
+        num_pivots: int = DEFAULT_NUM_PIVOTS,
+        strategy: str = "kcenter",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if num_pivots < 1:
+            raise QueryValidationError(f"num_pivots must be >= 1, got {num_pivots}")
+        self.num_pivots = num_pivots
+        self.strategy = strategy
+        self.rng = rng
+
+    def analyze(
+        self, window_values: np.ndarray, pivots: Optional[np.ndarray] = None
+    ) -> HorizontalPruneResult:
+        """Compute pivot correlations and per-pair bounds for one window.
+
+        ``pivots`` overrides pivot selection (used when the engine wants to
+        keep the same pivots across windows to amortize selection cost).
+        """
+        window_values = np.asarray(window_values, dtype=FLOAT_DTYPE)
+        if pivots is None:
+            pivots = select_pivots(
+                window_values, self.num_pivots, self.strategy, self.rng
+            )
+        pivots = np.asarray(pivots, dtype=int)
+        pivot_corrs = correlation_against(window_values, window_values[pivots])
+        lower, upper = triangle_bounds_from_pivots(pivot_corrs)
+        return HorizontalPruneResult(
+            pivots=pivots,
+            pivot_correlations=pivot_corrs,
+            lower=lower,
+            upper=upper,
+        )
+
+    def exact_pair_cost(self, num_series: int) -> int:
+        """Number of exact pair evaluations the pruning pass itself spends."""
+        return self.num_pivots * num_series
+
+
+def prunable_pairs(
+    result: HorizontalPruneResult,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    beta: float,
+    threshold_mode: str,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split candidate pairs into (prunable, must-evaluate) position arrays.
+
+    ``rows``/``cols`` enumerate the candidate pairs; the return value is a pair
+    of index arrays *into that enumeration* (not into the series), so the
+    caller can subset its own bookkeeping arrays directly.
+    """
+    mask_matrix = result.prunable_mask(beta, threshold_mode)
+    mask = mask_matrix[rows, cols]
+    positions = np.arange(len(rows))
+    return positions[mask], positions[~mask]

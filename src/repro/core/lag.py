@@ -1,0 +1,224 @@
+"""Lagged (cross-) correlation across sliding windows.
+
+Climate teleconnections and market lead–lag effects (the Braid and FilCorr
+lines of work the paper's related-work section cites) correlate one series
+against a *shifted* copy of another: the edge between ``x`` and ``y`` carries
+both the strongest correlation over a lag range and the lag at which it is
+attained.  This module extends the repository's window machinery with that
+query type; it is an extension beyond the paper's zero-lag problem definition
+and is exercised by the E13 experiment and the ``topk_lag_analysis`` example.
+
+Sign conventions: a *positive* lag ``d`` correlates ``x[t]`` with ``y[t + d]``
+(``x`` leads ``y`` by ``d`` steps); a negative lag means ``y`` leads ``x``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE, INDEX_DTYPE, VARIANCE_EPSILON
+from repro.core.query import THRESHOLD_ABSOLUTE, SlidingQuery
+from repro.exceptions import DataValidationError, QueryValidationError
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+
+def _normalize_rows(rows: np.ndarray) -> np.ndarray:
+    """Centre every row and scale to unit norm (constant rows become zero)."""
+    centered = rows - rows.mean(axis=1, keepdims=True)
+    norms = np.sqrt(np.einsum("ij,ij->i", centered, centered))
+    degenerate = norms < np.sqrt(VARIANCE_EPSILON * rows.shape[1])
+    safe = np.where(degenerate, 1.0, norms)
+    normalized = centered / safe[:, None]
+    normalized[degenerate, :] = 0.0
+    return normalized
+
+
+def lagged_correlation(x: np.ndarray, y: np.ndarray, max_lag: int) -> np.ndarray:
+    """Pearson correlation of ``x[t]`` with ``y[t + d]`` for ``d`` in ``[-max_lag, max_lag]``.
+
+    Returns an array of length ``2 * max_lag + 1`` indexed by ``d + max_lag``.
+    Each lag's correlation is computed over the overlapping portion of the two
+    series only (no zero padding), so every entry is a genuine Pearson
+    correlation of ``len(x) - |d|`` points.
+    """
+    x = np.asarray(x, dtype=FLOAT_DTYPE)
+    y = np.asarray(y, dtype=FLOAT_DTYPE)
+    if x.ndim != 1 or y.ndim != 1 or x.shape != y.shape:
+        raise DataValidationError("lagged_correlation() expects equal-length 1-D arrays")
+    if max_lag < 0:
+        raise QueryValidationError(f"max_lag must be non-negative, got {max_lag}")
+    if len(x) - max_lag < 2:
+        raise QueryValidationError(
+            f"series of length {len(x)} cannot support max_lag={max_lag}"
+        )
+
+    result = np.zeros(2 * max_lag + 1, dtype=FLOAT_DTYPE)
+    for lag in range(-max_lag, max_lag + 1):
+        if lag >= 0:
+            a, b = x[: len(x) - lag], y[lag:]
+        else:
+            a, b = x[-lag:], y[: len(y) + lag]
+        ac = a - a.mean()
+        bc = b - b.mean()
+        var_a = float(np.dot(ac, ac))
+        var_b = float(np.dot(bc, bc))
+        if var_a < VARIANCE_EPSILON * len(a) or var_b < VARIANCE_EPSILON * len(b):
+            result[lag + max_lag] = 0.0
+        else:
+            result[lag + max_lag] = np.clip(
+                float(np.dot(ac, bc)) / np.sqrt(var_a * var_b), -1.0, 1.0
+            )
+    return result
+
+
+def best_lag(
+    x: np.ndarray, y: np.ndarray, max_lag: int, absolute: bool = True
+) -> Tuple[int, float]:
+    """The lag with the strongest correlation and that correlation's value."""
+    correlations = lagged_correlation(x, y, max_lag)
+    ranking = np.abs(correlations) if absolute else correlations
+    index = int(np.argmax(ranking))
+    return index - max_lag, float(correlations[index])
+
+
+@dataclass(frozen=True)
+class LagMatrices:
+    """Per-pair best lagged correlation of one window.
+
+    ``best_corr[i, j]`` is the strongest correlation of series ``i`` against a
+    shifted series ``j`` over the lag range and ``best_lag[i, j]`` the lag at
+    which it is attained (``best_lag[i, j] = -best_lag[j, i]``).
+    """
+
+    window_index: int
+    best_corr: np.ndarray
+    best_lag: np.ndarray
+
+    @property
+    def num_series(self) -> int:
+        return int(self.best_corr.shape[0])
+
+    def edges(
+        self, threshold: float, threshold_mode: str = "signed"
+    ) -> List[Tuple[int, int, float, int]]:
+        """Above-threshold pairs as ``(i, j, correlation, lag)`` with ``i < j``."""
+        n = self.num_series
+        iu, ju = np.triu_indices(n, k=1)
+        values = self.best_corr[iu, ju]
+        lags = self.best_lag[iu, ju]
+        if threshold_mode == THRESHOLD_ABSOLUTE:
+            keep = np.abs(values) >= threshold
+        else:
+            keep = values >= threshold
+        return [
+            (int(i), int(j), float(v), int(d))
+            for i, j, v, d in zip(iu[keep], ju[keep], values[keep], lags[keep])
+        ]
+
+
+def lagged_correlation_matrix(
+    window: np.ndarray, max_lag: int, absolute: bool = True, window_index: int = 0
+) -> LagMatrices:
+    """Best lagged correlation and its lag for every pair of rows of a window.
+
+    The cost is ``O((2 * max_lag + 1) * N^2 * l)``: one normalized matrix
+    product per lag.  For ``max_lag = 0`` this reduces to the ordinary
+    correlation matrix.
+    """
+    window = np.asarray(window, dtype=FLOAT_DTYPE)
+    if window.ndim != 2:
+        raise DataValidationError(
+            f"lagged_correlation_matrix() expects an (N, l) array, got {window.shape}"
+        )
+    n, length = window.shape
+    if max_lag < 0:
+        raise QueryValidationError(f"max_lag must be non-negative, got {max_lag}")
+    if length - max_lag < 2:
+        raise QueryValidationError(
+            f"window of length {length} cannot support max_lag={max_lag}"
+        )
+
+    best_corr = np.full((n, n), -np.inf, dtype=FLOAT_DTYPE)
+    best_lag_matrix = np.zeros((n, n), dtype=INDEX_DTYPE)
+    best_rank = np.full((n, n), -np.inf, dtype=FLOAT_DTYPE)
+
+    for lag in range(0, max_lag + 1):
+        # corr[i, j] at lag d >= 0 correlates row i's first (length - d) points
+        # with row j's last (length - d) points.
+        leading = _normalize_rows(window[:, : length - lag])
+        trailing = _normalize_rows(window[:, lag:])
+        corr = np.clip(leading @ trailing.T, -1.0, 1.0)
+
+        for sign, matrix_at_lag in ((1, corr), (-1, corr.T)) if lag > 0 else ((1, corr),):
+            rank = np.abs(matrix_at_lag) if absolute else matrix_at_lag
+            better = rank > best_rank
+            best_rank = np.where(better, rank, best_rank)
+            best_corr = np.where(better, matrix_at_lag, best_corr)
+            best_lag_matrix = np.where(better, sign * lag, best_lag_matrix)
+
+    np.fill_diagonal(best_corr, 1.0)
+    np.fill_diagonal(best_lag_matrix, 0)
+    return LagMatrices(
+        window_index=window_index, best_corr=best_corr, best_lag=best_lag_matrix
+    )
+
+
+def sliding_lagged_correlation(
+    matrix: TimeSeriesMatrix,
+    query: SlidingQuery,
+    max_lag: int,
+    absolute: Optional[bool] = None,
+) -> List[LagMatrices]:
+    """Best lagged correlations for every window of a sliding query.
+
+    The query's threshold is not applied here (call :meth:`LagMatrices.edges`
+    per window); its ``threshold_mode`` provides the default ranking mode.
+    """
+    query.validate_against_length(matrix.length)
+    if absolute is None:
+        absolute = query.threshold_mode == THRESHOLD_ABSOLUTE
+    results: List[LagMatrices] = []
+    for index, begin, end in query.iter_windows():
+        results.append(
+            lagged_correlation_matrix(
+                matrix.values[:, begin:end],
+                max_lag,
+                absolute=absolute,
+                window_index=index,
+            )
+        )
+    return results
+
+
+def lead_lag_graph_edges(
+    matrices: List[LagMatrices], threshold: float, min_persistence: float = 0.5
+) -> List[Tuple[int, int, float, float]]:
+    """Aggregate per-window lagged edges into persistent lead–lag relations.
+
+    Returns ``(i, j, mean_correlation, mean_lag)`` for pairs above the
+    threshold in at least ``min_persistence`` of the windows.  The mean lag's
+    sign says who leads on average (positive: ``i`` leads ``j``).
+    """
+    if not matrices:
+        raise DataValidationError("lead_lag_graph_edges() needs at least one window")
+    if not 0.0 <= min_persistence <= 1.0:
+        raise QueryValidationError(
+            f"min_persistence must lie in [0, 1], got {min_persistence}"
+        )
+    counts: dict = {}
+    corr_sums: dict = {}
+    lag_sums: dict = {}
+    for window in matrices:
+        for i, j, value, lag in window.edges(threshold):
+            counts[(i, j)] = counts.get((i, j), 0) + 1
+            corr_sums[(i, j)] = corr_sums.get((i, j), 0.0) + value
+            lag_sums[(i, j)] = lag_sums.get((i, j), 0.0) + lag
+    needed = min_persistence * len(matrices)
+    return [
+        (i, j, corr_sums[(i, j)] / count, lag_sums[(i, j)] / count)
+        for (i, j), count in sorted(counts.items())
+        if count >= needed
+    ]

@@ -1,0 +1,138 @@
+"""Sliding-window query description and validation.
+
+A query follows the paper's problem definition: a range ``r = (s, e)``, a
+window size ``l``, a sliding step ``eta`` and a threshold ``beta``.  Window
+``k`` covers columns ``[s + k*eta, s + k*eta + l)``; the last window is the
+largest ``k`` for which the window still fits inside ``[s, e)``.
+
+All engines (Dangoron and the baselines) accept the same
+:class:`SlidingQuery`, which keeps benchmark comparisons honest: every engine
+answers exactly the same question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.config import INDEX_DTYPE
+from repro.exceptions import QueryValidationError
+
+#: Keep entries with ``c >= beta`` (the paper's semantics).
+THRESHOLD_SIGNED = "signed"
+#: Keep entries with ``|c| >= beta`` (common in climate/fMRI practice).
+THRESHOLD_ABSOLUTE = "absolute"
+
+_THRESHOLD_MODES = (THRESHOLD_SIGNED, THRESHOLD_ABSOLUTE)
+
+
+@dataclass(frozen=True)
+class SlidingQuery:
+    """A sliding correlation-matrix query.
+
+    Parameters
+    ----------
+    start, end:
+        The query range ``r = (s, e)`` in column indices, end-exclusive.
+    window:
+        The query window size ``l`` (number of columns per window).
+    step:
+        The sliding step ``eta`` (columns between consecutive window starts).
+    threshold:
+        The correlation threshold ``beta``; entries below it are reported as 0.
+    threshold_mode:
+        ``"signed"`` (keep ``c >= beta``, the paper's definition) or
+        ``"absolute"`` (keep ``|c| >= beta``).
+    """
+
+    start: int
+    end: int
+    window: int
+    step: int
+    threshold: float
+    threshold_mode: str = THRESHOLD_SIGNED
+
+    def __post_init__(self) -> None:
+        if self.window <= 1:
+            raise QueryValidationError(
+                f"window size must be at least 2, got {self.window}"
+            )
+        if self.step <= 0:
+            raise QueryValidationError(f"sliding step must be positive, got {self.step}")
+        if self.start < 0 or self.end <= self.start:
+            raise QueryValidationError(
+                f"invalid query range [{self.start}, {self.end})"
+            )
+        if self.end - self.start < self.window:
+            raise QueryValidationError(
+                f"query range of length {self.end - self.start} is shorter than "
+                f"the window size {self.window}"
+            )
+        if not -1.0 <= self.threshold <= 1.0:
+            raise QueryValidationError(
+                f"threshold must lie in [-1, 1], got {self.threshold}"
+            )
+        if self.threshold_mode not in _THRESHOLD_MODES:
+            raise QueryValidationError(
+                f"threshold_mode must be one of {_THRESHOLD_MODES}, "
+                f"got {self.threshold_mode!r}"
+            )
+
+    # ------------------------------------------------------------------ windows
+    @property
+    def num_windows(self) -> int:
+        """The number of windows ``gamma + 1`` that fit in the range."""
+        return (self.end - self.start - self.window) // self.step + 1
+
+    def window_starts(self) -> np.ndarray:
+        """Column index of the first point of every window."""
+        return self.start + self.step * np.arange(self.num_windows, dtype=INDEX_DTYPE)
+
+    def window_bounds(self, k: int) -> Tuple[int, int]:
+        """``(start, end)`` columns of window ``k`` (end-exclusive)."""
+        if not 0 <= k < self.num_windows:
+            raise QueryValidationError(
+                f"window index {k} out of range [0, {self.num_windows})"
+            )
+        begin = self.start + k * self.step
+        return begin, begin + self.window
+
+    def iter_windows(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(k, start, end)`` for every window in order."""
+        for k in range(self.num_windows):
+            begin = self.start + k * self.step
+            yield k, begin, begin + self.window
+
+    # ------------------------------------------------------------------ helpers
+    def validate_against_length(self, length: int) -> None:
+        """Raise when the query range exceeds a series of ``length`` columns."""
+        if self.end > length:
+            raise QueryValidationError(
+                f"query range end {self.end} exceeds series length {length}"
+            )
+
+    def keeps(self, value: float) -> bool:
+        """``True`` when a correlation value survives the threshold."""
+        if self.threshold_mode == THRESHOLD_ABSOLUTE:
+            return abs(value) >= self.threshold
+        return value >= self.threshold
+
+    def keep_mask(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized version of :meth:`keeps`."""
+        if self.threshold_mode == THRESHOLD_ABSOLUTE:
+            return np.abs(values) >= self.threshold
+        return values >= self.threshold
+
+    def with_threshold(self, threshold: float) -> "SlidingQuery":
+        """Return a copy of the query with a different threshold."""
+        return replace(self, threshold=threshold)
+
+    def describe(self) -> str:
+        """Human-readable one-line description (used in reports)."""
+        return (
+            f"range=[{self.start},{self.end}) window={self.window} step={self.step} "
+            f"beta={self.threshold} mode={self.threshold_mode} "
+            f"windows={self.num_windows}"
+        )

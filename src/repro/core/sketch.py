@@ -1,0 +1,367 @@
+"""The basic-window sketch: precomputed statistics shared by Dangoron and TSUBASA.
+
+The sketch stores, for every basic window of the layout,
+
+* per-series sums and sums of squares (equivalently means and population
+  standard deviations), and
+* for every pair of series, the sum of products and the basic-window
+  correlation ``c_j`` used both by Eq. 1 and by the Eq. 2 temporal bound.
+
+With these statistics the exact Pearson correlation of any query window that
+is a union of basic windows can be recombined without touching the raw data.
+The recombination exposed here comes in two flavours:
+
+``exact_*_scan``
+    Sums the per-basic-window statistics of the window (cost ``O(n_s)`` per
+    pair).  This is the combination step whose repeated cost Dangoron's
+    jumping structure avoids, and the one the TSUBASA baseline performs for
+    every pair in every window.
+
+``exact_matrix_fast``
+    Uses prefix sums along the basic-window axis for an ``O(1)`` per-pair
+    combination.  This is *not* part of the paper; it is provided as an
+    ablation point (see DESIGN.md, decision 2) and for fast ground-truth
+    generation in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE, VARIANCE_EPSILON, clamp_correlation_array
+from repro.core.basic_window import BasicWindowLayout
+from repro.core.correlation import correlation_from_sums
+from repro.exceptions import SketchError
+
+
+class BasicWindowSketch:
+    """Precomputed per-basic-window statistics for an ``(N, L)`` matrix."""
+
+    def __init__(
+        self,
+        layout: BasicWindowLayout,
+        series_sums: np.ndarray,
+        series_sumsqs: np.ndarray,
+        pair_sumprods: Optional[np.ndarray],
+        pair_corrs: Optional[np.ndarray],
+        build_seconds: float = 0.0,
+    ) -> None:
+        self.layout = layout
+        self.series_sums = series_sums
+        self.series_sumsqs = series_sumsqs
+        self.pair_sumprods = pair_sumprods
+        self.pair_corrs = pair_corrs
+        self.build_seconds = build_seconds
+
+        self._sum_prefix = np.concatenate(
+            [np.zeros((series_sums.shape[0], 1), dtype=FLOAT_DTYPE),
+             np.cumsum(series_sums, axis=1)],
+            axis=1,
+        )
+        self._sumsq_prefix = np.concatenate(
+            [np.zeros((series_sumsqs.shape[0], 1), dtype=FLOAT_DTYPE),
+             np.cumsum(series_sumsqs, axis=1)],
+            axis=1,
+        )
+        self._corr_prefix: Optional[np.ndarray] = None
+        self._sumprod_prefix: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def build(
+        cls,
+        values: np.ndarray,
+        layout: BasicWindowLayout,
+        pairwise: bool = True,
+    ) -> "BasicWindowSketch":
+        """Compute the sketch of ``values`` (shape ``(N, L)``) for ``layout``.
+
+        ``pairwise=False`` skips the ``O(N^2 L)`` pair statistics; the sketch
+        then supports only per-series queries (used by memory-constrained
+        scenarios and by the ParCorr/StatStream baselines, which bring their
+        own sketches).
+        """
+        started = time.perf_counter()
+        values = np.asarray(values, dtype=FLOAT_DTYPE)
+        if values.ndim != 2:
+            raise SketchError(f"sketch input must be 2-D, got shape {values.shape}")
+        if layout.covered_end > values.shape[1]:
+            raise SketchError(
+                f"layout covers columns up to {layout.covered_end} but the matrix "
+                f"has only {values.shape[1]} columns"
+            )
+        num_series = values.shape[0]
+        size = layout.size
+        count = layout.count
+        blocks = values[:, layout.covered_start : layout.covered_end].reshape(
+            num_series, count, size
+        )
+
+        series_sums = blocks.sum(axis=2)
+        series_sumsqs = np.einsum("nws,nws->nw", blocks, blocks)
+
+        pair_sumprods = None
+        pair_corrs = None
+        if pairwise:
+            # (count, N, N) tensor of per-basic-window sums of products.
+            pair_sumprods = np.einsum("iws,jws->wij", blocks, blocks)
+            means = series_sums / size
+            variances = series_sumsqs / size - means**2
+            # Flag near-constant basic windows both absolutely and relative to
+            # the uncentred energy (cancellation noise grows with magnitude).
+            degenerate_window = (variances < VARIANCE_EPSILON) | (
+                variances < 1e-10 * np.abs(series_sumsqs / size)
+            )
+            variances = np.maximum(variances, 0.0)
+            stds = np.sqrt(variances)
+            # Covariance per basic window: E[xy] - E[x]E[y].
+            cov = pair_sumprods / size - means.T[:, :, None] * means.T[:, None, :]
+            denom = stds.T[:, :, None] * stds.T[:, None, :]
+            degenerate = (
+                (denom < VARIANCE_EPSILON)
+                | degenerate_window.T[:, :, None]
+                | degenerate_window.T[:, None, :]
+            )
+            pair_corrs = np.where(degenerate, 0.0, cov / np.where(degenerate, 1.0, denom))
+            pair_corrs = clamp_correlation_array(pair_corrs)
+
+        return cls(
+            layout=layout,
+            series_sums=series_sums,
+            series_sumsqs=series_sumsqs,
+            pair_sumprods=pair_sumprods,
+            pair_corrs=pair_corrs,
+            build_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def num_series(self) -> int:
+        return self.series_sums.shape[0]
+
+    @property
+    def num_basic_windows(self) -> int:
+        return self.layout.count
+
+    @property
+    def has_pairwise(self) -> bool:
+        return self.pair_sumprods is not None
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the stored statistics."""
+        total = self.series_sums.nbytes + self.series_sumsqs.nbytes
+        total += self._sum_prefix.nbytes + self._sumsq_prefix.nbytes
+        for tensor in (self.pair_sumprods, self.pair_corrs, self._corr_prefix,
+                       self._sumprod_prefix):
+            if tensor is not None:
+                total += tensor.nbytes
+        return int(total)
+
+    def _require_pairwise(self) -> None:
+        if not self.has_pairwise:
+            raise SketchError(
+                "this sketch was built with pairwise=False and cannot answer "
+                "pairwise correlation queries"
+            )
+
+    # ---------------------------------------------------------------- prefixes
+    @property
+    def corr_prefix(self) -> np.ndarray:
+        """Prefix sums of the per-basic-window pair correlations.
+
+        ``corr_prefix[w]`` is the sum of ``pair_corrs[0:w]``; shape
+        ``(count + 1, N, N)``.  Used by the Eq. 2 bound in O(1) per check.
+        """
+        self._require_pairwise()
+        if self._corr_prefix is None:
+            count, n, _ = self.pair_corrs.shape
+            prefix = np.zeros((count + 1, n, n), dtype=FLOAT_DTYPE)
+            np.cumsum(self.pair_corrs, axis=0, out=prefix[1:])
+            self._corr_prefix = prefix
+        return self._corr_prefix
+
+    @property
+    def sumprod_prefix(self) -> np.ndarray:
+        """Prefix sums of the per-basic-window pair sums of products."""
+        self._require_pairwise()
+        if self._sumprod_prefix is None:
+            count, n, _ = self.pair_sumprods.shape
+            prefix = np.zeros((count + 1, n, n), dtype=FLOAT_DTYPE)
+            np.cumsum(self.pair_sumprods, axis=0, out=prefix[1:])
+            self._sumprod_prefix = prefix
+        return self._sumprod_prefix
+
+    # ------------------------------------------------------------ range sums
+    def _check_range(self, first: int, count: int) -> None:
+        if count < 1 or first < 0 or first + count > self.num_basic_windows:
+            raise SketchError(
+                f"basic-window range [{first}, {first + count}) outside "
+                f"[0, {self.num_basic_windows})"
+            )
+
+    def series_range_sums(self, first: int, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-series ``(sum, sum of squares)`` over a basic-window range (O(1))."""
+        self._check_range(first, count)
+        sums = self._sum_prefix[:, first + count] - self._sum_prefix[:, first]
+        sumsqs = self._sumsq_prefix[:, first + count] - self._sumsq_prefix[:, first]
+        return sums, sumsqs
+
+    def pair_corr_range_sum(
+        self, rows: np.ndarray, cols: np.ndarray, first: int, count: int
+    ) -> np.ndarray:
+        """Sum of basic-window correlations over a range, per requested pair (O(1))."""
+        self._check_range(first, count)
+        prefix = self.corr_prefix
+        return prefix[first + count, rows, cols] - prefix[first, rows, cols]
+
+    # -------------------------------------------------------------- exact scan
+    def exact_matrix_scan(self, first: int, count: int) -> np.ndarray:
+        """Exact correlation matrix of a basic-window range by scanning it.
+
+        This is the faithful TSUBASA-style combination: the per-pair cost is
+        proportional to ``count`` (the ``n_s`` of Eq. 1).
+        """
+        self._require_pairwise()
+        self._check_range(first, count)
+        n_points = count * self.layout.size
+        sums = self.series_sums[:, first : first + count].sum(axis=1)
+        sumsqs = self.series_sumsqs[:, first : first + count].sum(axis=1)
+        sumprods = self.pair_sumprods[first : first + count].sum(axis=0)
+        corr = correlation_from_sums(
+            np.full_like(sumprods, float(n_points)),
+            sums[:, None],
+            sums[None, :],
+            sumsqs[:, None],
+            sumsqs[None, :],
+            sumprods,
+        )
+        np.fill_diagonal(corr, 1.0)
+        return corr
+
+    def exact_pairs_scan(
+        self, rows: np.ndarray, cols: np.ndarray, first: int, count: int
+    ) -> np.ndarray:
+        """Exact correlations of selected pairs over a basic-window range.
+
+        ``rows``/``cols`` are parallel index arrays selecting the pairs.  The
+        per-pair cost is ``O(count)`` — this is the work Dangoron performs for
+        the pairs that were *not* pruned in a given window.
+        """
+        self._require_pairwise()
+        self._check_range(first, count)
+        rows = np.asarray(rows)
+        cols = np.asarray(cols)
+        n_points = count * self.layout.size
+        sums, sumsqs = (
+            self.series_sums[:, first : first + count].sum(axis=1),
+            self.series_sumsqs[:, first : first + count].sum(axis=1),
+        )
+        # Fancy-indexed scan over the range: shape (count, P) summed over axis 0.
+        sumprods = self.pair_sumprods[first : first + count, rows, cols].sum(axis=0)
+        return correlation_from_sums(
+            np.full(len(rows), float(n_points)),
+            sums[rows],
+            sums[cols],
+            sumsqs[rows],
+            sumsqs[cols],
+            sumprods,
+        )
+
+    # -------------------------------------------------------------- exact fast
+    def exact_matrix_fast(self, first: int, count: int) -> np.ndarray:
+        """Exact correlation matrix via prefix sums (O(1) per pair; ablation path)."""
+        self._require_pairwise()
+        self._check_range(first, count)
+        n_points = count * self.layout.size
+        sums, sumsqs = self.series_range_sums(first, count)
+        prefix = self.sumprod_prefix
+        sumprods = prefix[first + count] - prefix[first]
+        corr = correlation_from_sums(
+            np.full_like(sumprods, float(n_points)),
+            sums[:, None],
+            sums[None, :],
+            sumsqs[:, None],
+            sumsqs[None, :],
+            sumprods,
+        )
+        np.fill_diagonal(corr, 1.0)
+        return corr
+
+    # --------------------------------------------------------------- unaligned
+    def exact_matrix_range(
+        self,
+        start: int,
+        end: int,
+        values: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Exact correlation matrix of an arbitrary column range ``[start, end)``.
+
+        Aligned ranges inside the sketch coverage are answered from the sketch
+        alone.  Any other range (unaligned edges, or columns beyond the last
+        complete basic window) combines the covered aligned core with directly
+        computed statistics of the remaining edge columns, which requires the
+        raw ``values`` matrix (TSUBASA's arbitrary-window capability).
+        """
+        self._require_pairwise()
+        if start < 0 or end <= start:
+            raise SketchError(f"invalid column range [{start}, {end})")
+        if self.layout.is_aligned(start, end):
+            first, count = self.layout.covering(start, end)
+            return self.exact_matrix_scan(first, count)
+        if values is None:
+            raise SketchError(
+                "ranges not aligned to the sketch require the raw values matrix "
+                "for edge correction"
+            )
+        values = np.asarray(values, dtype=FLOAT_DTYPE)
+        if end > values.shape[1]:
+            raise SketchError(
+                f"column range [{start}, {end}) exceeds the matrix length "
+                f"{values.shape[1]}"
+            )
+        n_points = float(end - start)
+
+        # Aligned core: the complete basic windows fully inside the requested
+        # range *and* inside the sketch coverage.
+        size = self.layout.size
+        offset = self.layout.offset
+        inner_start = max(start, self.layout.covered_start)
+        inner_end = min(end, self.layout.covered_end)
+        first = -(-(inner_start - offset) // size) if inner_end > inner_start else 0
+        last = (inner_end - offset) // size if inner_end > inner_start else 0
+
+        n = self.num_series
+        if last > first:
+            count = last - first
+            sums = self.series_sums[:, first : first + count].sum(axis=1)
+            sumsqs = self.series_sumsqs[:, first : first + count].sum(axis=1)
+            sumprods = self.pair_sumprods[first : first + count].sum(axis=0)
+            core_start = offset + first * size
+            core_end = offset + last * size
+        else:
+            sums = np.zeros(n, dtype=FLOAT_DTYPE)
+            sumsqs = np.zeros(n, dtype=FLOAT_DTYPE)
+            sumprods = np.zeros((n, n), dtype=FLOAT_DTYPE)
+            core_start = core_end = start
+
+        for edge_start, edge_end in ((start, core_start), (core_end, end)):
+            if edge_end <= edge_start:
+                continue
+            edge = values[:, edge_start:edge_end]
+            sums = sums + edge.sum(axis=1)
+            sumsqs = sumsqs + np.einsum("ij,ij->i", edge, edge)
+            sumprods = sumprods + edge @ edge.T
+
+        corr = correlation_from_sums(
+            np.full_like(sumprods, n_points),
+            sums[:, None],
+            sums[None, :],
+            sumsqs[:, None],
+            sumsqs[None, :],
+            sumprods,
+        )
+        np.fill_diagonal(corr, 1.0)
+        return corr

@@ -1,0 +1,195 @@
+"""Synthetic rain-gauge network data (daily rainfall, strongly non-Gaussian).
+
+The paper's climate-network citations include complex-network construction on
+rain-gauge stations (Kim et al., reference [7]), whose defining property is
+that daily rainfall is *nothing like* the Gaussian-ish anomalies temperature
+networks correlate: it is non-negative, zero-inflated (most days are dry) and
+heavily right-skewed on wet days.  That makes it a natural robustness workload
+— Pearson correlation is still well defined, but the values concentrate lower
+and the effective edge density at a given threshold is very different from the
+temperature case.
+
+The generator simulates regional storm systems: latent storm indicators shared
+by nearby gauges determine *occurrence* (wet or dry), and a latent intensity
+signal scales the gamma-distributed wet-day amounts, so nearby gauges have
+correlated rainfall and remote gauges do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_SEED, FLOAT_DTYPE
+from repro.exceptions import GenerationError
+from repro.timeseries.matrix import TimeAxis, TimeSeriesMatrix
+
+
+@dataclass
+class Gauge:
+    """Metadata of one synthetic rain gauge."""
+
+    gauge_id: str
+    latitude: float
+    longitude: float
+
+
+@dataclass
+class SyntheticRainGauges:
+    """Generator of daily rainfall for a spatially correlated gauge network.
+
+    Parameters
+    ----------
+    num_gauges:
+        Number of gauges (series).
+    num_days:
+        Number of simulated days (series length).
+    num_storm_systems:
+        Number of latent regional storm processes.
+    wet_probability:
+        Baseline probability of rain on a given day at a given gauge.
+    correlation_length_degrees:
+        Spatial decay scale of a gauge's coupling to a storm system.
+    gamma_shape, gamma_scale:
+        Shape/scale of wet-day rainfall amounts (millimetres).
+    seed:
+        RNG seed.
+    """
+
+    num_gauges: int = 60
+    num_days: int = 730
+    num_storm_systems: int = 6
+    wet_probability: float = 0.35
+    correlation_length_degrees: float = 1.5
+    gamma_shape: float = 0.8
+    gamma_scale: float = 8.0
+    seed: Optional[int] = DEFAULT_SEED
+    gauges: List[Gauge] = field(default_factory=list, init=False)
+
+    #: Region covered by the synthetic network (roughly the Korean peninsula,
+    #: the study area of the cited rain-gauge paper).
+    _LAT_RANGE = (34.0, 39.0)
+    _LON_RANGE = (126.0, 130.0)
+
+    def __post_init__(self) -> None:
+        if self.num_gauges < 2:
+            raise GenerationError("need at least two gauges")
+        if self.num_days < 2:
+            raise GenerationError("need at least two days")
+        if self.num_storm_systems < 1:
+            raise GenerationError("need at least one storm system")
+        if not 0.0 < self.wet_probability < 1.0:
+            raise GenerationError("wet_probability must lie strictly inside (0, 1)")
+        if self.gamma_shape <= 0 or self.gamma_scale <= 0:
+            raise GenerationError("gamma parameters must be positive")
+        if self.correlation_length_degrees <= 0:
+            raise GenerationError("correlation_length_degrees must be positive")
+
+    # ---------------------------------------------------------------- generate
+    def generate(self) -> TimeSeriesMatrix:
+        """Daily rainfall totals in millimetres (one row per gauge)."""
+        rng = np.random.default_rng(self.seed)
+        self.gauges = self._place_gauges(rng)
+        latitudes = np.array([g.latitude for g in self.gauges])
+        longitudes = np.array([g.longitude for g in self.gauges])
+
+        # Latent storm occupancy: smooth AR(1) indicators per storm system.
+        storm_strength = np.zeros((self.num_storm_systems, self.num_days))
+        storm_strength[:, 0] = rng.normal(size=self.num_storm_systems)
+        for t in range(1, self.num_days):
+            storm_strength[:, t] = 0.85 * storm_strength[:, t - 1] + np.sqrt(
+                1 - 0.85**2
+            ) * rng.normal(size=self.num_storm_systems)
+
+        centers_lat = rng.uniform(*self._LAT_RANGE, size=self.num_storm_systems)
+        centers_lon = rng.uniform(*self._LON_RANGE, size=self.num_storm_systems)
+        distance_sq = (
+            (latitudes[:, None] - centers_lat[None, :]) ** 2
+            + (longitudes[:, None] - centers_lon[None, :]) ** 2
+        )
+        coupling = np.exp(-distance_sq / (2.0 * self.correlation_length_degrees**2))
+        coupling = coupling / np.maximum(coupling.sum(axis=1, keepdims=True), 1e-12)
+
+        # Per-gauge daily storm forcing: positive values push toward rain.
+        forcing = coupling @ storm_strength
+
+        # Occurrence: probit-style threshold on forcing plus gauge-local noise.
+        occurrence_noise = rng.normal(0.0, 0.6, size=(self.num_gauges, self.num_days))
+        wet_threshold = _normal_quantile(1.0 - self.wet_probability)
+        wet = (forcing + occurrence_noise) > wet_threshold * np.sqrt(
+            forcing.var() + 0.36
+        )
+
+        # Amounts: gamma draws scaled by the (exponentiated) regional intensity.
+        amounts = rng.gamma(
+            self.gamma_shape, self.gamma_scale, size=(self.num_gauges, self.num_days)
+        )
+        intensity = np.exp(0.5 * forcing)
+        values = np.where(wet, amounts * intensity, 0.0).astype(FLOAT_DTYPE)
+
+        return TimeSeriesMatrix(
+            values,
+            series_ids=[g.gauge_id for g in self.gauges],
+            time_axis=TimeAxis(start=0.0, resolution=1.0),
+        )
+
+    def generate_transformed(self, epsilon: float = 0.1) -> TimeSeriesMatrix:
+        """``log(1 + rain / epsilon)``-transformed rainfall.
+
+        The log transform is what the cited nonlinearity-aware rain-gauge study
+        applies before correlating; it compresses the heavy tail so Pearson
+        correlation better reflects co-occurrence of wet spells.
+        """
+        if epsilon <= 0:
+            raise GenerationError(f"epsilon must be positive, got {epsilon}")
+        raw = self.generate()
+        return raw.with_values(np.log1p(raw.values / epsilon))
+
+    # ---------------------------------------------------------------- internal
+    def _place_gauges(self, rng: np.random.Generator) -> List[Gauge]:
+        gauges: List[Gauge] = []
+        for index in range(self.num_gauges):
+            gauges.append(
+                Gauge(
+                    gauge_id=f"GAUGE-{index:03d}",
+                    latitude=float(rng.uniform(*self._LAT_RANGE)),
+                    longitude=float(rng.uniform(*self._LON_RANGE)),
+                )
+            )
+        return gauges
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard normal CDF (Acklam-style rational approximation).
+
+    Avoids importing scipy for one constant; accurate to ~1e-9 over (0, 1).
+    """
+    if not 0.0 < p < 1.0:
+        raise GenerationError(f"quantile probability must lie in (0, 1), got {p}")
+    # Coefficients for the central and tail regions.
+    a = [-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00]
+    b = [-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00]
+    p_low = 0.02425
+    if p < p_low:
+        q = np.sqrt(-2.0 * np.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if p > 1.0 - p_low:
+        q = np.sqrt(-2.0 * np.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    )

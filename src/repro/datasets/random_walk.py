@@ -1,0 +1,114 @@
+"""Elementary stochastic-process generators used in tests and micro-benchmarks.
+
+These deliberately simple processes (white noise, random walks, AR(1),
+sinusoid mixtures) give tests data whose correlation behaviour is easy to
+reason about — e.g. independent white-noise series should produce almost no
+edges at a high threshold, while common-sinusoid mixtures should produce a
+predictable clique.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_SEED, FLOAT_DTYPE
+from repro.exceptions import GenerationError
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+
+def white_noise(
+    num_series: int, length: int, seed: Optional[int] = DEFAULT_SEED
+) -> TimeSeriesMatrix:
+    """Independent standard-normal series (no true correlation structure)."""
+    _validate(num_series, length)
+    rng = np.random.default_rng(seed)
+    values = rng.normal(0.0, 1.0, size=(num_series, length))
+    return TimeSeriesMatrix(values)
+
+
+def random_walks(
+    num_series: int, length: int, step_scale: float = 1.0,
+    seed: Optional[int] = DEFAULT_SEED,
+) -> TimeSeriesMatrix:
+    """Independent Gaussian random walks (strong spurious correlations).
+
+    Random walks are the classic source of spurious correlation: even
+    independent walks show large sample correlations within a window, making
+    them a stress test for thresholding and for the temporal bound.
+    """
+    _validate(num_series, length)
+    if step_scale <= 0:
+        raise GenerationError("step_scale must be positive")
+    rng = np.random.default_rng(seed)
+    steps = rng.normal(0.0, step_scale, size=(num_series, length))
+    return TimeSeriesMatrix(np.cumsum(steps, axis=1))
+
+
+def ar1_series(
+    num_series: int,
+    length: int,
+    coefficient: float = 0.9,
+    shared_innovation_weight: float = 0.0,
+    seed: Optional[int] = DEFAULT_SEED,
+) -> TimeSeriesMatrix:
+    """AR(1) series, optionally driven in part by one shared innovation stream.
+
+    ``shared_innovation_weight`` in ``[0, 1)`` mixes a common innovation into
+    every series, producing a controllable equicorrelation between them.
+    """
+    _validate(num_series, length)
+    if not -1.0 < coefficient < 1.0:
+        raise GenerationError("AR(1) coefficient must lie in (-1, 1)")
+    if not 0.0 <= shared_innovation_weight < 1.0:
+        raise GenerationError("shared_innovation_weight must lie in [0, 1)")
+    rng = np.random.default_rng(seed)
+    own = rng.normal(0.0, 1.0, size=(num_series, length))
+    shared = rng.normal(0.0, 1.0, size=length)
+    w = shared_innovation_weight
+    innovations = np.sqrt(1.0 - w**2) * own + w * shared[None, :]
+    values = np.empty((num_series, length), dtype=FLOAT_DTYPE)
+    values[:, 0] = innovations[:, 0]
+    scale = np.sqrt(1.0 - coefficient**2)
+    for t in range(1, length):
+        values[:, t] = coefficient * values[:, t - 1] + scale * innovations[:, t]
+    return TimeSeriesMatrix(values)
+
+
+def sinusoid_mixture(
+    num_series: int,
+    length: int,
+    num_tones: int = 3,
+    noise_scale: float = 0.2,
+    seed: Optional[int] = DEFAULT_SEED,
+) -> TimeSeriesMatrix:
+    """Series sharing a few sinusoidal tones with random per-series phases/weights.
+
+    Energy is concentrated in ``num_tones`` frequencies — the friendly case
+    for DFT-truncation sketches (contrast with :func:`white_noise`).
+    """
+    _validate(num_series, length)
+    if num_tones < 1:
+        raise GenerationError("need at least one tone")
+    if noise_scale < 0:
+        raise GenerationError("noise_scale must be non-negative")
+    rng = np.random.default_rng(seed)
+    t = np.arange(length, dtype=FLOAT_DTYPE)
+    frequencies = rng.uniform(0.005, 0.05, size=num_tones)
+    values = np.zeros((num_series, length), dtype=FLOAT_DTYPE)
+    for tone in range(num_tones):
+        weights = rng.uniform(0.3, 1.0, size=num_series)
+        phases = rng.uniform(0.0, 2.0 * np.pi, size=num_series)
+        values += weights[:, None] * np.sin(
+            2.0 * np.pi * frequencies[tone] * t[None, :] + phases[:, None]
+        )
+    values += rng.normal(0.0, noise_scale, size=values.shape)
+    return TimeSeriesMatrix(values)
+
+
+def _validate(num_series: int, length: int) -> None:
+    if num_series < 1:
+        raise GenerationError("need at least one series")
+    if length < 2:
+        raise GenerationError("series must contain at least two points")

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the Dangoron reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single type at API boundaries while still distinguishing the precise
+failure mode when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DataValidationError(ReproError):
+    """Raised when input time-series data is malformed.
+
+    Examples: a matrix that is not two-dimensional, contains non-finite
+    values where finite values are required, or has fewer than two
+    observations per series.
+    """
+
+
+class QueryValidationError(ReproError):
+    """Raised when a sliding-window query is inconsistent.
+
+    Examples: a window longer than the query range, a non-positive sliding
+    step, a threshold outside ``[-1, 1]``, or a query range that does not lie
+    inside the stored series.
+    """
+
+
+class AlignmentError(ReproError):
+    """Raised when non-synchronized series cannot be aligned onto a grid."""
+
+
+class SketchError(ReproError):
+    """Raised when a sketch is built or queried inconsistently.
+
+    Examples: querying a window that is not covered by the sketch, or
+    combining statistics computed with different basic-window layouts.
+    """
+
+
+class StorageError(ReproError):
+    """Raised by the storage substrate (chunk store, catalog, persistence)."""
+
+
+class StreamingError(ReproError):
+    """Raised by the streaming substrate (out-of-order appends, shape drift)."""
+
+
+class GenerationError(ReproError):
+    """Raised by the Tomborg generator and the dataset simulators.
+
+    Examples: a target correlation matrix that cannot be repaired to be
+    positive semi-definite, or inconsistent segment specifications.
+    """
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment runner when a configuration is unusable."""

@@ -1,0 +1,153 @@
+"""Running several engines over one workload and collecting comparison rows.
+
+This is the loop every experiment shares: compute the exact answer once
+(brute force), run each engine on the same query, and record pure query time,
+sketch build time, pruning counters and edge-set accuracy.  The benchmark
+modules call :func:`run_comparison` and print its table, so the rows the
+repository regenerates look exactly like the rows EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.accuracy import compare_results
+from repro.analysis.report import format_table
+from repro.analysis.timing import speedup
+from repro.baselines.brute_force import BruteForceEngine
+from repro.baselines.parcorr import ParCorrEngine
+from repro.baselines.statstream import StatStreamEngine
+from repro.baselines.tsubasa import TsubasaEngine
+from repro.core.dangoron import DangoronEngine
+from repro.core.engine import SlidingCorrelationEngine
+from repro.core.result import CorrelationSeriesResult
+from repro.exceptions import ExperimentError
+from repro.experiments.workloads import Workload
+
+
+@dataclass
+class EngineRow:
+    """One engine's measured row in a comparison table."""
+
+    engine: str
+    query_seconds: float
+    sketch_seconds: float
+    speedup_vs_reference: float
+    precision: float
+    recall: float
+    f1: float
+    evaluation_fraction: float
+    edges: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "engine": self.engine,
+            "query_seconds": self.query_seconds,
+            "sketch_seconds": self.sketch_seconds,
+            "speedup": self.speedup_vs_reference,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "eval_fraction": self.evaluation_fraction,
+            "edges": self.edges,
+        }
+
+
+@dataclass
+class ComparisonResult:
+    """All engines' rows for one workload, plus the raw results."""
+
+    workload: Workload
+    reference_engine: str
+    rows: List[EngineRow] = field(default_factory=list)
+    results: Dict[str, CorrelationSeriesResult] = field(default_factory=dict)
+
+    def row(self, engine_name_prefix: str) -> EngineRow:
+        """First row whose engine label starts with the given prefix."""
+        for row in self.rows:
+            if row.engine.startswith(engine_name_prefix):
+                return row
+        raise ExperimentError(
+            f"no engine row starting with {engine_name_prefix!r}; "
+            f"have {[r.engine for r in self.rows]}"
+        )
+
+    def table(self, title: Optional[str] = None) -> str:
+        headers = [
+            "engine", "query_s", "sketch_s", "speedup", "precision", "recall",
+            "f1", "eval_frac", "edges",
+        ]
+        rows = [
+            [
+                r.engine, r.query_seconds, r.sketch_seconds, r.speedup_vs_reference,
+                r.precision, r.recall, r.f1, r.evaluation_fraction, r.edges,
+            ]
+            for r in self.rows
+        ]
+        return format_table(headers, rows, title=title or self.workload.describe())
+
+
+def default_engines(basic_window_size: int) -> List[SlidingCorrelationEngine]:
+    """The engine line-up of the paper's comparison (plus brute force)."""
+    return [
+        BruteForceEngine(),
+        TsubasaEngine(basic_window_size=basic_window_size),
+        DangoronEngine(basic_window_size=basic_window_size),
+        ParCorrEngine(),
+        StatStreamEngine(),
+    ]
+
+
+def run_comparison(
+    workload: Workload,
+    engines: Optional[Sequence[SlidingCorrelationEngine]] = None,
+    reference: Optional[SlidingCorrelationEngine] = None,
+    speedup_reference: str = "tsubasa",
+) -> ComparisonResult:
+    """Run every engine on the workload and compare against the exact answer.
+
+    ``speedup_reference`` selects whose query time the speedup column is
+    measured against (the paper compares against TSUBASA; pass
+    ``"brute_force"`` to compare against the no-data-management baseline).
+    """
+    if engines is None:
+        engines = default_engines(workload.basic_window_size)
+    if reference is None:
+        reference = BruteForceEngine()
+
+    reference_result = reference.run(workload.matrix, workload.query)
+    results: Dict[str, CorrelationSeriesResult] = {}
+    for engine in engines:
+        results[engine.describe()] = engine.run(workload.matrix, workload.query)
+
+    reference_query_seconds = None
+    for label, result in results.items():
+        if label.startswith(speedup_reference):
+            reference_query_seconds = result.stats.query_seconds
+            break
+    if reference_query_seconds is None:
+        reference_query_seconds = reference_result.stats.query_seconds
+
+    comparison = ComparisonResult(
+        workload=workload, reference_engine=reference.describe()
+    )
+    comparison.results = results
+    for label, result in results.items():
+        accuracy = compare_results(result, reference_result)
+        comparison.rows.append(
+            EngineRow(
+                engine=label,
+                query_seconds=result.stats.query_seconds,
+                sketch_seconds=result.stats.sketch_build_seconds,
+                speedup_vs_reference=speedup(
+                    reference_query_seconds, result.stats.query_seconds
+                ),
+                precision=accuracy.precision,
+                recall=accuracy.recall,
+                f1=accuracy.f1,
+                evaluation_fraction=result.stats.evaluation_fraction,
+                edges=result.total_edges(),
+            )
+        )
+    return comparison

@@ -1,0 +1,240 @@
+"""Community structure and blinking links of dynamic correlation networks.
+
+Two analyses the motivating domains run on top of the constructed networks:
+
+* **Communities over time.**  fMRI parcellation and market sector analysis
+  both look for groups of series that stay mutually correlated; tracking the
+  partition across windows shows when the modular structure reorganizes.
+* **Blinking links.**  Climate-network studies (Gozolchiani et al., the
+  paper's reference [3]) characterize El Niño events by edges that repeatedly
+  appear and disappear — "blinking" — rather than staying on or off.  The
+  helpers here count on/off transitions per edge and surface the most
+  intermittent ones.
+
+All functions accept either a :class:`repro.network.dynamic.DynamicNetwork`
+or a plain sequence of :mod:`networkx` graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.network.dynamic import DynamicNetwork
+from repro.network.metrics import greedy_communities
+
+GraphSequence = Union[DynamicNetwork, Sequence[nx.Graph]]
+
+_COMMUNITY_METHODS = ("greedy", "label_propagation")
+
+
+def _graphs(networks: GraphSequence) -> List[nx.Graph]:
+    if isinstance(networks, DynamicNetwork):
+        graphs = list(networks.graphs)
+    else:
+        graphs = list(networks)
+    if not graphs:
+        raise DataValidationError("need at least one window's network")
+    return graphs
+
+
+def detect_communities(graph: nx.Graph, method: str = "greedy") -> List[Set]:
+    """Partition one window's network into communities.
+
+    ``"greedy"`` uses greedy modularity maximization; ``"label_propagation"``
+    uses asynchronous label propagation with a fixed seed (cheaper, noisier).
+    Isolated nodes always form singleton communities.
+    """
+    if method not in _COMMUNITY_METHODS:
+        raise DataValidationError(
+            f"unknown community method {method!r}; expected one of {_COMMUNITY_METHODS}"
+        )
+    if method == "greedy":
+        return greedy_communities(graph)
+    if graph.number_of_edges() == 0:
+        return [{node} for node in graph.nodes()]
+    communities = nx.algorithms.community.asyn_lpa_communities(
+        graph, weight="weight", seed=7
+    )
+    return [set(c) for c in communities]
+
+
+@dataclass
+class CommunityTimeline:
+    """Per-window community partitions of a dynamic network."""
+
+    partitions: List[List[Set]]
+
+    @property
+    def num_windows(self) -> int:
+        return len(self.partitions)
+
+    def num_communities(self) -> np.ndarray:
+        """Number of (non-singleton-only) communities per window."""
+        return np.array([len(p) for p in self.partitions], dtype=np.int64)
+
+    def membership(self, window_index: int) -> Dict[object, int]:
+        """Node-to-community-index mapping of one window."""
+        mapping: Dict[object, int] = {}
+        for index, community in enumerate(self.partitions[window_index]):
+            for node in community:
+                mapping[node] = index
+        return mapping
+
+    def stability_series(self) -> np.ndarray:
+        """Pair-counting agreement (Rand index) between consecutive partitions."""
+        if self.num_windows < 2:
+            return np.empty(0)
+        return np.array(
+            [
+                partition_agreement(self.partitions[i], self.partitions[i + 1])
+                for i in range(self.num_windows - 1)
+            ]
+        )
+
+    def node_community_series(self, node) -> List[Optional[int]]:
+        """The community index of one node across windows (None when absent)."""
+        series: List[Optional[int]] = []
+        for window_index in range(self.num_windows):
+            series.append(self.membership(window_index).get(node))
+        return series
+
+
+def detect_communities_over_time(
+    networks: GraphSequence, method: str = "greedy"
+) -> CommunityTimeline:
+    """Detect a community partition in every window."""
+    graphs = _graphs(networks)
+    return CommunityTimeline([detect_communities(g, method) for g in graphs])
+
+
+def partition_agreement(first: List[Set], second: List[Set]) -> float:
+    """Rand index between two partitions of (mostly) the same node set.
+
+    Pairs containing a node absent from either partition are ignored; with
+    fewer than two shared nodes the agreement is defined as 1.
+    """
+    membership_a: Dict[object, int] = {}
+    for index, community in enumerate(first):
+        for node in community:
+            membership_a[node] = index
+    membership_b: Dict[object, int] = {}
+    for index, community in enumerate(second):
+        for node in community:
+            membership_b[node] = index
+    shared = sorted(set(membership_a) & set(membership_b), key=repr)
+    if len(shared) < 2:
+        return 1.0
+    agree = 0
+    total = 0
+    for i in range(len(shared)):
+        for j in range(i + 1, len(shared)):
+            a, b = shared[i], shared[j]
+            same_a = membership_a[a] == membership_a[b]
+            same_b = membership_b[a] == membership_b[b]
+            agree += int(same_a == same_b)
+            total += 1
+    return agree / total
+
+
+def consensus_communities(
+    networks: GraphSequence, min_persistence: float = 0.5, method: str = "greedy"
+) -> List[Set]:
+    """Communities of the persistence backbone (edges present in enough windows).
+
+    This is the "static parcellation" view: aggregate the dynamic network into
+    its stable backbone, then partition that single graph.
+    """
+    graphs = _graphs(networks)
+    if not 0.0 <= min_persistence <= 1.0:
+        raise DataValidationError(
+            f"min_persistence must lie in [0, 1], got {min_persistence}"
+        )
+    counts: Dict[Tuple, int] = {}
+    backbone = nx.Graph()
+    for graph in graphs:
+        backbone.add_nodes_from(graph.nodes())
+        for edge in graph.edges():
+            key = tuple(sorted(edge, key=repr))
+            counts[key] = counts.get(key, 0) + 1
+    needed = min_persistence * len(graphs)
+    for (u, v), count in counts.items():
+        if count >= needed:
+            backbone.add_edge(u, v, persistence=count / len(graphs))
+    return detect_communities(backbone, method)
+
+
+# ---------------------------------------------------------------------------
+# Blinking links
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LinkActivity:
+    """Presence/absence profile of every edge ever observed in the query."""
+
+    edges: List[Tuple]
+    activity: np.ndarray  # (num_edges, num_windows) boolean
+
+    @property
+    def num_windows(self) -> int:
+        return int(self.activity.shape[1])
+
+    def persistence(self) -> np.ndarray:
+        """Fraction of windows each edge is present in."""
+        return self.activity.mean(axis=1)
+
+    def transitions(self) -> np.ndarray:
+        """Number of on/off flips of each edge across consecutive windows."""
+        if self.num_windows < 2:
+            return np.zeros(len(self.edges), dtype=np.int64)
+        return np.abs(np.diff(self.activity.astype(np.int8), axis=1)).sum(axis=1)
+
+    def blinking_edges(self, min_transitions: int = 2) -> List[Tuple[Tuple, int]]:
+        """Edges flipping at least ``min_transitions`` times, most intermittent first."""
+        if min_transitions < 1:
+            raise DataValidationError(
+                f"min_transitions must be at least 1, got {min_transitions}"
+            )
+        flips = self.transitions()
+        order = np.argsort(-flips, kind="stable")
+        return [
+            (self.edges[i], int(flips[i]))
+            for i in order
+            if flips[i] >= min_transitions
+        ]
+
+    def blinking_fraction(self, min_transitions: int = 2) -> float:
+        """Fraction of observed edges that blink at least ``min_transitions`` times."""
+        if not self.edges:
+            return 0.0
+        return len(self.blinking_edges(min_transitions)) / len(self.edges)
+
+
+def link_activity(networks: GraphSequence) -> LinkActivity:
+    """Build the edge-presence matrix of a dynamic network."""
+    graphs = _graphs(networks)
+    edge_index: Dict[Tuple, int] = {}
+    for graph in graphs:
+        for edge in graph.edges():
+            key = tuple(sorted(edge, key=repr))
+            if key not in edge_index:
+                edge_index[key] = len(edge_index)
+    activity = np.zeros((len(edge_index), len(graphs)), dtype=bool)
+    for window, graph in enumerate(graphs):
+        for edge in graph.edges():
+            activity[edge_index[tuple(sorted(edge, key=repr))], window] = True
+    edges = [None] * len(edge_index)
+    for key, index in edge_index.items():
+        edges[index] = key
+    return LinkActivity(edges=edges, activity=activity)
+
+
+def blinking_links(
+    networks: GraphSequence, min_transitions: int = 2
+) -> List[Tuple[Tuple, int]]:
+    """Convenience wrapper: the blinking edges of a dynamic network."""
+    return link_activity(networks).blinking_edges(min_transitions)

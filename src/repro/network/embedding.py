@@ -1,0 +1,187 @@
+"""Per-window node features and spectral embeddings of correlation networks.
+
+The paper's fMRI motivation frames network construction as the input to
+"feature selection and graph embedding".  This module provides the follow-on
+step: per-node structural features for every window (degree, strength,
+clustering, core number), their time series across windows, a Laplacian
+spectral embedding of each window's graph, and the flattened
+connectivity-fingerprint representation commonly fed to downstream
+classifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import networkx as nx
+import numpy as np
+
+from repro.config import FLOAT_DTYPE
+from repro.core.result import CorrelationSeriesResult
+from repro.exceptions import DataValidationError
+from repro.network.dynamic import DynamicNetwork
+
+GraphSequence = Union[DynamicNetwork, Sequence[nx.Graph]]
+
+#: Names (and order) of the per-node features produced by :func:`node_features`.
+NODE_FEATURE_NAMES = ("degree", "strength", "clustering", "core_number")
+
+
+def _graphs(networks: GraphSequence) -> List[nx.Graph]:
+    if isinstance(networks, DynamicNetwork):
+        graphs = list(networks.graphs)
+    else:
+        graphs = list(networks)
+    if not graphs:
+        raise DataValidationError("need at least one window's network")
+    return graphs
+
+
+def _node_order(graphs: Sequence[nx.Graph]) -> List:
+    nodes = set()
+    for graph in graphs:
+        nodes.update(graph.nodes())
+    return sorted(nodes, key=repr)
+
+
+def node_features(graph: nx.Graph, nodes: Optional[Sequence] = None) -> np.ndarray:
+    """Structural feature matrix of one window's graph.
+
+    Returns an array of shape ``(len(nodes), len(NODE_FEATURE_NAMES))`` in the
+    order of ``nodes`` (defaults to the graph's nodes sorted by repr).  Nodes
+    absent from the graph get all-zero rows.
+    """
+    if nodes is None:
+        nodes = sorted(graph.nodes(), key=repr)
+    nodes = list(nodes)
+    features = np.zeros((len(nodes), len(NODE_FEATURE_NAMES)), dtype=FLOAT_DTYPE)
+    if graph.number_of_nodes() == 0:
+        return features
+    clustering = nx.clustering(graph)
+    core = nx.core_number(graph) if graph.number_of_edges() else {}
+    strength = dict(graph.degree(weight="weight"))
+    degree = dict(graph.degree())
+    for row, node in enumerate(nodes):
+        if node not in graph:
+            continue
+        features[row, 0] = degree.get(node, 0)
+        features[row, 1] = strength.get(node, 0.0)
+        features[row, 2] = clustering.get(node, 0.0)
+        features[row, 3] = core.get(node, 0)
+    return features
+
+
+@dataclass(frozen=True)
+class FeatureSeries:
+    """Per-node features of every window, on a common node ordering."""
+
+    nodes: List
+    feature_names: List[str]
+    values: np.ndarray  # (num_windows, num_nodes, num_features)
+
+    @property
+    def num_windows(self) -> int:
+        return int(self.values.shape[0])
+
+    def node_series(self, node, feature: str) -> np.ndarray:
+        """One node's feature trajectory across windows."""
+        try:
+            node_index = self.nodes.index(node)
+        except ValueError:
+            raise DataValidationError(f"unknown node {node!r}") from None
+        try:
+            feature_index = self.feature_names.index(feature)
+        except ValueError:
+            raise DataValidationError(
+                f"unknown feature {feature!r}; have {self.feature_names}"
+            ) from None
+        return self.values[:, node_index, feature_index]
+
+    def window_matrix(self, window_index: int) -> np.ndarray:
+        """The ``(num_nodes, num_features)`` matrix of one window."""
+        return self.values[window_index]
+
+    def flattened(self) -> np.ndarray:
+        """``(num_windows, num_nodes * num_features)`` design matrix."""
+        return self.values.reshape(self.num_windows, -1)
+
+
+def feature_series(networks: GraphSequence) -> FeatureSeries:
+    """Per-node structural features for every window of a dynamic network."""
+    graphs = _graphs(networks)
+    nodes = _node_order(graphs)
+    values = np.stack([node_features(g, nodes) for g in graphs], axis=0)
+    return FeatureSeries(
+        nodes=nodes, feature_names=list(NODE_FEATURE_NAMES), values=values
+    )
+
+
+def spectral_embedding(
+    graph: nx.Graph, dim: int = 2, nodes: Optional[Sequence] = None
+) -> np.ndarray:
+    """Laplacian spectral embedding of one window's graph.
+
+    Uses the eigenvectors of the symmetric normalized Laplacian associated
+    with the ``dim`` smallest non-trivial eigenvalues.  Rows follow ``nodes``
+    (default: graph nodes sorted by repr); isolated nodes map to the origin.
+    """
+    if dim < 1:
+        raise DataValidationError(f"embedding dimension must be >= 1, got {dim}")
+    if nodes is None:
+        nodes = sorted(graph.nodes(), key=repr)
+    nodes = list(nodes)
+    n = len(nodes)
+    if n == 0:
+        return np.zeros((0, dim), dtype=FLOAT_DTYPE)
+    if dim >= n:
+        raise DataValidationError(
+            f"embedding dimension {dim} must be smaller than the node count {n}"
+        )
+    adjacency = np.zeros((n, n), dtype=FLOAT_DTYPE)
+    index = {node: i for i, node in enumerate(nodes)}
+    for u, v, data in graph.edges(data=True):
+        if u in index and v in index:
+            weight = abs(float(data.get("weight", 1.0)))
+            adjacency[index[u], index[v]] = weight
+            adjacency[index[v], index[u]] = weight
+    degrees = adjacency.sum(axis=1)
+    isolated = degrees <= 0
+    inv_sqrt = np.where(isolated, 0.0, 1.0 / np.sqrt(np.where(isolated, 1.0, degrees)))
+    laplacian = np.eye(n, dtype=FLOAT_DTYPE) - (
+        inv_sqrt[:, None] * adjacency * inv_sqrt[None, :]
+    )
+    eigenvalues, eigenvectors = np.linalg.eigh(laplacian)
+    # Skip the trivial eigenvector(s) associated with eigenvalue ~0, one per
+    # connected component; take the next `dim` directions.
+    order = np.argsort(eigenvalues)
+    components = max(1, int(np.count_nonzero(eigenvalues[order] < 1e-9)))
+    chosen = order[components : components + dim]
+    if len(chosen) < dim:
+        chosen = order[-dim:]
+    embedding = eigenvectors[:, chosen].astype(FLOAT_DTYPE)
+    embedding[isolated, :] = 0.0
+    return embedding
+
+
+def embedding_series(networks: GraphSequence, dim: int = 2) -> List[np.ndarray]:
+    """Spectral embedding of every window, on a common node ordering."""
+    graphs = _graphs(networks)
+    nodes = _node_order(graphs)
+    return [spectral_embedding(g, dim=dim, nodes=nodes) for g in graphs]
+
+
+def connectivity_fingerprints(result: CorrelationSeriesResult) -> np.ndarray:
+    """Flattened upper-triangle correlation vectors, one row per window.
+
+    This is the representation dynamic-functional-connectivity studies feed to
+    feature selection: each window becomes a ``N*(N-1)/2`` vector of (thresholded)
+    correlations, and windows become samples.
+    """
+    n = result.num_series
+    iu, ju = np.triu_indices(n, k=1)
+    fingerprints = np.zeros((result.num_windows, len(iu)), dtype=FLOAT_DTYPE)
+    for k, matrix in enumerate(result.matrices):
+        dense = matrix.to_dense(include_diagonal=False)
+        fingerprints[k] = dense[iu, ju]
+    return fingerprints

@@ -1,0 +1,187 @@
+"""In-memory result cache for repeated sliding queries.
+
+Interactive exploration (the paper's challenge 1) repeatedly re-runs similar
+queries — the same range with a different threshold, the same threshold over a
+refreshed dashboard — and the most effective "optimization" for the second run
+of an identical query is to not run it at all.  :class:`QueryCache` memoizes
+:class:`~repro.core.result.CorrelationSeriesResult` objects keyed by a
+fingerprint of the data, the query, and the engine configuration, with LRU
+eviction bounded either by entry count or by the estimated memory held.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.engine import SlidingCorrelationEngine
+from repro.core.query import SlidingQuery
+from repro.core.result import CorrelationSeriesResult
+from repro.exceptions import StorageError
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+
+def matrix_fingerprint(matrix: TimeSeriesMatrix) -> str:
+    """Stable content hash of a time-series matrix (values, ids, time axis)."""
+    digest = hashlib.sha256()
+    digest.update(str(matrix.shape).encode())
+    digest.update(",".join(matrix.series_ids).encode())
+    digest.update(repr((matrix.time_axis.start, matrix.time_axis.resolution)).encode())
+    digest.update(matrix.values.tobytes())
+    return digest.hexdigest()
+
+
+def query_fingerprint(query: SlidingQuery) -> str:
+    """Stable key of a sliding query (all fields that affect the answer)."""
+    return (
+        f"{query.start}:{query.end}:{query.window}:{query.step}:"
+        f"{query.threshold!r}:{query.threshold_mode}"
+    )
+
+
+def _result_bytes(result: CorrelationSeriesResult) -> int:
+    """Rough memory estimate of a cached result (edge arrays only)."""
+    total = 0
+    for matrix in result.matrices:
+        total += matrix.rows.nbytes + matrix.cols.nbytes + matrix.values.nbytes
+    return total
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of a :class:`QueryCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class QueryCache:
+    """LRU cache of sliding-query results.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of results kept (least recently used evicted first).
+    max_bytes:
+        Optional bound on the summed estimated size of cached results; when
+        exceeded, least recently used entries are evicted until it fits.
+    """
+
+    def __init__(self, max_entries: int = 32, max_bytes: Optional[int] = None) -> None:
+        if max_entries < 1:
+            raise StorageError(f"max_entries must be at least 1, got {max_entries}")
+        if max_bytes is not None and max_bytes <= 0:
+            raise StorageError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Tuple[str, str, str], CorrelationSeriesResult]" = (
+            OrderedDict()
+        )
+        self._sizes: Dict[Tuple[str, str, str], int] = {}
+        self._fingerprints: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------ sizing
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def current_bytes(self) -> int:
+        """Summed estimated size of all cached results."""
+        return sum(self._sizes.values())
+
+    # ------------------------------------------------------------------ lookup
+    def _key(
+        self, matrix: TimeSeriesMatrix, query: SlidingQuery, engine_label: str
+    ) -> Tuple[str, str, str]:
+        # Fingerprinting hashes the full data array; cache it per matrix object
+        # so repeated queries over the same (immutable) matrix pay it once.
+        identity = id(matrix)
+        fingerprint = self._fingerprints.get(identity)
+        if fingerprint is None:
+            fingerprint = matrix_fingerprint(matrix)
+            self._fingerprints[identity] = fingerprint
+        return fingerprint, query_fingerprint(query), engine_label
+
+    def get(
+        self, matrix: TimeSeriesMatrix, query: SlidingQuery, engine_label: str
+    ) -> Optional[CorrelationSeriesResult]:
+        """Return the cached result for this (data, query, engine), or ``None``."""
+        key = self._key(matrix, query, engine_label)
+        result = self._entries.get(key)
+        if result is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return result
+
+    def put(
+        self,
+        matrix: TimeSeriesMatrix,
+        query: SlidingQuery,
+        engine_label: str,
+        result: CorrelationSeriesResult,
+    ) -> None:
+        """Insert a result, evicting least recently used entries as needed."""
+        key = self._key(matrix, query, engine_label)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = result
+        self._sizes[key] = _result_bytes(result)
+        self._evict()
+
+    def get_or_compute(
+        self,
+        matrix: TimeSeriesMatrix,
+        query: SlidingQuery,
+        engine: SlidingCorrelationEngine,
+    ) -> CorrelationSeriesResult:
+        """Return the cached answer or run the engine and cache its result."""
+        label = engine.describe()
+        cached = self.get(matrix, query, label)
+        if cached is not None:
+            return cached
+        result = engine.run(matrix, query)
+        self.put(matrix, query, label, result)
+        return result
+
+    def clear(self) -> None:
+        """Drop every cached entry (statistics are preserved)."""
+        self._entries.clear()
+        self._sizes.clear()
+        self._fingerprints.clear()
+
+    # ---------------------------------------------------------------- internal
+    def _evict(self) -> None:
+        while len(self._entries) > self.max_entries:
+            self._pop_oldest()
+        if self.max_bytes is not None:
+            while len(self._entries) > 1 and self.current_bytes > self.max_bytes:
+                self._pop_oldest()
+
+    def _pop_oldest(self) -> None:
+        key, _ = self._entries.popitem(last=False)
+        self._sizes.pop(key, None)
+        self.stats.evictions += 1

@@ -1,0 +1,145 @@
+"""A small on-disk catalog tying raw chunk stores to their statistics indexes.
+
+A realistic deployment of Dangoron stores many datasets, each with raw data
+and one or more statistics indexes (different basic-window sizes).  The
+catalog is a directory with a JSON manifest mapping dataset names to the
+``.npz`` artefacts, so examples and benchmarks can manage generated data the
+way a user of the system would.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import StorageError
+from repro.storage.chunk_store import ChunkStore
+from repro.storage.stats_index import StatsIndex
+
+_MANIFEST_NAME = "catalog.json"
+
+
+@dataclass
+class DatasetEntry:
+    """Catalog record of one dataset."""
+
+    name: str
+    data_file: str
+    index_files: Dict[str, str] = field(default_factory=dict)
+    description: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "data_file": self.data_file,
+            "index_files": dict(self.index_files),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "DatasetEntry":
+        try:
+            return cls(
+                name=str(record["name"]),
+                data_file=str(record["data_file"]),
+                index_files={str(k): str(v) for k, v in record.get("index_files", {}).items()},
+                description=str(record.get("description", "")),
+            )
+        except KeyError as error:
+            raise StorageError(f"malformed catalog entry: {record!r}") from error
+
+
+class Catalog:
+    """Directory-backed registry of chunk stores and statistics indexes."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._entries: Dict[str, DatasetEntry] = {}
+        self._load_manifest()
+
+    # ----------------------------------------------------------------- content
+    def dataset_names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def describe(self, name: str) -> DatasetEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise StorageError(f"unknown dataset {name!r}") from None
+
+    # ------------------------------------------------------------------ writes
+    def add_dataset(
+        self, name: str, store: ChunkStore, description: str = "",
+        overwrite: bool = False,
+    ) -> DatasetEntry:
+        """Persist a chunk store under ``name`` and register it."""
+        if name in self._entries and not overwrite:
+            raise StorageError(
+                f"dataset {name!r} already exists (pass overwrite=True to replace)"
+            )
+        data_file = f"{name}.data.npz"
+        store.save(self.root / data_file)
+        entry = DatasetEntry(name=name, data_file=data_file, description=description)
+        if name in self._entries:
+            entry.index_files = self._entries[name].index_files
+        self._entries[name] = entry
+        self._write_manifest()
+        return entry
+
+    def add_index(
+        self, name: str, index: StatsIndex, label: Optional[str] = None
+    ) -> str:
+        """Persist a statistics index for an existing dataset."""
+        entry = self.describe(name)
+        label = label if label is not None else f"b{index.layout.size}"
+        index_file = f"{name}.index.{label}.npz"
+        index.save(self.root / index_file)
+        entry.index_files[label] = index_file
+        self._write_manifest()
+        return label
+
+    # ------------------------------------------------------------------ reads
+    def load_dataset(self, name: str) -> ChunkStore:
+        entry = self.describe(name)
+        return ChunkStore.load(self.root / entry.data_file)
+
+    def load_index(self, name: str, label: Optional[str] = None) -> StatsIndex:
+        entry = self.describe(name)
+        if not entry.index_files:
+            raise StorageError(f"dataset {name!r} has no statistics indexes")
+        if label is None:
+            label = sorted(entry.index_files)[0]
+        if label not in entry.index_files:
+            raise StorageError(
+                f"dataset {name!r} has no index labelled {label!r}; "
+                f"available: {sorted(entry.index_files)}"
+            )
+        return StatsIndex.load(self.root / entry.index_files[label])
+
+    # ------------------------------------------------------------------ manifest
+    def _manifest_path(self) -> Path:
+        return self.root / _MANIFEST_NAME
+
+    def _load_manifest(self) -> None:
+        path = self._manifest_path()
+        if not path.exists():
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                records = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise StorageError(f"cannot read catalog manifest {path}") from error
+        for record in records:
+            entry = DatasetEntry.from_dict(record)
+            self._entries[entry.name] = entry
+
+    def _write_manifest(self) -> None:
+        records = [entry.as_dict() for entry in self._entries.values()]
+        with open(self._manifest_path(), "w", encoding="utf-8") as handle:
+            json.dump(records, handle, indent=2, sort_keys=True)
+
+    def __repr__(self) -> str:
+        return f"Catalog(root={str(self.root)!r}, datasets={len(self._entries)})"

@@ -1,0 +1,172 @@
+"""Columnar chunked storage for time-series matrices.
+
+The paper's framing is a data-management one: basic-window statistics are
+"pre-computed and stored" and queries touch only statistics, not raw data.
+The :class:`ChunkStore` is the raw-data side of that story — an append-only,
+column-chunked container that
+
+* stores the ``N x L`` matrix as fixed-width column chunks (so appends of new
+  time steps never rewrite old data, matching how monitoring pipelines ingest),
+* serves arbitrary column ranges by stitching chunks together, and
+* persists to a single ``.npz`` file.
+
+It is deliberately simple (no compression, no concurrent writers): its job in
+the reproduction is to give the sketch index and the streaming layer a
+realistic storage substrate with explicit chunk boundaries.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE
+from repro.exceptions import StorageError
+
+
+class ChunkStore:
+    """Append-only columnar store for ``N`` aligned series.
+
+    Parameters
+    ----------
+    num_series:
+        Number of series (fixed at creation).
+    chunk_columns:
+        Number of time steps per chunk.  The last chunk may be partially
+        filled; appends fill it before opening a new chunk.
+    series_ids:
+        Optional identifiers; defaults to ``s0 … s{N-1}``.
+    """
+
+    def __init__(
+        self,
+        num_series: int,
+        chunk_columns: int = 1024,
+        series_ids: Optional[Sequence[str]] = None,
+    ) -> None:
+        if num_series < 1:
+            raise StorageError(f"num_series must be positive, got {num_series}")
+        if chunk_columns < 1:
+            raise StorageError(f"chunk_columns must be positive, got {chunk_columns}")
+        self.num_series = num_series
+        self.chunk_columns = chunk_columns
+        if series_ids is None:
+            series_ids = [f"s{i}" for i in range(num_series)]
+        if len(series_ids) != num_series:
+            raise StorageError(
+                f"expected {num_series} series ids, got {len(series_ids)}"
+            )
+        self.series_ids = [str(s) for s in series_ids]
+        self._chunks: List[np.ndarray] = []
+        self._length = 0
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def length(self) -> int:
+        """Total number of stored time steps."""
+        return self._length
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self._chunks)
+
+    def chunk_boundaries(self) -> List[int]:
+        """Column index at which each chunk starts (plus the total length)."""
+        boundaries = [0]
+        for chunk in self._chunks:
+            boundaries.append(boundaries[-1] + chunk.shape[1])
+        return boundaries
+
+    # ------------------------------------------------------------------ writes
+    def append(self, columns: np.ndarray) -> int:
+        """Append new columns (shape ``(N, k)`` or ``(N,)``); returns new length."""
+        columns = np.asarray(columns, dtype=FLOAT_DTYPE)
+        if columns.ndim == 1:
+            columns = columns.reshape(-1, 1)
+        if columns.ndim != 2 or columns.shape[0] != self.num_series:
+            raise StorageError(
+                f"appended columns must have shape ({self.num_series}, k), "
+                f"got {columns.shape}"
+            )
+        if not np.all(np.isfinite(columns)):
+            raise StorageError("appended columns must be finite")
+        remaining = columns
+        while remaining.shape[1] > 0:
+            if self._chunks and self._chunks[-1].shape[1] < self.chunk_columns:
+                space = self.chunk_columns - self._chunks[-1].shape[1]
+                take = remaining[:, :space]
+                self._chunks[-1] = np.concatenate([self._chunks[-1], take], axis=1)
+            else:
+                take = remaining[:, : self.chunk_columns]
+                self._chunks.append(np.array(take, copy=True))
+            remaining = remaining[:, take.shape[1] :]
+            self._length += take.shape[1]
+        return self._length
+
+    # ------------------------------------------------------------------ reads
+    def read(self, start: int, end: int) -> np.ndarray:
+        """Read the column range ``[start, end)`` as a dense ``(N, end-start)`` array."""
+        if start < 0 or end > self._length or start >= end:
+            raise StorageError(
+                f"invalid read range [{start}, {end}) for store of length {self._length}"
+            )
+        pieces: List[np.ndarray] = []
+        offset = 0
+        for chunk in self._chunks:
+            chunk_end = offset + chunk.shape[1]
+            if chunk_end > start and offset < end:
+                lo = max(start - offset, 0)
+                hi = min(end - offset, chunk.shape[1])
+                pieces.append(chunk[:, lo:hi])
+            offset = chunk_end
+            if offset >= end:
+                break
+        return np.concatenate(pieces, axis=1)
+
+    def read_all(self) -> np.ndarray:
+        """The full stored matrix."""
+        if self._length == 0:
+            return np.empty((self.num_series, 0), dtype=FLOAT_DTYPE)
+        return self.read(0, self._length)
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the store to a ``.npz`` file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays = {f"chunk_{i:06d}": chunk for i, chunk in enumerate(self._chunks)}
+        np.savez_compressed(
+            path,
+            __meta_num_series=np.array([self.num_series]),
+            __meta_chunk_columns=np.array([self.chunk_columns]),
+            __meta_series_ids=np.array(self.series_ids),
+            **arrays,
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ChunkStore":
+        """Load a store previously written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise StorageError(f"chunk store file not found: {path}")
+        with np.load(path, allow_pickle=False) as archive:
+            try:
+                num_series = int(archive["__meta_num_series"][0])
+                chunk_columns = int(archive["__meta_chunk_columns"][0])
+                series_ids = [str(s) for s in archive["__meta_series_ids"]]
+            except KeyError as error:
+                raise StorageError(f"{path} is not a chunk-store archive") from error
+            store = cls(num_series, chunk_columns, series_ids)
+            chunk_keys = sorted(k for k in archive.files if k.startswith("chunk_"))
+            for key in chunk_keys:
+                store.append(archive[key])
+        return store
+
+    def __repr__(self) -> str:
+        return (
+            f"ChunkStore(num_series={self.num_series}, length={self._length}, "
+            f"chunks={self.num_chunks})"
+        )

@@ -1,0 +1,172 @@
+"""Persistent index of precomputed basic-window statistics.
+
+Dangoron and TSUBASA both rest on the idea that basic-window statistics are
+computed once, stored, and reused by every subsequent query ("we can
+pre-compute and store basic window statistics and calculate correlations for
+arbitrary query windows and sizes").  :class:`StatsIndex` is that stored
+artefact: it wraps a :class:`~repro.core.sketch.BasicWindowSketch`, knows how
+to persist itself to disk, can be *extended incrementally* when new columns
+arrive (the streaming path), and can materialize sketches restricted to a
+query range without touching raw data.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.config import DEFAULT_BASIC_WINDOW_SIZE, FLOAT_DTYPE
+from repro.core.basic_window import BasicWindowLayout
+from repro.core.sketch import BasicWindowSketch
+from repro.exceptions import StorageError
+
+
+class StatsIndex:
+    """A persisted, extensible basic-window statistics index."""
+
+    def __init__(self, sketch: BasicWindowSketch) -> None:
+        if not sketch.has_pairwise:
+            raise StorageError(
+                "StatsIndex requires a pairwise sketch (built with pairwise=True)"
+            )
+        self._sketch = sketch
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def build(
+        cls,
+        values: np.ndarray,
+        basic_window_size: int = DEFAULT_BASIC_WINDOW_SIZE,
+        offset: int = 0,
+    ) -> "StatsIndex":
+        """Build an index over all complete basic windows of ``values``."""
+        values = np.asarray(values, dtype=FLOAT_DTYPE)
+        if values.ndim != 2:
+            raise StorageError(f"expected an (N, L) matrix, got shape {values.shape}")
+        layout = BasicWindowLayout.for_range(
+            offset, values.shape[1], basic_window_size
+        )
+        return cls(BasicWindowSketch.build(values, layout))
+
+    # ------------------------------------------------------------------ access
+    @property
+    def sketch(self) -> BasicWindowSketch:
+        """The wrapped sketch (shared, not copied)."""
+        return self._sketch
+
+    @property
+    def layout(self) -> BasicWindowLayout:
+        return self._sketch.layout
+
+    @property
+    def num_series(self) -> int:
+        return self._sketch.num_series
+
+    @property
+    def covered_columns(self) -> int:
+        """Number of raw columns covered by complete basic windows."""
+        return self.layout.covered_end
+
+    def memory_bytes(self) -> int:
+        return self._sketch.memory_bytes()
+
+    # -------------------------------------------------------------- extension
+    def extend(self, new_columns: np.ndarray, previous_tail: Optional[np.ndarray] = None) -> int:
+        """Extend the index with newly arrived columns.
+
+        ``new_columns`` has shape ``(N, k)`` and is assumed to start exactly at
+        :attr:`covered_columns` + the length of ``previous_tail`` (columns that
+        arrived earlier but did not yet fill a complete basic window).  Only
+        complete new basic windows are appended; leftover columns are the
+        caller's responsibility to resubmit (the streaming layer keeps them).
+
+        Returns the number of basic windows appended.
+        """
+        new_columns = np.asarray(new_columns, dtype=FLOAT_DTYPE)
+        if previous_tail is not None and previous_tail.size:
+            previous_tail = np.asarray(previous_tail, dtype=FLOAT_DTYPE)
+            new_columns = np.concatenate([previous_tail, new_columns], axis=1)
+        if new_columns.ndim != 2 or new_columns.shape[0] != self.num_series:
+            raise StorageError(
+                f"extension columns must have shape ({self.num_series}, k), "
+                f"got {new_columns.shape}"
+            )
+        size = self.layout.size
+        complete = new_columns.shape[1] // size
+        if complete == 0:
+            return 0
+        usable = new_columns[:, : complete * size]
+        extension_layout = BasicWindowLayout(offset=0, size=size, count=complete)
+        extension = BasicWindowSketch.build(usable, extension_layout)
+
+        merged_layout = BasicWindowLayout(
+            offset=self.layout.offset,
+            size=size,
+            count=self.layout.count + complete,
+        )
+        self._sketch = BasicWindowSketch(
+            layout=merged_layout,
+            series_sums=np.concatenate(
+                [self._sketch.series_sums, extension.series_sums], axis=1
+            ),
+            series_sumsqs=np.concatenate(
+                [self._sketch.series_sumsqs, extension.series_sumsqs], axis=1
+            ),
+            pair_sumprods=np.concatenate(
+                [self._sketch.pair_sumprods, extension.pair_sumprods], axis=0
+            ),
+            pair_corrs=np.concatenate(
+                [self._sketch.pair_corrs, extension.pair_corrs], axis=0
+            ),
+            build_seconds=self._sketch.build_seconds + extension.build_seconds,
+        )
+        return complete
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the index to a ``.npz`` file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            offset=np.array([self.layout.offset]),
+            size=np.array([self.layout.size]),
+            count=np.array([self.layout.count]),
+            series_sums=self._sketch.series_sums,
+            series_sumsqs=self._sketch.series_sumsqs,
+            pair_sumprods=self._sketch.pair_sumprods,
+            pair_corrs=self._sketch.pair_corrs,
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "StatsIndex":
+        """Load an index previously written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise StorageError(f"stats index file not found: {path}")
+        with np.load(path, allow_pickle=False) as archive:
+            try:
+                layout = BasicWindowLayout(
+                    offset=int(archive["offset"][0]),
+                    size=int(archive["size"][0]),
+                    count=int(archive["count"][0]),
+                )
+                sketch = BasicWindowSketch(
+                    layout=layout,
+                    series_sums=archive["series_sums"],
+                    series_sumsqs=archive["series_sumsqs"],
+                    pair_sumprods=archive["pair_sumprods"],
+                    pair_corrs=archive["pair_corrs"],
+                )
+            except KeyError as error:
+                raise StorageError(f"{path} is not a stats-index archive") from error
+        return cls(sketch)
+
+    def __repr__(self) -> str:
+        return (
+            f"StatsIndex(num_series={self.num_series}, "
+            f"basic_windows={self.layout.count}, size={self.layout.size})"
+        )

@@ -1,0 +1,26 @@
+"""Streaming substrate: ingestion, window bookkeeping, online monitoring (S8)."""
+
+from repro.streaming.monitor import (
+    ALERT_DENSITY_JUMP,
+    ALERT_EDGE_APPEARED,
+    ALERT_EDGE_DROPPED,
+    ALERT_NETWORK_SHIFT,
+    NetworkAlert,
+    NetworkChangeMonitor,
+)
+from repro.streaming.online import OnlineCorrelationMonitor, OnlineWindowResult
+from repro.streaming.stream import StreamIngestor
+from repro.streaming.window_manager import SlidingWindowManager
+
+__all__ = [
+    "ALERT_DENSITY_JUMP",
+    "ALERT_EDGE_APPEARED",
+    "ALERT_EDGE_DROPPED",
+    "ALERT_NETWORK_SHIFT",
+    "NetworkAlert",
+    "NetworkChangeMonitor",
+    "OnlineCorrelationMonitor",
+    "OnlineWindowResult",
+    "SlidingWindowManager",
+    "StreamIngestor",
+]

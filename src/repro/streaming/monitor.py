@@ -1,0 +1,179 @@
+"""Alerting on top of the online correlation monitor.
+
+The interactivity challenge in the paper is not just recomputing matrices
+quickly — an analyst watching a live network wants to be *told* when it
+changes: an edge of interest appears or disappears, the network reorganizes
+between consecutive windows, or its density jumps.  This module wraps
+:class:`~repro.streaming.online.OnlineCorrelationMonitor` with exactly that
+layer: feed columns in, get typed alerts out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import StreamingError
+from repro.streaming.online import OnlineCorrelationMonitor, OnlineWindowResult
+
+#: Alert kinds emitted by :class:`NetworkChangeMonitor`.
+ALERT_EDGE_APPEARED = "edge_appeared"
+ALERT_EDGE_DROPPED = "edge_dropped"
+ALERT_NETWORK_SHIFT = "network_shift"
+ALERT_DENSITY_JUMP = "density_jump"
+
+
+@dataclass(frozen=True)
+class NetworkAlert:
+    """One alert raised while processing a completed window."""
+
+    window_index: int
+    kind: str
+    edge: Optional[Tuple[int, int]] = None
+    value: float = 0.0
+    message: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        return f"[window {self.window_index}] {self.kind}: {self.message}"
+
+
+@dataclass
+class NetworkChangeMonitor:
+    """Emit alerts as the live correlation network evolves.
+
+    Parameters
+    ----------
+    monitor:
+        The online correlation monitor that turns raw columns into per-window
+        thresholded matrices.
+    watch_pairs:
+        Pairs ``(i, j)`` (series indices, any order) whose appearance or
+        disappearance always raises an alert.  When empty, appearance/
+        disappearance alerts are raised for *all* pairs.
+    min_jaccard:
+        A transition whose edge-set Jaccard similarity with the previous
+        window falls below this raises a ``network_shift`` alert.
+    max_density_change:
+        A change in edge count between consecutive windows exceeding this
+        fraction of all pairs raises a ``density_jump`` alert.
+    """
+
+    monitor: OnlineCorrelationMonitor
+    watch_pairs: Sequence[Tuple[int, int]] = ()
+    min_jaccard: float = 0.5
+    max_density_change: float = 0.25
+    _watched: Set[Tuple[int, int]] = field(init=False)
+    _previous_edges: Optional[Set[Tuple[int, int]]] = field(init=False, default=None)
+    _alert_log: List[NetworkAlert] = field(init=False, default_factory=list)
+    _edge_counts: List[int] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_jaccard <= 1.0:
+            raise StreamingError(
+                f"min_jaccard must lie in [0, 1], got {self.min_jaccard}"
+            )
+        if not 0.0 < self.max_density_change <= 1.0:
+            raise StreamingError(
+                f"max_density_change must lie in (0, 1], got {self.max_density_change}"
+            )
+        n = self.monitor.num_series
+        self._watched = set()
+        for i, j in self.watch_pairs:
+            if not (0 <= i < n and 0 <= j < n) or i == j:
+                raise StreamingError(f"invalid watched pair ({i}, {j}) for N={n}")
+            self._watched.add((min(i, j), max(i, j)))
+
+    # ------------------------------------------------------------------ state
+    @property
+    def alerts(self) -> List[NetworkAlert]:
+        """Every alert raised so far (copy)."""
+        return list(self._alert_log)
+
+    @property
+    def edge_count_history(self) -> List[int]:
+        """Edge count of every emitted window, in order."""
+        return list(self._edge_counts)
+
+    def alerts_of_kind(self, kind: str) -> List[NetworkAlert]:
+        """Alerts of one kind, in emission order."""
+        return [a for a in self._alert_log if a.kind == kind]
+
+    # ------------------------------------------------------------------ ingest
+    def append(self, columns: np.ndarray) -> List[NetworkAlert]:
+        """Feed new columns and return the alerts raised by any completed windows."""
+        fresh: List[NetworkAlert] = []
+        for window_result in self.monitor.append(columns):
+            fresh.extend(self._process_window(window_result))
+        self._alert_log.extend(fresh)
+        return fresh
+
+    # ---------------------------------------------------------------- internal
+    def _process_window(self, result: OnlineWindowResult) -> List[NetworkAlert]:
+        edges = result.matrix.edge_set()
+        values: Dict[Tuple[int, int], float] = result.matrix.edge_dict()
+        alerts: List[NetworkAlert] = []
+        k = result.window_index
+        self._edge_counts.append(len(edges))
+
+        if self._previous_edges is not None:
+            appeared = edges - self._previous_edges
+            dropped = self._previous_edges - edges
+            for edge in sorted(appeared):
+                if not self._watched or edge in self._watched:
+                    alerts.append(
+                        NetworkAlert(
+                            window_index=k,
+                            kind=ALERT_EDGE_APPEARED,
+                            edge=edge,
+                            value=values.get(edge, 0.0),
+                            message=f"pair {edge} rose above the threshold",
+                        )
+                    )
+            for edge in sorted(dropped):
+                if not self._watched or edge in self._watched:
+                    alerts.append(
+                        NetworkAlert(
+                            window_index=k,
+                            kind=ALERT_EDGE_DROPPED,
+                            edge=edge,
+                            message=f"pair {edge} fell below the threshold",
+                        )
+                    )
+
+            union = edges | self._previous_edges
+            jaccard = len(edges & self._previous_edges) / len(union) if union else 1.0
+            if jaccard < self.min_jaccard:
+                alerts.append(
+                    NetworkAlert(
+                        window_index=k,
+                        kind=ALERT_NETWORK_SHIFT,
+                        value=jaccard,
+                        message=(
+                            f"edge overlap with the previous window dropped to "
+                            f"{jaccard:.2f}"
+                        ),
+                    )
+                )
+
+            n = self.monitor.num_series
+            total_pairs = n * (n - 1) // 2
+            density_change = abs(len(edges) - len(self._previous_edges)) / max(
+                total_pairs, 1
+            )
+            if density_change > self.max_density_change:
+                alerts.append(
+                    NetworkAlert(
+                        window_index=k,
+                        kind=ALERT_DENSITY_JUMP,
+                        value=density_change,
+                        message=(
+                            f"edge count moved by {density_change:.0%} of all pairs "
+                            f"in one step"
+                        ),
+                    )
+                )
+
+        self._previous_edges = edges
+        return alerts

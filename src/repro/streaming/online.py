@@ -1,0 +1,195 @@
+"""Online correlation-network monitoring over a live stream.
+
+:class:`OnlineCorrelationMonitor` combines the streaming substrate with the
+Dangoron pruning machinery: columns are appended as they arrive, the
+statistics index grows by whole basic windows, and whenever enough data is
+available to complete the next sliding window the monitor emits its
+thresholded correlation matrix.  Below-threshold pairs are scheduled into the
+future with the Eq. 2 bound exactly as in the offline engine — the outgoing
+basic windows needed by the bound are always in the past, so the bound is
+computable online — which keeps per-arrival work low once the network is
+sparse.
+
+This is the "network construction and updates … interactivity" scenario from
+the paper's challenge list, packaged as a push-based API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import DEFAULT_BASIC_WINDOW_SIZE, INDEX_DTYPE
+from repro.core.bounds import first_possible_crossing
+from repro.core.query import THRESHOLD_SIGNED, SlidingQuery
+from repro.core.result import ThresholdedMatrix
+from repro.exceptions import StreamingError
+from repro.streaming.stream import StreamIngestor
+from repro.streaming.window_manager import SlidingWindowManager
+
+
+@dataclass
+class OnlineWindowResult:
+    """One emitted window: its index, column range, and thresholded matrix."""
+
+    window_index: int
+    start: int
+    end: int
+    matrix: ThresholdedMatrix
+    exact_evaluations: int = 0
+    skipped_pairs: int = 0
+
+
+@dataclass
+class OnlineCorrelationMonitor:
+    """Push-based sliding correlation-network monitor.
+
+    Parameters
+    ----------
+    num_series:
+        Number of series in the stream.
+    window, step:
+        Sliding-window size and step, in columns.  Both must be multiples of
+        ``basic_window_size`` (the aligned regime the pruned engine uses).
+    threshold:
+        The correlation threshold ``beta``.
+    basic_window_size:
+        Basic-window size of the maintained statistics.
+    use_temporal_pruning:
+        Apply the Eq. 2 jump scheduling across emitted windows.
+    """
+
+    num_series: int
+    window: int
+    step: int
+    threshold: float
+    basic_window_size: int = DEFAULT_BASIC_WINDOW_SIZE
+    use_temporal_pruning: bool = True
+    series_ids: Optional[Sequence[str]] = None
+    keep_raw: bool = False
+    _ingestor: StreamIngestor = field(init=False)
+    _manager: SlidingWindowManager = field(init=False)
+    _next_due: np.ndarray = field(init=False)
+    _rows: np.ndarray = field(init=False)
+    _cols: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.window % self.basic_window_size != 0:
+            raise StreamingError(
+                f"window ({self.window}) must be a multiple of the basic window "
+                f"size ({self.basic_window_size})"
+            )
+        if self.step % self.basic_window_size != 0:
+            raise StreamingError(
+                f"step ({self.step}) must be a multiple of the basic window "
+                f"size ({self.basic_window_size})"
+            )
+        if not -1.0 <= self.threshold <= 1.0:
+            raise StreamingError(f"threshold must lie in [-1, 1], got {self.threshold}")
+        self._ingestor = StreamIngestor(
+            self.num_series,
+            basic_window_size=self.basic_window_size,
+            series_ids=self.series_ids,
+            keep_raw=self.keep_raw,
+        )
+        self._manager = SlidingWindowManager(window=self.window, step=self.step)
+        self._rows, self._cols = np.triu_indices(self.num_series, k=1)
+        self._next_due = np.zeros(len(self._rows), dtype=INDEX_DTYPE)
+
+    # ------------------------------------------------------------------ ingest
+    @property
+    def emitted_windows(self) -> int:
+        return self._manager.emitted_windows
+
+    def append(self, columns: np.ndarray) -> List[OnlineWindowResult]:
+        """Feed new columns; returns results for every window that completed."""
+        self._ingestor.append(columns)
+        available = self.indexed_columns()
+        results = []
+        for k, begin, end in self._manager.newly_complete(available):
+            results.append(self._emit_window(k, begin, end))
+        return results
+
+    def indexed_columns(self) -> int:
+        """Number of columns currently covered by complete basic windows."""
+        return self._ingestor.indexed_basic_windows * self.basic_window_size
+
+    # ---------------------------------------------------------------- internal
+    def _emit_window(self, k: int, begin: int, end: int) -> OnlineWindowResult:
+        sketch = self._ingestor.index.sketch
+        bw_first = begin // self.basic_window_size
+        window_bw = self.window // self.basic_window_size
+        step_bw = self.step // self.basic_window_size
+
+        due_mask = self._next_due <= k
+        due = np.flatnonzero(due_mask)
+        skipped = int(len(self._rows) - len(due))
+
+        window_rows = np.empty(0, dtype=INDEX_DTYPE)
+        window_cols = np.empty(0, dtype=INDEX_DTYPE)
+        window_vals = np.empty(0)
+        if len(due):
+            values = sketch.exact_pairs_scan(
+                self._rows[due], self._cols[due], bw_first, window_bw
+            )
+            keep = values >= self.threshold
+            window_rows = self._rows[due][keep]
+            window_cols = self._cols[due][keep]
+            window_vals = values[keep]
+
+            self._next_due[due] = k + 1
+            below = due[~keep]
+            if self.use_temporal_pruning and len(below):
+                # The bound may look arbitrarily far ahead; cap the horizon at
+                # the number of future windows the already-indexed data could
+                # ever describe (more windows simply re-enter when due).
+                max_steps = max(1, sketch.layout.count)
+                jumps = first_possible_crossing(
+                    values[~keep],
+                    self.threshold,
+                    sketch.corr_prefix,
+                    self._rows[below],
+                    self._cols[below],
+                    bw_first,
+                    step_bw,
+                    window_bw,
+                    min(max_steps, self._safe_horizon(bw_first, step_bw, sketch)),
+                )
+                self._next_due[below] = k + jumps
+
+        matrix = ThresholdedMatrix(
+            self.num_series, window_rows, window_cols, window_vals
+        )
+        return OnlineWindowResult(
+            window_index=k,
+            start=begin,
+            end=end,
+            matrix=matrix,
+            exact_evaluations=int(len(due)),
+            skipped_pairs=skipped,
+        )
+
+    def _safe_horizon(
+        self, bw_first: int, step_bw: int, sketch
+    ) -> int:
+        """Largest number of window steps whose outgoing windows are already indexed."""
+        remaining_bw = sketch.layout.count - bw_first
+        return max(1, remaining_bw // step_bw)
+
+    # ------------------------------------------------------------------ helper
+    def equivalent_query(self, total_columns: int) -> SlidingQuery:
+        """The offline query answering the same windows over ``total_columns``.
+
+        Used by tests to check that streaming emission matches a batch run of
+        the offline engine over the same data.
+        """
+        return SlidingQuery(
+            start=0,
+            end=total_columns,
+            window=self.window,
+            step=self.step,
+            threshold=self.threshold,
+            threshold_mode=THRESHOLD_SIGNED,
+        )

@@ -1,0 +1,131 @@
+"""Streaming ingestion: raw columns in, chunk store + statistics index out.
+
+The paper's first challenge is "efficiency of network construction and
+*updates* for large-scale data to achieve interactivity": new observations
+arrive continuously and the stored basic-window statistics must stay current
+without recomputing history.  :class:`StreamIngestor` is that ingestion path —
+it appends incoming columns to a :class:`~repro.storage.chunk_store.ChunkStore`
+and extends the :class:`~repro.storage.stats_index.StatsIndex` whenever enough
+columns have accumulated to complete new basic windows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import DEFAULT_BASIC_WINDOW_SIZE, FLOAT_DTYPE
+from repro.exceptions import StreamingError
+from repro.storage.chunk_store import ChunkStore
+from repro.storage.stats_index import StatsIndex
+
+
+class StreamIngestor:
+    """Accumulates columns and maintains raw storage plus the statistics index.
+
+    Parameters
+    ----------
+    num_series:
+        Number of series in the stream (fixed; shape drift raises).
+    basic_window_size:
+        Size of the basic windows maintained in the statistics index.
+    chunk_columns:
+        Chunk width of the underlying raw store.
+    series_ids:
+        Optional series identifiers.
+    keep_raw:
+        When ``False`` raw columns are not retained after they have been
+        folded into complete basic windows (the pure-streaming deployment
+        where only statistics survive).
+    """
+
+    def __init__(
+        self,
+        num_series: int,
+        basic_window_size: int = DEFAULT_BASIC_WINDOW_SIZE,
+        chunk_columns: int = 1024,
+        series_ids: Optional[Sequence[str]] = None,
+        keep_raw: bool = True,
+    ) -> None:
+        if num_series < 1:
+            raise StreamingError(f"num_series must be positive, got {num_series}")
+        if basic_window_size < 2:
+            raise StreamingError(
+                f"basic_window_size must be at least 2, got {basic_window_size}"
+            )
+        self.num_series = num_series
+        self.basic_window_size = basic_window_size
+        self.keep_raw = keep_raw
+        self.store: Optional[ChunkStore] = (
+            ChunkStore(num_series, chunk_columns, series_ids) if keep_raw else None
+        )
+        self._index: Optional[StatsIndex] = None
+        self._pending = np.empty((num_series, 0), dtype=FLOAT_DTYPE)
+        self._ingested_columns = 0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def ingested_columns(self) -> int:
+        """Total number of columns ever appended."""
+        return self._ingested_columns
+
+    @property
+    def indexed_basic_windows(self) -> int:
+        """Number of complete basic windows currently in the index."""
+        if self._index is None:
+            return 0
+        return self._index.layout.count
+
+    @property
+    def index(self) -> StatsIndex:
+        """The statistics index (raises until the first basic window completes)."""
+        if self._index is None:
+            raise StreamingError(
+                "no complete basic window has been ingested yet; append more columns"
+            )
+        return self._index
+
+    @property
+    def pending_columns(self) -> int:
+        """Columns buffered but not yet part of a complete basic window."""
+        return self._pending.shape[1]
+
+    # ------------------------------------------------------------------ ingest
+    def append(self, columns: np.ndarray) -> int:
+        """Append new columns; returns the number of basic windows completed."""
+        columns = np.asarray(columns, dtype=FLOAT_DTYPE)
+        if columns.ndim == 1:
+            columns = columns.reshape(-1, 1)
+        if columns.ndim != 2 or columns.shape[0] != self.num_series:
+            raise StreamingError(
+                f"appended columns must have shape ({self.num_series}, k), "
+                f"got {columns.shape}"
+            )
+        if not np.all(np.isfinite(columns)):
+            raise StreamingError("appended columns must be finite")
+
+        if self.store is not None:
+            self.store.append(columns)
+        self._ingested_columns += columns.shape[1]
+        self._pending = np.concatenate([self._pending, columns], axis=1)
+
+        size = self.basic_window_size
+        complete = self._pending.shape[1] // size
+        if complete == 0:
+            return 0
+        usable = self._pending[:, : complete * size]
+        self._pending = self._pending[:, complete * size :]
+
+        if self._index is None:
+            self._index = StatsIndex.build(usable, basic_window_size=size)
+        else:
+            self._index.extend(usable)
+        return complete
+
+    def appended_history(self) -> List[int]:
+        """Basic-window boundaries (column offsets) currently covered by the index."""
+        if self._index is None:
+            return []
+        layout = self._index.layout
+        return [layout.offset + i * layout.size for i in range(layout.count + 1)]

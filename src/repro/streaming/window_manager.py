@@ -1,0 +1,61 @@
+"""Bookkeeping of which sliding windows have become answerable as data arrives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.exceptions import StreamingError
+
+
+@dataclass
+class SlidingWindowManager:
+    """Tracks the sliding-window grid over a growing stream.
+
+    Windows follow the paper's definition: window ``k`` covers columns
+    ``[start + k*step, start + k*step + window)``.  :meth:`newly_complete`
+    returns the windows that have become fully covered since the last call,
+    so the online monitor can emit exactly one result per window, in order,
+    regardless of how the arriving columns are batched.
+    """
+
+    window: int
+    step: int
+    start: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise StreamingError(f"window must be at least 2, got {self.window}")
+        if self.step < 1:
+            raise StreamingError(f"step must be at least 1, got {self.step}")
+        if self.start < 0:
+            raise StreamingError(f"start must be non-negative, got {self.start}")
+        self._next_window = 0
+
+    @property
+    def emitted_windows(self) -> int:
+        """Number of windows already handed out by :meth:`newly_complete`."""
+        return self._next_window
+
+    def window_bounds(self, k: int) -> Tuple[int, int]:
+        """Column range ``[start, end)`` of window ``k``."""
+        if k < 0:
+            raise StreamingError(f"window index must be non-negative, got {k}")
+        begin = self.start + k * self.step
+        return begin, begin + self.window
+
+    def complete_windows(self, available_columns: int) -> int:
+        """How many windows are fully covered by ``available_columns`` columns."""
+        if available_columns < self.start + self.window:
+            return 0
+        return (available_columns - self.start - self.window) // self.step + 1
+
+    def newly_complete(self, available_columns: int) -> List[Tuple[int, int, int]]:
+        """Windows completed since the previous call, as ``(k, start, end)``."""
+        total = self.complete_windows(available_columns)
+        fresh = []
+        for k in range(self._next_window, total):
+            begin, end = self.window_bounds(k)
+            fresh.append((k, begin, end))
+        self._next_window = max(self._next_window, total)
+        return fresh

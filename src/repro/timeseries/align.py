@@ -1,0 +1,257 @@
+"""Synchronization of irregular time series onto a regular grid.
+
+The paper's problem definition assumes all series are synchronized and notes
+that "this can be achieved through aggregation and interpolation on
+non-synchronized series".  This module implements that step: each raw series is
+a set of ``(timestamp, value)`` observations at arbitrary times; the output is
+a :class:`~repro.timeseries.matrix.TimeSeriesMatrix` on a caller-specified
+regular grid.
+
+Two resampling families are provided:
+
+* :func:`aggregate_to_grid` — bin observations into grid cells and reduce each
+  bin (mean / sum / min / max / count), which is the natural choice when the
+  raw sampling rate is higher than the grid resolution (e.g. minute readings
+  aggregated into the USCRN hourly products used by the paper's dataset).
+* :func:`interpolate_to_grid` — linear / previous / nearest interpolation at
+  the grid points, the natural choice when the raw rate is lower or jittered.
+
+:func:`synchronize` combines both: aggregate when a bin has observations,
+interpolate across empty bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE
+from repro.exceptions import AlignmentError
+from repro.timeseries.matrix import TimeAxis, TimeSeriesMatrix
+
+_AGGREGATORS = {
+    "mean": np.mean,
+    "sum": np.sum,
+    "min": np.min,
+    "max": np.max,
+    "median": np.median,
+    "count": len,
+}
+
+_INTERPOLATIONS = ("linear", "previous", "nearest")
+
+
+@dataclass
+class IrregularSeries:
+    """One raw, possibly irregular series: parallel timestamp/value arrays."""
+
+    series_id: str
+    timestamps: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.timestamps = np.asarray(self.timestamps, dtype=FLOAT_DTYPE)
+        self.values = np.asarray(self.values, dtype=FLOAT_DTYPE)
+        if self.timestamps.ndim != 1 or self.values.ndim != 1:
+            raise AlignmentError("timestamps and values must be 1-D arrays")
+        if self.timestamps.shape != self.values.shape:
+            raise AlignmentError(
+                f"series {self.series_id!r}: {len(self.timestamps)} timestamps "
+                f"but {len(self.values)} values"
+            )
+        if len(self.timestamps) == 0:
+            raise AlignmentError(f"series {self.series_id!r} has no observations")
+        order = np.argsort(self.timestamps, kind="stable")
+        self.timestamps = self.timestamps[order]
+        self.values = self.values[order]
+
+    @classmethod
+    def from_pairs(
+        cls, series_id: str, pairs: Iterable[Tuple[float, float]]
+    ) -> "IrregularSeries":
+        """Build from an iterable of ``(timestamp, value)`` pairs."""
+        pairs = list(pairs)
+        if not pairs:
+            raise AlignmentError(f"series {series_id!r} has no observations")
+        stamps = np.array([p[0] for p in pairs], dtype=FLOAT_DTYPE)
+        values = np.array([p[1] for p in pairs], dtype=FLOAT_DTYPE)
+        return cls(series_id, stamps, values)
+
+
+def _grid(start: float, resolution: float, length: int) -> np.ndarray:
+    if resolution <= 0:
+        raise AlignmentError(f"grid resolution must be positive, got {resolution}")
+    if length < 2:
+        raise AlignmentError(f"grid must contain at least two points, got {length}")
+    return start + resolution * np.arange(length, dtype=FLOAT_DTYPE)
+
+
+def aggregate_to_grid(
+    series: IrregularSeries,
+    start: float,
+    resolution: float,
+    length: int,
+    how: str = "mean",
+) -> np.ndarray:
+    """Aggregate observations into grid bins ``[t_k, t_k + resolution)``.
+
+    Returns a length-``length`` array; bins with no observations are NaN so the
+    caller can interpolate or reject them explicitly.
+    """
+    if how not in _AGGREGATORS:
+        raise AlignmentError(
+            f"unknown aggregator {how!r}; expected one of {sorted(_AGGREGATORS)}"
+        )
+    grid = _grid(start, resolution, length)
+    reducer = _AGGREGATORS[how]
+    out = np.full(length, np.nan, dtype=FLOAT_DTYPE)
+    bin_index = np.floor((series.timestamps - start) / resolution).astype(int)
+    in_range = (bin_index >= 0) & (bin_index < length)
+    if not np.any(in_range):
+        return out
+    idx = bin_index[in_range]
+    vals = series.values[in_range]
+    order = np.argsort(idx, kind="stable")
+    idx = idx[order]
+    vals = vals[order]
+    boundaries = np.flatnonzero(np.diff(idx)) + 1
+    for chunk_idx, chunk_vals in zip(
+        np.split(idx, boundaries), np.split(vals, boundaries)
+    ):
+        out[chunk_idx[0]] = float(reducer(chunk_vals))
+    # Silence "unused variable" style confusion: grid retained for clarity only.
+    del grid
+    return out
+
+
+def interpolate_to_grid(
+    series: IrregularSeries,
+    start: float,
+    resolution: float,
+    length: int,
+    method: str = "linear",
+    max_gap: Optional[float] = None,
+) -> np.ndarray:
+    """Interpolate a series at the grid points.
+
+    Parameters
+    ----------
+    method:
+        ``"linear"`` (default), ``"previous"`` (last observation carried
+        forward), or ``"nearest"``.
+    max_gap:
+        If given, grid points further than ``max_gap`` (in time units) from any
+        observation are left as NaN instead of being extrapolated across a long
+        gap.
+    """
+    if method not in _INTERPOLATIONS:
+        raise AlignmentError(
+            f"unknown interpolation {method!r}; expected one of {_INTERPOLATIONS}"
+        )
+    grid = _grid(start, resolution, length)
+    stamps, values = series.timestamps, series.values
+
+    if method == "linear":
+        out = np.interp(grid, stamps, values)
+    elif method == "previous":
+        pos = np.searchsorted(stamps, grid, side="right") - 1
+        pos_clipped = np.clip(pos, 0, len(stamps) - 1)
+        out = values[pos_clipped]
+        out = np.where(pos < 0, values[0], out)
+    else:  # nearest
+        pos = np.searchsorted(stamps, grid)
+        pos = np.clip(pos, 1, len(stamps) - 1)
+        left = stamps[pos - 1]
+        right = stamps[pos]
+        choose_left = (grid - left) <= (right - grid)
+        out = np.where(choose_left, values[pos - 1], values[pos])
+        out = np.where(grid <= stamps[0], values[0], out)
+        out = np.where(grid >= stamps[-1], values[-1], out)
+
+    out = np.asarray(out, dtype=FLOAT_DTYPE)
+    if max_gap is not None:
+        pos = np.searchsorted(stamps, grid)
+        left_dist = np.where(
+            pos > 0, grid - stamps[np.clip(pos - 1, 0, len(stamps) - 1)], np.inf
+        )
+        right_dist = np.where(
+            pos < len(stamps), stamps[np.clip(pos, 0, len(stamps) - 1)] - grid, np.inf
+        )
+        nearest = np.minimum(np.abs(left_dist), np.abs(right_dist))
+        out = np.where(nearest > max_gap, np.nan, out)
+    return out
+
+
+@dataclass
+class SynchronizationReport:
+    """Diagnostics for one :func:`synchronize` call."""
+
+    num_series: int
+    grid_length: int
+    filled_bins: Dict[str, int] = field(default_factory=dict)
+    interpolated_bins: Dict[str, int] = field(default_factory=dict)
+
+    def total_interpolated(self) -> int:
+        return int(sum(self.interpolated_bins.values()))
+
+
+def synchronize(
+    series: Sequence[IrregularSeries],
+    start: Optional[float] = None,
+    resolution: float = 1.0,
+    length: Optional[int] = None,
+    how: str = "mean",
+    interpolation: str = "linear",
+) -> Tuple[TimeSeriesMatrix, SynchronizationReport]:
+    """Synchronize many irregular series onto one regular grid.
+
+    Each series is first aggregated into grid bins; empty bins are then filled
+    by interpolating the aggregated values.  The output is a
+    :class:`TimeSeriesMatrix` plus a :class:`SynchronizationReport` describing
+    how many bins had to be interpolated per series (useful for data-quality
+    checks before correlation analysis).
+    """
+    if not series:
+        raise AlignmentError("synchronize() requires at least one series")
+    ids = [s.series_id for s in series]
+    if len(set(ids)) != len(ids):
+        raise AlignmentError("series ids passed to synchronize() must be unique")
+
+    if start is None:
+        start = float(min(s.timestamps[0] for s in series))
+    if length is None:
+        end = float(max(s.timestamps[-1] for s in series))
+        length = int(np.floor((end - start) / resolution)) + 1
+        length = max(length, 2)
+
+    report = SynchronizationReport(num_series=len(series), grid_length=length)
+    rows = np.empty((len(series), length), dtype=FLOAT_DTYPE)
+    for row, s in enumerate(series):
+        binned = aggregate_to_grid(s, start, resolution, length, how=how)
+        missing = ~np.isfinite(binned)
+        report.filled_bins[s.series_id] = int(np.count_nonzero(~missing))
+        report.interpolated_bins[s.series_id] = int(np.count_nonzero(missing))
+        if np.all(missing):
+            raise AlignmentError(
+                f"series {s.series_id!r} has no observations inside the grid"
+            )
+        if np.any(missing):
+            observed_idx = np.flatnonzero(~missing)
+            grid = _grid(start, resolution, length)
+            filler = IrregularSeries(
+                s.series_id, grid[observed_idx], binned[observed_idx]
+            )
+            filled = interpolate_to_grid(
+                filler, start, resolution, length, method=interpolation
+            )
+            binned = np.where(missing, filled, binned)
+        rows[row] = binned
+
+    matrix = TimeSeriesMatrix(
+        rows,
+        series_ids=ids,
+        time_axis=TimeAxis(start=start, resolution=resolution),
+    )
+    return matrix, report

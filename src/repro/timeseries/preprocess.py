@@ -1,0 +1,153 @@
+"""Preprocessing steps commonly applied before correlation analysis.
+
+Correlation-network studies in the paper's motivating domains (climate, fMRI,
+finance) routinely z-normalize, detrend, and repair missing values before
+computing pairwise correlations.  These helpers operate on plain ``(N, L)``
+arrays or :class:`~repro.timeseries.matrix.TimeSeriesMatrix` instances and
+always return new arrays — inputs are never modified in place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE, VARIANCE_EPSILON
+from repro.exceptions import DataValidationError
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+ArrayLike = Union[np.ndarray, TimeSeriesMatrix]
+
+
+def _as_array(data: ArrayLike) -> np.ndarray:
+    if isinstance(data, TimeSeriesMatrix):
+        return data.values
+    array = np.asarray(data, dtype=FLOAT_DTYPE)
+    if array.ndim == 1:
+        array = array.reshape(1, -1)
+    if array.ndim != 2:
+        raise DataValidationError(f"expected a 2-D array, got shape {array.shape}")
+    return array
+
+
+def _wrap_like(data: ArrayLike, values: np.ndarray) -> ArrayLike:
+    if isinstance(data, TimeSeriesMatrix):
+        return data.with_values(values)
+    return values
+
+
+def znormalize(data: ArrayLike, ddof: int = 0) -> ArrayLike:
+    """Z-normalize each series (row) to zero mean and unit variance.
+
+    Constant series (variance below :data:`VARIANCE_EPSILON`) are mapped to all
+    zeros rather than dividing by zero; the correlation engines treat such
+    series as having no edges.
+    """
+    array = _as_array(data)
+    mean = array.mean(axis=1, keepdims=True)
+    std = array.std(axis=1, ddof=ddof, keepdims=True)
+    safe_std = np.where(std < np.sqrt(VARIANCE_EPSILON), 1.0, std)
+    out = (array - mean) / safe_std
+    out = np.where(std < np.sqrt(VARIANCE_EPSILON), 0.0, out)
+    return _wrap_like(data, out)
+
+
+def detrend(data: ArrayLike) -> ArrayLike:
+    """Remove the least-squares linear trend from each series."""
+    array = _as_array(data)
+    length = array.shape[1]
+    t = np.arange(length, dtype=FLOAT_DTYPE)
+    t_centered = t - t.mean()
+    denom = float(np.dot(t_centered, t_centered))
+    if denom <= 0:
+        return _wrap_like(data, array.copy())
+    centered = array - array.mean(axis=1, keepdims=True)
+    slope = centered @ t_centered / denom
+    trend = np.outer(slope, t_centered)
+    out = array - array.mean(axis=1, keepdims=True) - trend + array.mean(
+        axis=1, keepdims=True
+    )
+    # Equivalent to removing slope*t while keeping the series mean.
+    return _wrap_like(data, out)
+
+
+def moving_average(data: ArrayLike, window: int) -> ArrayLike:
+    """Smooth each series with a centred moving average of ``window`` points.
+
+    Edges are handled by shrinking the averaging window, so the output has the
+    same length as the input.
+    """
+    array = _as_array(data)
+    if window < 1:
+        raise DataValidationError(f"window must be >= 1, got {window}")
+    if window == 1:
+        return _wrap_like(data, array.copy())
+    length = array.shape[1]
+    kernel = np.ones(window, dtype=FLOAT_DTYPE)
+    counts = np.convolve(np.ones(length, dtype=FLOAT_DTYPE), kernel, mode="same")
+    out = np.empty_like(array)
+    for i in range(array.shape[0]):
+        out[i] = np.convolve(array[i], kernel, mode="same") / counts
+    return _wrap_like(data, out)
+
+
+def winsorize(data: ArrayLike, lower: float = 0.01, upper: float = 0.99) -> ArrayLike:
+    """Clip each series to its ``[lower, upper]`` quantile range.
+
+    Used to tame the heavy-tailed spikes typical of finance and sensor data
+    before computing Pearson correlations.
+    """
+    if not 0.0 <= lower < upper <= 1.0:
+        raise DataValidationError(
+            f"quantiles must satisfy 0 <= lower < upper <= 1, got ({lower}, {upper})"
+        )
+    array = _as_array(data)
+    lo = np.quantile(array, lower, axis=1, keepdims=True)
+    hi = np.quantile(array, upper, axis=1, keepdims=True)
+    return _wrap_like(data, np.clip(array, lo, hi))
+
+
+def fill_missing(data: ArrayLike, method: str = "linear") -> ArrayLike:
+    """Fill NaN values in each series.
+
+    Methods: ``"linear"`` interpolation between finite neighbours (edges take
+    the nearest finite value), ``"previous"`` carries the last finite value
+    forward, ``"mean"`` replaces NaNs with the series mean of finite values.
+    A series with no finite values raises :class:`DataValidationError`.
+    """
+    if method not in ("linear", "previous", "mean"):
+        raise DataValidationError(f"unknown fill method {method!r}")
+    array = _as_array(data).copy()
+    length = array.shape[1]
+    t = np.arange(length, dtype=FLOAT_DTYPE)
+    for i in range(array.shape[0]):
+        row = array[i]
+        finite = np.isfinite(row)
+        if finite.all():
+            continue
+        if not finite.any():
+            raise DataValidationError(f"series {i} has no finite values to fill from")
+        if method == "mean":
+            row[~finite] = row[finite].mean()
+        elif method == "linear":
+            row[~finite] = np.interp(t[~finite], t[finite], row[finite])
+        else:  # previous
+            idx = np.where(finite, t, -1.0)
+            last = np.maximum.accumulate(idx)
+            first_finite = int(np.flatnonzero(finite)[0])
+            last = np.where(last < 0, first_finite, last).astype(int)
+            row[:] = row[last]
+        array[i] = row
+    return _wrap_like(data, array)
+
+
+def find_constant_series(data: ArrayLike, epsilon: float = VARIANCE_EPSILON) -> List[int]:
+    """Return row indices whose variance is below ``epsilon``.
+
+    Pearson correlation is undefined for constant series; callers typically
+    drop these rows or accept that the engines report no edges for them.
+    """
+    array = _as_array(data)
+    variances = array.var(axis=1)
+    return [int(i) for i in np.flatnonzero(variances < epsilon)]

@@ -1,0 +1,185 @@
+"""Distributions over target correlation values used by Tomborg (step 1).
+
+Tomborg's first step "generates C from a user-specified distribution": the
+user chooses how off-diagonal correlation values are distributed (uniform,
+beta-shaped, bimodal, sparse-with-spikes, …) and the generator turns a draw
+into a valid (positive semi-definite, unit-diagonal) correlation matrix.
+
+Each distribution is a small object with a ``sample(size, rng)`` method
+returning values in ``[-1, 1]``; keeping them as objects (rather than bare
+callables) gives them a stable ``describe()`` string for experiment reports.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE
+from repro.exceptions import GenerationError
+
+
+class CorrelationDistribution(abc.ABC):
+    """A distribution over correlation values in ``[-1, 1]``."""
+
+    @abc.abstractmethod
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` correlation values."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Short human-readable name used in experiment reports."""
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}({self.describe()})"
+
+
+def _validate_range(low: float, high: float) -> None:
+    if not -1.0 <= low <= high <= 1.0:
+        raise GenerationError(
+            f"correlation range must satisfy -1 <= low <= high <= 1, got "
+            f"({low}, {high})"
+        )
+
+
+@dataclass
+class UniformCorrelations(CorrelationDistribution):
+    """Correlation values drawn uniformly from ``[low, high]``."""
+
+    low: float = -0.3
+    high: float = 0.7
+
+    def __post_init__(self) -> None:
+        _validate_range(self.low, self.high)
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=size).astype(FLOAT_DTYPE)
+
+    def describe(self) -> str:
+        return f"uniform[{self.low},{self.high}]"
+
+
+@dataclass
+class BetaCorrelations(CorrelationDistribution):
+    """Beta-distributed values rescaled from ``[0, 1]`` to ``[low, high]``.
+
+    A right-skewed beta (``a < b``) produces the mostly-weak-with-some-strong
+    correlation profile typical of climate station networks; a left-skewed one
+    produces densely correlated data (stress test for pruning).
+    """
+
+    a: float = 2.0
+    b: float = 5.0
+    low: float = -0.2
+    high: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.a <= 0 or self.b <= 0:
+            raise GenerationError("beta shape parameters must be positive")
+        _validate_range(self.low, self.high)
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        raw = rng.beta(self.a, self.b, size=size)
+        return (self.low + raw * (self.high - self.low)).astype(FLOAT_DTYPE)
+
+    def describe(self) -> str:
+        return f"beta({self.a},{self.b})->[{self.low},{self.high}]"
+
+
+@dataclass
+class BimodalCorrelations(CorrelationDistribution):
+    """Mixture of a weak mode and a strong mode.
+
+    Models networks with a clear edge/non-edge separation: a fraction
+    ``strong_fraction`` of pairs is drawn near ``strong_center`` and the rest
+    near ``weak_center`` (both with Gaussian jitter, clipped to ``[-1, 1]``).
+    """
+
+    weak_center: float = 0.1
+    strong_center: float = 0.8
+    strong_fraction: float = 0.1
+    jitter: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.strong_fraction <= 1.0:
+            raise GenerationError("strong_fraction must lie in [0, 1]")
+        if self.jitter < 0:
+            raise GenerationError("jitter must be non-negative")
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        strong = rng.random(size) < self.strong_fraction
+        centers = np.where(strong, self.strong_center, self.weak_center)
+        values = centers + rng.normal(0.0, self.jitter, size=size)
+        return np.clip(values, -1.0, 1.0).astype(FLOAT_DTYPE)
+
+    def describe(self) -> str:
+        return (
+            f"bimodal(weak={self.weak_center},strong={self.strong_center},"
+            f"p={self.strong_fraction})"
+        )
+
+
+@dataclass
+class ConstantCorrelations(CorrelationDistribution):
+    """Every off-diagonal pair has the same correlation (equicorrelation)."""
+
+    value: float = 0.5
+
+    def __post_init__(self) -> None:
+        _validate_range(self.value, self.value)
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(size, self.value, dtype=FLOAT_DTYPE)
+
+    def describe(self) -> str:
+        return f"constant({self.value})"
+
+
+@dataclass
+class SparseSpikeCorrelations(CorrelationDistribution):
+    """Mostly near-zero correlations with a small fraction of strong spikes.
+
+    This is the regime where threshold-based pruning shines (few edges), so it
+    appears in the robustness sweep as the "easy" end of the spectrum.
+    """
+
+    spike_value: float = 0.85
+    spike_fraction: float = 0.02
+    noise_scale: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.spike_fraction <= 1.0:
+            raise GenerationError("spike_fraction must lie in [0, 1]")
+        _validate_range(-abs(self.spike_value), abs(self.spike_value))
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        values = rng.normal(0.0, self.noise_scale, size=size)
+        spikes = rng.random(size) < self.spike_fraction
+        values[spikes] = self.spike_value
+        return np.clip(values, -1.0, 1.0).astype(FLOAT_DTYPE)
+
+    def describe(self) -> str:
+        return f"sparse_spikes(p={self.spike_fraction},v={self.spike_value})"
+
+
+def named_distribution(name: str, **kwargs) -> CorrelationDistribution:
+    """Factory used by benchmark configuration files.
+
+    Known names: ``uniform``, ``beta``, ``bimodal``, ``constant``, ``sparse``.
+    """
+    registry = {
+        "uniform": UniformCorrelations,
+        "beta": BetaCorrelations,
+        "bimodal": BimodalCorrelations,
+        "constant": ConstantCorrelations,
+        "sparse": SparseSpikeCorrelations,
+    }
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise GenerationError(
+            f"unknown correlation distribution {name!r}; known: {sorted(registry)}"
+        ) from None
+    return cls(**kwargs)

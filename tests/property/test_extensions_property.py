@@ -1,0 +1,136 @@
+"""Property-based tests for the extension modules (incremental, top-k, lag, noise).
+
+Invariants checked on arbitrary random inputs:
+
+* the rolling-sums incremental engine agrees with brute force on every window,
+  for any (window, step) combination, aligned or not;
+* sketch-based top-k reports exactly the pairs brute-force top-k reports;
+* lagged correlation at lag 0 is the plain Pearson correlation, the best-lag
+  matrix is symmetric in value and antisymmetric in lag, and allowing a wider
+  lag range never decreases the best absolute correlation;
+* applying a noise model never changes the data shape and is reproducible
+  under a fixed seed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute_force import BruteForceEngine
+from repro.core.correlation import pearson
+from repro.core.incremental import IncrementalEngine
+from repro.core.lag import lagged_correlation, lagged_correlation_matrix
+from repro.core.query import SlidingQuery
+from repro.core.topk import sliding_top_k, top_k_brute_force, top_k_overlap
+from repro.timeseries.matrix import TimeSeriesMatrix
+from repro.tomborg.noise import AR1Noise, WhiteNoise, apply_noise
+
+
+@st.composite
+def matrix_and_query(draw):
+    """A small random matrix plus a valid sliding query over it."""
+    num_series = draw(st.integers(min_value=2, max_value=6))
+    length = draw(st.integers(min_value=40, max_value=160))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    shared = rng.standard_normal(length)
+    weights = rng.uniform(0.0, 1.0, size=num_series)
+    values = (
+        weights[:, None] * shared[None, :]
+        + rng.standard_normal((num_series, length))
+    )
+    window = draw(st.integers(min_value=8, max_value=max(8, length // 2)))
+    step = draw(st.integers(min_value=1, max_value=window))
+    threshold = draw(st.floats(min_value=-0.2, max_value=0.9))
+    query = SlidingQuery(
+        start=0, end=length, window=window, step=step, threshold=threshold
+    )
+    return TimeSeriesMatrix(values), query
+
+
+@given(matrix_and_query())
+@settings(max_examples=40, deadline=None)
+def test_incremental_engine_matches_brute_force(case):
+    matrix, query = case
+    exact = BruteForceEngine().run(matrix, query)
+    rolled = IncrementalEngine().run(matrix, query)
+    for ours, theirs in zip(rolled, exact):
+        assert ours.edge_set() == theirs.edge_set()
+        theirs_values = theirs.edge_dict()
+        for edge, value in ours.edge_dict().items():
+            assert value == pytest.approx(theirs_values[edge], abs=1e-7)
+
+
+@given(matrix_and_query(), st.integers(min_value=1, max_value=8))
+@settings(max_examples=25, deadline=None)
+def test_topk_brute_force_and_sketch_agree(case, k):
+    matrix, query = case
+    # Align the query with a basic-window size the sketch path can use.
+    window = (query.window // 4) * 4
+    if window < 8:
+        window = 8
+    aligned = SlidingQuery(
+        start=0, end=matrix.length, window=window, step=4, threshold=0.0
+    )
+    sketch = sliding_top_k(matrix, aligned, k, basic_window_size=4)
+    brute = top_k_brute_force(matrix, aligned, k)
+    overlaps = top_k_overlap(sketch, brute)
+    # Both paths compute exact correlations, so at most a floating point tie at
+    # the k-th value can make the reported pair sets differ by one pair.
+    minimum_overlap = (k - 1) / (k + 1) if k > 1 else 0.0
+    assert np.all(overlaps >= minimum_overlap - 1e-12)
+    for window_sketch, window_brute in zip(sketch, brute):
+        if window_sketch.k and window_brute.k:
+            # The reported correlation values agree entry by entry.
+            assert np.allclose(window_sketch.values, window_brute.values, atol=1e-8)
+
+
+@st.composite
+def series_pair(draw):
+    length = draw(st.integers(min_value=20, max_value=120))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(length)
+    y = 0.5 * x + rng.standard_normal(length)
+    max_lag = draw(st.integers(min_value=0, max_value=min(8, length - 3)))
+    return x, y, max_lag
+
+
+@given(series_pair())
+@settings(max_examples=50, deadline=None)
+def test_lagged_correlation_zero_lag_is_pearson(case):
+    x, y, max_lag = case
+    values = lagged_correlation(x, y, max_lag)
+    assert len(values) == 2 * max_lag + 1
+    assert values[max_lag] == pytest.approx(pearson(x, y), abs=1e-10)
+    assert np.all(np.abs(values) <= 1.0 + 1e-12)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1), st.integers(min_value=2, max_value=5),
+       st.integers(min_value=0, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_lag_matrix_symmetry_and_monotonicity(seed, num_series, max_lag):
+    rng = np.random.default_rng(seed)
+    window = rng.standard_normal((num_series, 40))
+    result = lagged_correlation_matrix(window, max_lag)
+    assert np.allclose(result.best_corr, result.best_corr.T, atol=1e-12)
+    assert np.array_equal(result.best_lag, -result.best_lag.T)
+    zero = lagged_correlation_matrix(window, 0)
+    assert np.all(np.abs(result.best_corr) >= np.abs(zero.best_corr) - 1e-9)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1),
+       st.floats(min_value=0.0, max_value=1.0),
+       st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_noise_preserves_shape_and_is_reproducible(seed, sigma, autocorrelated):
+    rng = np.random.default_rng(seed)
+    matrix = TimeSeriesMatrix(rng.standard_normal((3, 64)))
+    model = AR1Noise(sigma=sigma, coefficient=0.8) if autocorrelated else WhiteNoise(sigma)
+    first = apply_noise(matrix, model, seed=seed)
+    second = apply_noise(matrix, model, seed=seed)
+    assert first.shape == matrix.shape
+    assert np.array_equal(first.values, second.values)
+    if sigma == 0.0:
+        assert np.allclose(first.values, matrix.values)

@@ -1,0 +1,109 @@
+"""Unit tests for accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import compare_results, matrix_rmse
+from repro.core.query import SlidingQuery
+from repro.core.result import CorrelationSeriesResult, EngineStats, ThresholdedMatrix
+from repro.exceptions import ExperimentError
+
+
+def build_result(edges_per_window, n=6, engine="candidate"):
+    """Construct a result whose window k has the given (i, j, value) edges."""
+    num_windows = len(edges_per_window)
+    query = SlidingQuery(
+        start=0, end=10 * (num_windows - 1) + 50, window=50, step=10, threshold=0.5
+    )
+    matrices = []
+    for edges in edges_per_window:
+        rows = np.array([e[0] for e in edges], dtype=int)
+        cols = np.array([e[1] for e in edges], dtype=int)
+        vals = np.array([e[2] for e in edges], dtype=float)
+        matrices.append(ThresholdedMatrix(n, rows, cols, vals))
+    return CorrelationSeriesResult(query, matrices, EngineStats(engine=engine))
+
+
+class TestCompareResults:
+    def test_identical_results_score_perfectly(self):
+        edges = [[(0, 1, 0.9)], [(0, 1, 0.8), (2, 3, 0.7)]]
+        reference = build_result(edges, engine="ref")
+        candidate = build_result(edges)
+        report = compare_results(candidate, reference)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+        assert report.accuracy == 1.0
+        assert report.value_rmse == 0.0
+
+    def test_missing_edges_lower_recall_only(self):
+        reference = build_result([[(0, 1, 0.9), (2, 3, 0.8)], [(0, 1, 0.9)]])
+        candidate = build_result([[(0, 1, 0.9)], [(0, 1, 0.9)]])
+        report = compare_results(candidate, reference)
+        assert report.precision == 1.0
+        assert report.recall == pytest.approx(2 / 3)
+        assert 0 < report.f1 < 1
+
+    def test_spurious_edges_lower_precision_only(self):
+        reference = build_result([[(0, 1, 0.9)]])
+        candidate = build_result([[(0, 1, 0.9), (4, 5, 0.6)]])
+        report = compare_results(candidate, reference)
+        assert report.recall == 1.0
+        assert report.precision == pytest.approx(0.5)
+
+    def test_value_errors_only_over_common_edges(self):
+        reference = build_result([[(0, 1, 0.9), (2, 3, 0.8)]])
+        candidate = build_result([[(0, 1, 0.7)]])
+        report = compare_results(candidate, reference)
+        assert report.value_max_error == pytest.approx(0.2)
+        assert report.value_rmse == pytest.approx(0.2)
+
+    def test_per_window_breakdown_and_worst_window(self):
+        reference = build_result([[(0, 1, 0.9)], [(2, 3, 0.9)]])
+        candidate = build_result([[(0, 1, 0.9)], []])
+        report = compare_results(candidate, reference)
+        assert report.windows[0].f1 == 1.0
+        assert report.windows[1].recall == 0.0
+        assert report.worst_window().window_index == 1
+
+    def test_empty_windows_count_as_perfect(self):
+        reference = build_result([[], []])
+        candidate = build_result([[], []])
+        report = compare_results(candidate, reference)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.windows[0].jaccard == 1.0
+
+    def test_mismatched_shapes_rejected(self):
+        a = build_result([[(0, 1, 0.9)]])
+        b = build_result([[(0, 1, 0.9)], [(0, 1, 0.9)]])
+        with pytest.raises(ExperimentError):
+            compare_results(a, b)
+        c = build_result([[(0, 1, 0.9)]], n=7)
+        with pytest.raises(ExperimentError):
+            compare_results(a, c)
+
+    def test_as_dict_round_trip(self):
+        report = compare_results(
+            build_result([[(0, 1, 0.9)]]), build_result([[(0, 1, 0.9)]])
+        )
+        record = report.as_dict()
+        assert record["precision"] == 1.0
+        assert record["engine"] == "candidate"
+
+
+class TestMatrixRmse:
+    def test_zero_for_identical(self):
+        result = build_result([[(0, 1, 0.9)]])
+        assert matrix_rmse(result, result) == 0.0
+
+    def test_positive_for_different_values(self):
+        a = build_result([[(0, 1, 0.9)]])
+        b = build_result([[(0, 1, 0.5)]])
+        assert matrix_rmse(a, b) > 0.0
+
+    def test_window_mismatch_rejected(self):
+        a = build_result([[(0, 1, 0.9)]])
+        b = build_result([[(0, 1, 0.9)], []])
+        with pytest.raises(ExperimentError):
+            matrix_rmse(a, b)

@@ -1,0 +1,127 @@
+"""Unit tests for correlation-stability analysis (repro.analysis.stability)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stability import (
+    correlation_drift,
+    dense_correlation_series,
+    stability_summary,
+    threshold_crossings,
+)
+from repro.core.correlation import correlation_matrix
+from repro.core.query import SlidingQuery
+from repro.exceptions import ExperimentError, QueryValidationError
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+
+class TestDenseSeries:
+    def test_matches_per_window_correlation(self, small_matrix, standard_query):
+        series = dense_correlation_series(small_matrix, standard_query)
+        assert series.shape == (
+            standard_query.num_windows,
+            small_matrix.num_series,
+            small_matrix.num_series,
+        )
+        k, begin, end = 2, standard_query.start + 2 * standard_query.step, 0
+        end = begin + standard_query.window
+        expected = correlation_matrix(small_matrix.values[:, begin:end])
+        assert np.allclose(series[2], expected, atol=1e-12)
+
+
+class TestDrift:
+    def test_drift_small_for_overlapping_windows(self, small_matrix):
+        """A one-step slide of a 128-point window can only move the correlation slightly."""
+        query = SlidingQuery(
+            start=0, end=small_matrix.length, window=128, step=8, threshold=0.6
+        )
+        report = correlation_drift(small_matrix, query)
+        assert report.mean_abs_drift < 0.1
+        assert report.max_abs_drift <= 2.0
+        assert report.fraction_within(0.2) > 0.9
+
+    def test_drift_grows_with_step(self, small_matrix):
+        small_step = SlidingQuery(
+            start=0, end=small_matrix.length, window=128, step=8, threshold=0.6
+        )
+        large_step = SlidingQuery(
+            start=0, end=small_matrix.length, window=128, step=128, threshold=0.6
+        )
+        drift_small = correlation_drift(small_matrix, small_step).mean_abs_drift
+        drift_large = correlation_drift(small_matrix, large_step).mean_abs_drift
+        assert drift_large > drift_small
+
+    def test_constant_data_has_zero_drift(self):
+        values = np.tile(np.linspace(0, 1, 256), (5, 1))
+        values += np.random.default_rng(1).normal(scale=1e-6, size=values.shape)
+        data = TimeSeriesMatrix(values)
+        query = SlidingQuery(start=0, end=256, window=64, step=32, threshold=0.5)
+        report = correlation_drift(data, query)
+        assert report.mean_abs_drift < 0.05
+
+    def test_pair_sampling(self, small_matrix, standard_query):
+        full = correlation_drift(small_matrix, standard_query)
+        sampled = correlation_drift(small_matrix, standard_query, max_pairs=10, seed=3)
+        assert sampled.num_pairs == 10
+        assert full.num_pairs == small_matrix.num_series * (small_matrix.num_series - 1) // 2
+        # Sampled statistics stay in the same ballpark.
+        assert sampled.mean_abs_drift == pytest.approx(full.mean_abs_drift, abs=0.1)
+
+    def test_validation(self, small_matrix):
+        single_window = SlidingQuery(
+            start=0, end=small_matrix.length, window=small_matrix.length,
+            step=small_matrix.length, threshold=0.5,
+        )
+        with pytest.raises(ExperimentError):
+            correlation_drift(small_matrix, single_window)
+        with pytest.raises(QueryValidationError):
+            correlation_drift(
+                small_matrix,
+                SlidingQuery(start=0, end=small_matrix.length, window=128, step=32,
+                             threshold=0.5),
+                max_pairs=0,
+            )
+
+
+class TestCrossings:
+    def test_counts_match_manual_computation(self, small_matrix, standard_query):
+        report = threshold_crossings(small_matrix, standard_query)
+        dense = dense_correlation_series(small_matrix, standard_query)
+        n = small_matrix.num_series
+        rows, cols = np.triu_indices(n, k=1)
+        above = dense[:, rows, cols] >= standard_query.threshold
+        expected_up = int(np.count_nonzero(~above[:-1] & above[1:]))
+        expected_down = int(np.count_nonzero(above[:-1] & ~above[1:]))
+        assert report.upward_crossings == expected_up
+        assert report.downward_crossings == expected_down
+        assert 0.0 <= report.crossing_rate <= 1.0
+
+    def test_extreme_threshold_never_crossed(self, small_matrix, standard_query):
+        report = threshold_crossings(small_matrix, standard_query, threshold=0.999999)
+        assert report.upward_crossings == 0
+        assert report.downward_crossings == 0
+        assert report.mean_windows_between_crossings == float("inf")
+
+    def test_absolute_mode_counts_negative_crossings(self, rng):
+        x = rng.normal(size=256)
+        data = TimeSeriesMatrix(np.stack([x, -x + 0.3 * rng.normal(size=256)]))
+        query = SlidingQuery(
+            start=0, end=256, window=64, step=32, threshold=0.8,
+            threshold_mode="absolute",
+        )
+        signed = threshold_crossings(
+            data,
+            SlidingQuery(start=0, end=256, window=64, step=32, threshold=0.8),
+        )
+        absolute = threshold_crossings(data, query)
+        total_signed = signed.upward_crossings + signed.downward_crossings
+        total_absolute = absolute.upward_crossings + absolute.downward_crossings
+        assert total_absolute >= total_signed
+
+
+class TestSummary:
+    def test_summary_combines_both_reports(self, small_matrix, standard_query):
+        summary = stability_summary(small_matrix, standard_query, max_pairs=50)
+        assert "mean_abs_drift" in summary
+        assert "crossing_rate" in summary
+        assert summary["threshold"] == standard_query.threshold

@@ -1,0 +1,58 @@
+"""Unit tests for timing helpers."""
+
+import time
+
+import pytest
+
+from repro.analysis.timing import Timer, measure, speedup
+from repro.exceptions import ExperimentError
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.009
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.seconds
+        with timer:
+            time.sleep(0.005)
+        assert timer.seconds >= first
+
+    def test_exit_without_enter(self):
+        timer = Timer()
+        with pytest.raises(ExperimentError):
+            timer.__exit__(None, None, None)
+
+
+class TestMeasure:
+    def test_collects_requested_samples(self):
+        summary = measure(lambda: sum(range(1000)), repeats=4, label="sum")
+        assert len(summary.samples) == 4
+        assert summary.label == "sum"
+        assert summary.best <= summary.mean
+        assert summary.std >= 0.0
+        assert set(summary.as_dict()) == {"label", "best", "mean", "std"}
+
+    def test_default_label_from_function_name(self):
+        def workload():
+            return 1
+
+        assert measure(workload, repeats=1).label == "workload"
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ExperimentError):
+            measure(lambda: None, repeats=0)
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup(2.0, 0.5) == pytest.approx(4.0)
+
+    def test_zero_candidate(self):
+        assert speedup(1.0, 0.0) == float("inf")
+        assert speedup(0.0, 0.0) == 1.0

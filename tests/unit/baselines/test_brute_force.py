@@ -1,0 +1,61 @@
+"""Unit tests for the brute-force reference engine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import BruteForceEngine
+from repro.core.correlation import correlation_matrix
+from repro.core.query import SlidingQuery
+from repro.exceptions import QueryValidationError
+
+
+class TestBruteForce:
+    def test_each_window_matches_direct_correlation(self, small_matrix, standard_query):
+        result = BruteForceEngine().run(small_matrix, standard_query)
+        for k, begin, end in standard_query.iter_windows():
+            expected = correlation_matrix(small_matrix.values[:, begin:end])
+            expected_edges = {
+                (i, j)
+                for i in range(small_matrix.num_series)
+                for j in range(i + 1, small_matrix.num_series)
+                if expected[i, j] >= standard_query.threshold
+            }
+            assert result[k].edge_set() == expected_edges
+
+    def test_stats_report_full_work(self, small_matrix, standard_query):
+        result = BruteForceEngine().run(small_matrix, standard_query)
+        pairs = small_matrix.num_series * (small_matrix.num_series - 1) // 2
+        assert result.stats.exact_evaluations == pairs * standard_query.num_windows
+        assert result.stats.evaluation_fraction == pytest.approx(1.0)
+        assert result.stats.sketch_build_seconds == 0.0
+
+    def test_series_ids_propagated(self, small_matrix, standard_query):
+        result = BruteForceEngine().run(small_matrix, standard_query)
+        assert result.series_ids == small_matrix.series_ids
+
+    def test_query_validation(self, small_matrix):
+        query = SlidingQuery(
+            start=0, end=small_matrix.length + 10, window=64, step=32, threshold=0.5
+        )
+        with pytest.raises(QueryValidationError):
+            BruteForceEngine().run(small_matrix, query)
+
+    def test_no_edges_on_independent_noise_at_high_threshold(self, noise_matrix):
+        query = SlidingQuery(
+            start=0, end=noise_matrix.length, window=192, step=64, threshold=0.9
+        )
+        result = BruteForceEngine().run(noise_matrix, query)
+        assert result.total_edges() == 0
+
+    def test_unaligned_query_supported(self, small_matrix):
+        """Brute force has no alignment constraints at all."""
+        query = SlidingQuery(
+            start=3, end=small_matrix.length - 5, window=101, step=37, threshold=0.5
+        )
+        result = BruteForceEngine().run(small_matrix, query)
+        assert result.num_windows == query.num_windows
+        expected = correlation_matrix(small_matrix.values[:, 3:104])
+        dense = result.dense(0)
+        mask = dense != 0
+        np.fill_diagonal(mask, False)
+        assert np.allclose(dense[mask], expected[mask], atol=1e-10)

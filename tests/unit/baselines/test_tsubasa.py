@@ -1,0 +1,51 @@
+"""Unit tests for the TSUBASA baseline engine."""
+
+import pytest
+
+from repro.analysis.accuracy import compare_results
+from repro.baselines.brute_force import BruteForceEngine
+from repro.baselines.tsubasa import TsubasaEngine
+from repro.core.query import SlidingQuery
+from repro.exceptions import SketchError
+
+
+class TestTsubasa:
+    def test_matches_brute_force_on_aligned_query(self, small_matrix, standard_query):
+        exact = BruteForceEngine().run(small_matrix, standard_query)
+        sketched = TsubasaEngine(basic_window_size=32).run(small_matrix, standard_query)
+        report = compare_results(sketched, exact)
+        assert report.precision == pytest.approx(1.0)
+        assert report.recall == pytest.approx(1.0)
+        assert report.value_max_error < 1e-7
+
+    def test_matches_brute_force_on_unaligned_query(self, small_matrix):
+        """TSUBASA's selling point: exact answers for arbitrary windows."""
+        query = SlidingQuery(
+            start=5, end=small_matrix.length - 3, window=130, step=37, threshold=0.6
+        )
+        exact = BruteForceEngine().run(small_matrix, query)
+        sketched = TsubasaEngine(basic_window_size=32).run(small_matrix, query)
+        report = compare_results(sketched, exact)
+        assert report.recall == pytest.approx(1.0)
+        assert report.precision == pytest.approx(1.0)
+        assert report.value_max_error < 1e-7
+
+    def test_basic_window_larger_than_window_is_clamped(self, small_matrix):
+        query = SlidingQuery(
+            start=0, end=small_matrix.length, window=64, step=32, threshold=0.6
+        )
+        result = TsubasaEngine(basic_window_size=512).run(small_matrix, query)
+        exact = BruteForceEngine().run(small_matrix, query)
+        assert compare_results(result, exact).recall == pytest.approx(1.0)
+
+    def test_evaluates_every_pair_every_window(self, small_matrix, standard_query):
+        result = TsubasaEngine(basic_window_size=32).run(small_matrix, standard_query)
+        assert result.stats.evaluation_fraction == pytest.approx(1.0)
+        assert result.stats.sketch_build_seconds > 0.0
+
+    def test_describe_mentions_basic_window(self):
+        assert "b=16" in TsubasaEngine(basic_window_size=16).describe()
+
+    def test_invalid_basic_window_size(self):
+        with pytest.raises(SketchError):
+            TsubasaEngine(basic_window_size=1)

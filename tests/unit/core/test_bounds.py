@@ -1,0 +1,188 @@
+"""Unit tests for the temporal (Eq. 2) and triangle bounds (repro.core.bounds)."""
+
+import numpy as np
+import pytest
+
+from repro.core.basic_window import BasicWindowLayout
+from repro.core.bounds import (
+    first_possible_crossing,
+    first_possible_crossing_absolute,
+    max_skippable_steps_scalar,
+    temporal_lower_bound,
+    temporal_upper_bound,
+    triangle_bounds,
+    triangle_bounds_from_pivots,
+)
+from repro.core.correlation import correlation_matrix
+from repro.core.sketch import BasicWindowSketch
+from repro.exceptions import QueryValidationError
+
+
+class TestTemporalBoundArithmetic:
+    def test_upper_bound_formula(self):
+        # Corr + (k - sum c_i) / ns
+        assert temporal_upper_bound(0.4, 2, 0.6, 8) == pytest.approx(0.4 + 1.4 / 8)
+
+    def test_lower_bound_formula(self):
+        assert temporal_lower_bound(0.4, 2, 0.6, 8) == pytest.approx(0.4 - 2.6 / 8)
+
+    def test_vectorized_inputs(self):
+        corr = np.array([0.1, 0.5])
+        out = temporal_upper_bound(corr, np.array([1, 2]), np.array([0.5, 1.0]), 10)
+        assert out.shape == (2,)
+        assert out[0] == pytest.approx(0.1 + 0.5 / 10)
+
+    def test_upper_bound_monotone_in_outgoing_count(self):
+        # Each additional outgoing window adds (1 - c)/ns >= 0.
+        previous = temporal_upper_bound(0.2, 0, 0.0, 8)
+        running = 0.0
+        for k, c in enumerate([0.9, -0.5, 0.3, 1.0], start=1):
+            running += c
+            current = temporal_upper_bound(0.2, k, running, 8)
+            assert current >= previous - 1e-12
+            previous = current
+
+    def test_invalid_ns_rejected(self):
+        with pytest.raises(QueryValidationError):
+            temporal_upper_bound(0.1, 1, 0.0, 0)
+        with pytest.raises(QueryValidationError):
+            temporal_lower_bound(0.1, 1, 0.0, -3)
+
+
+class TestFirstPossibleCrossing:
+    @pytest.fixture
+    def sketch(self, small_matrix):
+        layout = BasicWindowLayout(offset=0, size=32, count=16)
+        return BasicWindowSketch.build(small_matrix.values, layout)
+
+    def test_matches_scalar_reference(self, sketch):
+        """The vectorized binary search must agree with the linear-scan reference."""
+        window_bw = 4
+        step_bw = 1
+        max_steps = 10
+        rows, cols = np.triu_indices(sketch.num_series, k=1)
+        corr_now = sketch.exact_pairs_scan(rows, cols, 0, window_bw)
+        beta = 0.75
+        vectorized = first_possible_crossing(
+            corr_now, beta, sketch.corr_prefix, rows, cols, 0, step_bw, window_bw,
+            max_steps,
+        )
+        for index in range(len(rows)):
+            outgoing = sketch.pair_corrs[0:max_steps, rows[index], cols[index]]
+            expected = max_skippable_steps_scalar(
+                float(corr_now[index]), beta, outgoing, window_bw
+            )
+            assert vectorized[index] == expected
+
+    def test_high_current_correlation_crosses_immediately(self, sketch):
+        rows = np.array([0])
+        cols = np.array([1])
+        jumps = first_possible_crossing(
+            np.array([0.99]), 0.5, sketch.corr_prefix, rows, cols, 0, 1, 4, 10
+        )
+        assert jumps[0] == 1
+
+    def test_unreachable_threshold_returns_max_plus_one(self, sketch):
+        rows = np.array([0])
+        cols = np.array([1])
+        jumps = first_possible_crossing(
+            np.array([-1.0]), 1.0, sketch.corr_prefix, rows, cols, 0, 1, 4, 3
+        )
+        # Bound increases by at most (1 - c)/ns <= 2/4 per step; from -1 it
+        # cannot reach 1.0 within 3 steps unless all outgoing c_i = -1.
+        assert jumps[0] >= 3
+
+    def test_empty_input(self, sketch):
+        out = first_possible_crossing(
+            np.array([]), 0.5, sketch.corr_prefix, np.array([], dtype=int),
+            np.array([], dtype=int), 0, 1, 4, 5,
+        )
+        assert out.shape == (0,)
+
+    def test_zero_max_steps_returns_one(self, sketch):
+        out = first_possible_crossing(
+            np.array([0.0]), 0.5, sketch.corr_prefix, np.array([0]), np.array([1]),
+            0, 1, 4, 0,
+        )
+        assert out[0] == 1
+
+    def test_slack_never_lengthens_jumps(self, sketch):
+        rows, cols = np.triu_indices(sketch.num_series, k=1)
+        corr_now = sketch.exact_pairs_scan(rows, cols, 0, 4)
+        loose = first_possible_crossing(
+            corr_now, 0.8, sketch.corr_prefix, rows, cols, 0, 1, 4, 10, slack=0.0
+        )
+        tight = first_possible_crossing(
+            corr_now, 0.8, sketch.corr_prefix, rows, cols, 0, 1, 4, 10, slack=0.1
+        )
+        assert np.all(tight <= loose)
+
+    def test_absolute_variant_never_exceeds_signed(self, sketch):
+        rows, cols = np.triu_indices(sketch.num_series, k=1)
+        corr_now = sketch.exact_pairs_scan(rows, cols, 0, 4)
+        signed = first_possible_crossing(
+            corr_now, 0.8, sketch.corr_prefix, rows, cols, 0, 1, 4, 10
+        )
+        both_sides = first_possible_crossing_absolute(
+            corr_now, 0.8, sketch.corr_prefix, rows, cols, 0, 1, 4, 10
+        )
+        assert np.all(both_sides <= signed)
+
+
+class TestScalarReference:
+    def test_counts_steps_until_threshold(self):
+        # corr=0.0, ns=4, outgoing c_i = 0 -> bound after k steps = k/4.
+        assert max_skippable_steps_scalar(0.0, 0.5, np.zeros(10), 4) == 2
+        assert max_skippable_steps_scalar(0.0, 0.51, np.zeros(10), 4) == 3
+
+    def test_never_crossing_returns_length_plus_one(self):
+        assert max_skippable_steps_scalar(0.0, 0.99, np.full(3, 0.9), 4) == 4
+
+
+class TestTriangleBounds:
+    def test_scalar_bound_contains_truth(self, rng):
+        x = rng.normal(size=400)
+        z = rng.normal(size=400)
+        y = 0.5 * x + 0.5 * z + 0.3 * rng.normal(size=400)
+        corr = correlation_matrix(np.stack([x, y, z]))
+        lower, upper = triangle_bounds(corr[0, 2], corr[1, 2])
+        assert lower - 1e-9 <= corr[0, 1] <= upper + 1e-9
+
+    def test_perfectly_correlated_pivot_pins_value(self):
+        lower, upper = triangle_bounds(1.0, 0.4)
+        assert lower == pytest.approx(0.4)
+        assert upper == pytest.approx(0.4)
+
+    def test_uncorrelated_pivot_gives_vacuous_bound(self):
+        lower, upper = triangle_bounds(0.0, 0.0)
+        assert lower == pytest.approx(-1.0)
+        assert upper == pytest.approx(1.0)
+
+    def test_array_broadcasting(self, rng):
+        a = rng.uniform(-1, 1, size=5)
+        b = rng.uniform(-1, 1, size=5)
+        lower, upper = triangle_bounds(a, b)
+        assert lower.shape == (5,)
+        assert np.all(lower <= upper)
+        assert np.all(lower >= -1.0) and np.all(upper <= 1.0)
+
+    def test_pivot_matrix_bounds_contain_all_pairs(self, rng):
+        data = rng.normal(size=(8, 500))
+        data[4] = 0.8 * data[0] + 0.2 * data[4]
+        corr = correlation_matrix(data)
+        pivots = np.array([0, 5])
+        lower, upper = triangle_bounds_from_pivots(corr[pivots, :])
+        assert np.all(corr <= upper + 1e-9)
+        assert np.all(corr >= lower - 1e-9)
+
+    def test_pivot_matrix_requires_2d(self):
+        with pytest.raises(QueryValidationError):
+            triangle_bounds_from_pivots(np.array([0.1, 0.2]))
+
+    def test_more_pivots_never_loosen_bounds(self, rng):
+        data = rng.normal(size=(6, 300))
+        corr = correlation_matrix(data)
+        lower1, upper1 = triangle_bounds_from_pivots(corr[[0], :])
+        lower2, upper2 = triangle_bounds_from_pivots(corr[[0, 3], :])
+        assert np.all(upper2 <= upper1 + 1e-12)
+        assert np.all(lower2 >= lower1 - 1e-12)

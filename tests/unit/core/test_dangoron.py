@@ -1,0 +1,199 @@
+"""Unit tests for the Dangoron engine (repro.core.dangoron)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import compare_results
+from repro.baselines.brute_force import BruteForceEngine
+from repro.core.dangoron import DangoronEngine
+from repro.core.query import SlidingQuery
+from repro.exceptions import QueryValidationError, SketchError
+
+
+@pytest.fixture
+def reference(small_matrix, standard_query):
+    return BruteForceEngine().run(small_matrix, standard_query)
+
+
+class TestExactness:
+    def test_no_pruning_matches_brute_force_exactly(
+        self, small_matrix, standard_query, reference
+    ):
+        engine = DangoronEngine(
+            basic_window_size=32,
+            use_temporal_pruning=False,
+            use_horizontal_pruning=False,
+        )
+        result = engine.run(small_matrix, standard_query)
+        for ours, theirs in zip(result, reference):
+            assert ours.edge_set() == theirs.edge_set()
+            for edge, value in ours.edge_dict().items():
+                assert value == pytest.approx(theirs.edge_dict()[edge], abs=1e-8)
+
+    def test_dense_query_threshold_zero_matches_brute_force(self, small_matrix):
+        query = SlidingQuery(
+            start=0, end=small_matrix.length, window=128, step=32, threshold=-1.0
+        )
+        pruned = DangoronEngine(basic_window_size=32).run(small_matrix, query)
+        exact = BruteForceEngine().run(small_matrix, query)
+        for ours, theirs in zip(pruned, exact):
+            assert ours.num_edges == theirs.num_edges
+            assert np.allclose(ours.to_dense(), theirs.to_dense(), atol=1e-8)
+
+    def test_reported_edges_always_exact_values(
+        self, small_matrix, standard_query, reference
+    ):
+        """Precision must be 1: every reported edge is a true edge with its exact value."""
+        result = DangoronEngine(basic_window_size=32).run(small_matrix, standard_query)
+        report = compare_results(result, reference)
+        assert report.precision == pytest.approx(1.0)
+        assert report.value_max_error < 1e-8
+
+    def test_accuracy_above_90_percent(self, small_matrix, standard_query, reference):
+        """The paper's accuracy claim on a correlated workload."""
+        result = DangoronEngine(basic_window_size=32).run(small_matrix, standard_query)
+        report = compare_results(result, reference)
+        assert report.recall >= 0.9
+
+    def test_prefix_combination_matches_scan(self, small_matrix, standard_query):
+        scan = DangoronEngine(basic_window_size=32).run(small_matrix, standard_query)
+        fast = DangoronEngine(basic_window_size=32, prefix_combination=True).run(
+            small_matrix, standard_query
+        )
+        for a, b in zip(scan, fast):
+            assert a.edge_set() == b.edge_set()
+
+
+class TestPruningBehaviour:
+    def test_temporal_pruning_skips_work_on_sparse_networks(self, noise_matrix):
+        query = SlidingQuery(
+            start=0, end=noise_matrix.length, window=128, step=32, threshold=0.8
+        )
+        result = DangoronEngine(basic_window_size=32).run(noise_matrix, query)
+        assert result.stats.skipped_by_jumping > 0
+        assert result.stats.evaluation_fraction < 0.8
+
+    def test_disabled_pruning_evaluates_every_pair_window(
+        self, small_matrix, standard_query
+    ):
+        engine = DangoronEngine(basic_window_size=32, use_temporal_pruning=False)
+        result = engine.run(small_matrix, standard_query)
+        assert result.stats.evaluation_fraction == pytest.approx(1.0)
+        assert result.stats.skipped_by_jumping == 0
+
+    def test_slack_recovers_recall(self, tomborg_matrix):
+        """A positive slack must never lower recall (it skips less aggressively)."""
+        query = SlidingQuery(
+            start=0, end=tomborg_matrix.length, window=256, step=64, threshold=0.7
+        )
+        reference = BruteForceEngine().run(tomborg_matrix, query)
+        plain = DangoronEngine(basic_window_size=64).run(tomborg_matrix, query)
+        slacked = DangoronEngine(basic_window_size=64, slack=0.1).run(
+            tomborg_matrix, query
+        )
+        recall_plain = compare_results(plain, reference).recall
+        recall_slacked = compare_results(slacked, reference).recall
+        assert recall_slacked >= recall_plain - 1e-12
+        assert slacked.stats.skipped_by_jumping <= plain.stats.skipped_by_jumping
+
+    def test_horizontal_pruning_preserves_precision(self, small_matrix, standard_query):
+        reference = BruteForceEngine().run(small_matrix, standard_query)
+        engine = DangoronEngine(
+            basic_window_size=32,
+            use_temporal_pruning=False,
+            use_horizontal_pruning=True,
+            num_pivots=2,
+        )
+        result = engine.run(small_matrix, standard_query)
+        report = compare_results(result, reference)
+        assert report.precision == pytest.approx(1.0)
+        # Horizontal pruning alone is lossless: the triangle bound is exact.
+        assert report.recall == pytest.approx(1.0)
+
+    def test_combined_pruning_reports_counters(self, small_matrix):
+        query = SlidingQuery(
+            start=0, end=small_matrix.length, window=128, step=32, threshold=0.9
+        )
+        engine = DangoronEngine(
+            basic_window_size=32,
+            use_temporal_pruning=True,
+            use_horizontal_pruning=True,
+            num_pivots=2,
+        )
+        result = engine.run(small_matrix, query)
+        stats = result.stats.as_dict()
+        assert stats["pivot_evaluations"] >= 0
+        assert stats["exact_evaluations"] + stats["skipped_by_jumping"] > 0
+
+
+class TestThresholdModes:
+    def test_absolute_mode_reports_negative_edges(self, rng):
+        from repro.timeseries.matrix import TimeSeriesMatrix
+
+        x = rng.normal(size=256)
+        data = TimeSeriesMatrix(
+            np.stack([x, -x + 0.05 * rng.normal(size=256), rng.normal(size=256)])
+        )
+        query = SlidingQuery(
+            start=0, end=256, window=128, step=64, threshold=0.8,
+            threshold_mode="absolute",
+        )
+        result = DangoronEngine(basic_window_size=32).run(data, query)
+        assert (0, 1) in result[0].edge_set()
+        assert result[0].edge_dict()[(0, 1)] < 0
+
+    def test_absolute_mode_matches_brute_force_edges(self, small_matrix):
+        query = SlidingQuery(
+            start=0, end=small_matrix.length, window=128, step=32, threshold=0.7,
+            threshold_mode="absolute",
+        )
+        reference = BruteForceEngine().run(small_matrix, query)
+        result = DangoronEngine(basic_window_size=32).run(small_matrix, query)
+        report = compare_results(result, reference)
+        assert report.precision == pytest.approx(1.0)
+        assert report.recall >= 0.9
+
+
+class TestValidationAndOptions:
+    def test_query_longer_than_data_rejected(self, small_matrix):
+        query = SlidingQuery(
+            start=0, end=small_matrix.length + 1, window=128, step=32, threshold=0.5
+        )
+        with pytest.raises(QueryValidationError):
+            DangoronEngine(basic_window_size=32).run(small_matrix, query)
+
+    def test_unalignable_query_rejected(self, small_matrix):
+        query = SlidingQuery(
+            start=0, end=small_matrix.length, window=128, step=33, threshold=0.5
+        )
+        with pytest.raises(SketchError):
+            DangoronEngine(basic_window_size=32).run(small_matrix, query)
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(QueryValidationError):
+            DangoronEngine(slack=-0.1)
+
+    def test_describe_reflects_configuration(self):
+        engine = DangoronEngine(use_horizontal_pruning=True, num_pivots=7)
+        assert "horizontal(7)" in engine.describe()
+        assert "temporal" in engine.describe()
+        plain = DangoronEngine(
+            use_temporal_pruning=False, use_horizontal_pruning=False
+        )
+        assert "no-pruning" in plain.describe()
+
+    def test_stats_identify_engine_and_workload(self, small_matrix, standard_query):
+        result = DangoronEngine(basic_window_size=32).run(small_matrix, standard_query)
+        assert result.stats.num_series == small_matrix.num_series
+        assert result.stats.num_windows == standard_query.num_windows
+        assert result.stats.query_seconds >= 0.0
+        assert result.stats.sketch_build_seconds > 0.0
+
+    def test_runs_are_deterministic(self, small_matrix, standard_query):
+        first = DangoronEngine(basic_window_size=32, seed=1).run(
+            small_matrix, standard_query
+        )
+        second = DangoronEngine(basic_window_size=32, seed=1).run(
+            small_matrix, standard_query
+        )
+        assert [m.edge_set() for m in first] == [m.edge_set() for m in second]

@@ -1,0 +1,123 @@
+"""Unit tests for horizontal (pivot/triangle) pruning (repro.core.horizontal)."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import correlation_matrix
+from repro.core.horizontal import (
+    HorizontalPruner,
+    prunable_pairs,
+    select_pivots,
+)
+from repro.exceptions import QueryValidationError
+
+
+@pytest.fixture
+def clustered_data(rng):
+    """Two clusters of strongly intra-correlated series plus background noise."""
+    base_a = rng.normal(size=600)
+    base_b = rng.normal(size=600)
+    rows = []
+    for _ in range(5):
+        rows.append(base_a + 0.4 * rng.normal(size=600))
+    for _ in range(5):
+        rows.append(base_b + 0.4 * rng.normal(size=600))
+    for _ in range(4):
+        rows.append(rng.normal(size=600))
+    return np.asarray(rows)
+
+
+class TestSelectPivots:
+    def test_first_strategy_is_deterministic(self, clustered_data):
+        assert list(select_pivots(clustered_data, 3, "first")) == [0, 1, 2]
+
+    def test_random_strategy_respects_count_and_uniqueness(self, clustered_data, rng):
+        pivots = select_pivots(clustered_data, 5, "random", rng)
+        assert len(pivots) == 5
+        assert len(set(int(p) for p in pivots)) == 5
+
+    def test_variance_strategy_picks_high_variance_rows(self, rng):
+        data = rng.normal(size=(6, 200))
+        data[3] *= 10.0
+        pivots = select_pivots(data, 1, "variance")
+        assert pivots[0] == 3
+
+    def test_kcenter_spreads_across_clusters(self, clustered_data):
+        pivots = select_pivots(clustered_data, 2, "kcenter")
+        # The two pivots should not come from the same correlated cluster.
+        cluster = lambda i: 0 if i < 5 else (1 if i < 10 else 2)
+        assert cluster(int(pivots[0])) != cluster(int(pivots[1]))
+
+    def test_count_clipped_to_num_series(self, rng):
+        data = rng.normal(size=(3, 50))
+        assert len(select_pivots(data, 10, "first")) == 3
+
+    def test_unknown_strategy_rejected(self, rng):
+        with pytest.raises(QueryValidationError):
+            select_pivots(rng.normal(size=(3, 50)), 2, "nope")
+
+    def test_non_2d_input_rejected(self, rng):
+        with pytest.raises(QueryValidationError):
+            select_pivots(rng.normal(size=50), 2)
+
+
+class TestHorizontalPruner:
+    def test_bounds_contain_true_correlations(self, clustered_data):
+        pruner = HorizontalPruner(num_pivots=3, strategy="kcenter")
+        analysis = pruner.analyze(clustered_data)
+        truth = correlation_matrix(clustered_data)
+        assert np.all(truth <= analysis.upper + 1e-9)
+        assert np.all(truth >= analysis.lower - 1e-9)
+
+    def test_prunable_mask_excludes_true_edges(self, clustered_data):
+        beta = 0.6
+        pruner = HorizontalPruner(num_pivots=4)
+        analysis = pruner.analyze(clustered_data)
+        mask = analysis.prunable_mask(beta, "signed")
+        truth = correlation_matrix(clustered_data)
+        # No pair whose true correlation reaches beta may be marked prunable.
+        above = truth >= beta
+        np.fill_diagonal(above, False)
+        assert not np.any(mask & above)
+
+    def test_pruning_finds_some_pairs_on_clustered_data(self, clustered_data):
+        pruner = HorizontalPruner(num_pivots=4, strategy="kcenter")
+        analysis = pruner.analyze(clustered_data)
+        mask = analysis.prunable_mask(0.9, "signed")
+        assert mask.sum() > 0
+
+    def test_absolute_mode_also_checks_negative_side(self, rng):
+        x = rng.normal(size=500)
+        data = np.stack([x, -x + 0.1 * rng.normal(size=500), rng.normal(size=500)])
+        pruner = HorizontalPruner(num_pivots=1, strategy="first")
+        analysis = pruner.analyze(data)
+        signed_mask = analysis.prunable_mask(0.8, "signed")
+        absolute_mask = analysis.prunable_mask(0.8, "absolute")
+        # Pair (0,1) is strongly negative: prunable under the signed rule but
+        # not under the absolute rule.
+        assert signed_mask[0, 1]
+        assert not absolute_mask[0, 1]
+
+    def test_explicit_pivots_override_selection(self, clustered_data):
+        pruner = HorizontalPruner(num_pivots=2)
+        analysis = pruner.analyze(clustered_data, pivots=np.array([1, 12]))
+        assert list(analysis.pivots) == [1, 12]
+        assert analysis.pivot_correlations.shape == (2, clustered_data.shape[0])
+
+    def test_exact_pair_cost(self):
+        assert HorizontalPruner(num_pivots=3).exact_pair_cost(20) == 60
+
+    def test_invalid_num_pivots(self):
+        with pytest.raises(QueryValidationError):
+            HorizontalPruner(num_pivots=0)
+
+
+class TestPrunablePairs:
+    def test_partition_is_exhaustive_and_disjoint(self, clustered_data):
+        pruner = HorizontalPruner(num_pivots=3)
+        analysis = pruner.analyze(clustered_data)
+        n = clustered_data.shape[0]
+        rows, cols = np.triu_indices(n, k=1)
+        pruned, keep = prunable_pairs(analysis, rows, cols, 0.8, "signed")
+        assert len(set(pruned) & set(keep)) == 0
+        assert len(pruned) + len(keep) == len(rows)

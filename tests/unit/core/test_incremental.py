@@ -1,0 +1,107 @@
+"""Unit tests for the rolling-sums incremental engine (repro.core.incremental)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import BruteForceEngine
+from repro.core.engine import available_engines, create_engine
+from repro.core.incremental import IncrementalEngine
+from repro.core.query import SlidingQuery
+from repro.exceptions import QueryValidationError
+
+
+class TestExactness:
+    def test_matches_brute_force_edge_sets_and_values(self, small_matrix, standard_query):
+        exact = BruteForceEngine().run(small_matrix, standard_query)
+        rolled = IncrementalEngine().run(small_matrix, standard_query)
+        for ours, theirs in zip(rolled, exact):
+            assert ours.edge_set() == theirs.edge_set()
+            for edge, value in ours.edge_dict().items():
+                assert value == pytest.approx(theirs.edge_dict()[edge], abs=1e-8)
+
+    def test_dense_threshold_matches_brute_force(self, small_matrix):
+        query = SlidingQuery(
+            start=0, end=small_matrix.length, window=128, step=32, threshold=-1.0
+        )
+        exact = BruteForceEngine().run(small_matrix, query)
+        rolled = IncrementalEngine().run(small_matrix, query)
+        for ours, theirs in zip(rolled, exact):
+            assert np.allclose(ours.to_dense(), theirs.to_dense(), atol=1e-8)
+
+    def test_no_refresh_still_accurate_over_many_slides(self, small_matrix):
+        """Drift without periodic refresh stays far below the comparison tolerance."""
+        query = SlidingQuery(
+            start=0, end=small_matrix.length, window=64, step=8, threshold=0.6
+        )
+        exact = BruteForceEngine().run(small_matrix, query)
+        rolled = IncrementalEngine(refresh_every=0).run(small_matrix, query)
+        for ours, theirs in zip(rolled, exact):
+            assert np.allclose(ours.to_dense(), theirs.to_dense(), atol=1e-7)
+
+    def test_non_overlapping_windows_recompute_from_scratch(self, small_matrix):
+        """step >= window has no overlap to reuse; results must still be exact."""
+        query = SlidingQuery(
+            start=0, end=small_matrix.length, window=64, step=128, threshold=0.5
+        )
+        exact = BruteForceEngine().run(small_matrix, query)
+        rolled = IncrementalEngine().run(small_matrix, query)
+        for ours, theirs in zip(rolled, exact):
+            assert ours.edge_set() == theirs.edge_set()
+        assert rolled.stats.extra["columns_removed"] == 0
+
+    def test_absolute_threshold_mode(self, small_matrix):
+        query = SlidingQuery(
+            start=0, end=small_matrix.length, window=128, step=32, threshold=0.7,
+            threshold_mode="absolute",
+        )
+        exact = BruteForceEngine().run(small_matrix, query)
+        rolled = IncrementalEngine().run(small_matrix, query)
+        for ours, theirs in zip(rolled, exact):
+            assert ours.edge_set() == theirs.edge_set()
+
+
+class TestBookkeeping:
+    def test_registered_in_engine_registry(self):
+        assert "incremental" in available_engines()
+        engine = create_engine("incremental", refresh_every=16)
+        assert isinstance(engine, IncrementalEngine)
+        assert engine.refresh_every == 16
+
+    def test_stats_report_column_updates(self, small_matrix, standard_query):
+        result = IncrementalEngine().run(small_matrix, standard_query)
+        stats = result.stats
+        assert stats.num_windows == standard_query.num_windows
+        # First window loads the full window; each later overlapping slide adds
+        # exactly one step's worth of columns.
+        expected_added = standard_query.window + standard_query.step * (
+            standard_query.num_windows - 1
+        )
+        assert stats.extra["columns_added"] == expected_added
+        assert stats.extra["columns_removed"] == standard_query.step * (
+            standard_query.num_windows - 1
+        )
+
+    def test_describe_mentions_refresh_policy(self):
+        assert "refresh=64" in IncrementalEngine(refresh_every=64).describe()
+        assert "no-refresh" in IncrementalEngine(refresh_every=0).describe()
+
+    def test_negative_refresh_rejected(self):
+        with pytest.raises(QueryValidationError):
+            IncrementalEngine(refresh_every=-1)
+
+    def test_query_longer_than_data_rejected(self, small_matrix):
+        query = SlidingQuery(
+            start=0, end=small_matrix.length + 4, window=64, step=32, threshold=0.5
+        )
+        with pytest.raises(QueryValidationError):
+            IncrementalEngine().run(small_matrix, query)
+
+    def test_unaligned_step_supported(self, small_matrix):
+        """Unlike the pruned engine, rolling sums need no basic-window alignment."""
+        query = SlidingQuery(
+            start=3, end=small_matrix.length, window=100, step=7, threshold=0.6
+        )
+        exact = BruteForceEngine().run(small_matrix, query)
+        rolled = IncrementalEngine().run(small_matrix, query)
+        for ours, theirs in zip(rolled, exact):
+            assert ours.edge_set() == theirs.edge_set()

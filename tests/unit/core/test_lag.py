@@ -1,0 +1,142 @@
+"""Unit tests for lagged correlation (repro.core.lag)."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import pearson
+from repro.core.lag import (
+    best_lag,
+    lagged_correlation,
+    lagged_correlation_matrix,
+    lead_lag_graph_edges,
+    sliding_lagged_correlation,
+)
+from repro.core.query import SlidingQuery
+from repro.exceptions import DataValidationError, QueryValidationError
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+
+@pytest.fixture
+def shifted_pair(rng):
+    """Series 1 is series 0 delayed by 5 steps (plus small noise)."""
+    length = 400
+    base = np.cumsum(rng.normal(size=length + 5))
+    x = base[5:]
+    y = base[:-5] + 0.01 * rng.normal(size=length)
+    return x, y
+
+
+class TestPairwiseLag:
+    def test_zero_lag_matches_pearson(self, rng):
+        x = rng.normal(size=128)
+        y = 0.5 * x + rng.normal(size=128)
+        values = lagged_correlation(x, y, max_lag=0)
+        assert len(values) == 1
+        assert values[0] == pytest.approx(pearson(x, y), abs=1e-12)
+
+    def test_each_lag_is_pearson_of_shifted_slices(self, rng):
+        x = rng.normal(size=96)
+        y = rng.normal(size=96)
+        values = lagged_correlation(x, y, max_lag=3)
+        assert values[3 + 2] == pytest.approx(pearson(x[:-2], y[2:]), abs=1e-12)
+        assert values[3 - 2] == pytest.approx(pearson(x[2:], y[:-2]), abs=1e-12)
+
+    def test_detects_known_shift(self, shifted_pair):
+        x, y = shifted_pair
+        # x[t] = base[t+5] and y[t] = base[t], so x's value at time t shows up
+        # in y five steps later: x leads y, and the convention (x[t] vs y[t+d])
+        # puts the best alignment at d = +5.
+        lag, value = best_lag(x, y, max_lag=10)
+        assert lag == 5
+        assert value > 0.95
+
+    def test_best_lag_signed_mode(self, rng):
+        x = rng.normal(size=200)
+        y = -np.roll(x, 2)
+        y[:2] = rng.normal(size=2)
+        lag_abs, value_abs = best_lag(x, y, max_lag=4, absolute=True)
+        assert value_abs < 0
+        lag_signed, value_signed = best_lag(x, y, max_lag=4, absolute=False)
+        assert value_signed >= value_abs
+
+    def test_length_and_lag_validation(self, rng):
+        x = rng.normal(size=10)
+        with pytest.raises(QueryValidationError):
+            lagged_correlation(x, x, max_lag=9)
+        with pytest.raises(QueryValidationError):
+            lagged_correlation(x, x, max_lag=-1)
+        with pytest.raises(DataValidationError):
+            lagged_correlation(x, rng.normal(size=11), max_lag=1)
+
+
+class TestLagMatrix:
+    def test_zero_max_lag_reduces_to_correlation_matrix(self, small_matrix):
+        window = small_matrix.values[:, :128]
+        result = lagged_correlation_matrix(window, max_lag=0)
+        from repro.core.correlation import correlation_matrix
+
+        assert np.allclose(result.best_corr, correlation_matrix(window), atol=1e-9)
+        assert np.all(result.best_lag == 0)
+
+    def test_lag_matrix_antisymmetric(self, small_matrix):
+        window = small_matrix.values[:, :160]
+        result = lagged_correlation_matrix(window, max_lag=4)
+        assert np.array_equal(result.best_lag, -result.best_lag.T)
+        assert np.allclose(result.best_corr, result.best_corr.T, atol=1e-12)
+
+    def test_best_corr_at_least_zero_lag_value(self, small_matrix):
+        """Allowing lags can only improve the best absolute correlation."""
+        window = small_matrix.values[:, :160]
+        zero = lagged_correlation_matrix(window, max_lag=0)
+        lagged = lagged_correlation_matrix(window, max_lag=3)
+        assert np.all(np.abs(lagged.best_corr) >= np.abs(zero.best_corr) - 1e-9)
+
+    def test_detects_shifted_rows(self, shifted_pair, rng):
+        x, y = shifted_pair
+        data = np.stack([x, y, rng.normal(size=len(x))])
+        result = lagged_correlation_matrix(data, max_lag=8)
+        assert result.best_lag[0, 1] == 5
+        assert result.best_lag[1, 0] == -5
+        assert result.best_corr[0, 1] > 0.95
+
+    def test_edges_filters_by_threshold(self, shifted_pair, rng):
+        x, y = shifted_pair
+        data = np.stack([x, y, rng.normal(size=len(x))])
+        result = lagged_correlation_matrix(data, max_lag=8)
+        edges = result.edges(threshold=0.9)
+        assert [(i, j) for i, j, _, _ in edges] == [(0, 1)]
+        i, j, value, lag = edges[0]
+        assert lag == 5 and value > 0.9
+
+    def test_window_too_short_for_lag_rejected(self, rng):
+        window = rng.normal(size=(3, 6))
+        with pytest.raises(QueryValidationError):
+            lagged_correlation_matrix(window, max_lag=5)
+
+
+class TestSlidingAndAggregation:
+    def test_sliding_produces_one_result_per_window(self, small_matrix, standard_query):
+        results = sliding_lagged_correlation(small_matrix, standard_query, max_lag=2)
+        assert len(results) == standard_query.num_windows
+        assert [r.window_index for r in results] == list(range(standard_query.num_windows))
+
+    def test_lead_lag_graph_aggregates_persistent_edges(self, shifted_pair, rng):
+        x, y = shifted_pair
+        data = TimeSeriesMatrix(np.stack([x, y, rng.normal(size=len(x))]))
+        query = SlidingQuery(
+            start=0, end=data.length, window=100, step=50, threshold=0.9
+        )
+        windows = sliding_lagged_correlation(data, query, max_lag=8)
+        edges = lead_lag_graph_edges(windows, threshold=0.9, min_persistence=0.8)
+        assert len(edges) == 1
+        i, j, mean_corr, mean_lag = edges[0]
+        assert (i, j) == (0, 1)
+        assert mean_corr > 0.9
+        assert mean_lag == pytest.approx(5, abs=0.5)
+
+    def test_lead_lag_graph_validates_inputs(self, small_matrix, standard_query):
+        windows = sliding_lagged_correlation(small_matrix, standard_query, max_lag=1)
+        with pytest.raises(QueryValidationError):
+            lead_lag_graph_edges(windows, threshold=0.5, min_persistence=2.0)
+        with pytest.raises(DataValidationError):
+            lead_lag_graph_edges([], threshold=0.5)

@@ -1,0 +1,148 @@
+"""Unit tests for the sliding-query description (repro.core.query)."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import (
+    THRESHOLD_ABSOLUTE,
+    THRESHOLD_SIGNED,
+    SlidingQuery,
+)
+from repro.exceptions import QueryValidationError
+
+
+def make_query(**overrides) -> SlidingQuery:
+    params = dict(start=0, end=1000, window=100, step=50, threshold=0.7)
+    params.update(overrides)
+    return SlidingQuery(**params)
+
+
+class TestValidation:
+    def test_valid_query_constructs(self):
+        query = make_query()
+        assert query.window == 100
+        assert query.threshold_mode == THRESHOLD_SIGNED
+
+    def test_window_too_small(self):
+        with pytest.raises(QueryValidationError):
+            make_query(window=1)
+
+    def test_negative_step(self):
+        with pytest.raises(QueryValidationError):
+            make_query(step=0)
+
+    def test_inverted_range(self):
+        with pytest.raises(QueryValidationError):
+            make_query(start=10, end=10)
+
+    def test_negative_start(self):
+        with pytest.raises(QueryValidationError):
+            make_query(start=-1)
+
+    def test_range_shorter_than_window(self):
+        with pytest.raises(QueryValidationError):
+            make_query(end=50, window=100)
+
+    @pytest.mark.parametrize("threshold", [-1.5, 1.5, 2.0])
+    def test_threshold_out_of_range(self, threshold):
+        with pytest.raises(QueryValidationError):
+            make_query(threshold=threshold)
+
+    def test_unknown_threshold_mode(self):
+        with pytest.raises(QueryValidationError):
+            make_query(threshold_mode="weird")
+
+    def test_boundary_thresholds_allowed(self):
+        assert make_query(threshold=-1.0).threshold == -1.0
+        assert make_query(threshold=1.0).threshold == 1.0
+
+
+class TestWindowEnumeration:
+    def test_num_windows_exact_fit(self):
+        query = make_query(start=0, end=1000, window=100, step=100)
+        assert query.num_windows == 10
+
+    def test_num_windows_partial_tail_dropped(self):
+        query = make_query(start=0, end=1050, window=100, step=100)
+        assert query.num_windows == 10
+
+    def test_num_windows_overlapping(self):
+        query = make_query(start=0, end=300, window=100, step=50)
+        # Windows start at 0, 50, 100, 150, 200 -> last covers [200, 300).
+        assert query.num_windows == 5
+
+    def test_single_window(self):
+        query = make_query(start=0, end=100, window=100, step=50)
+        assert query.num_windows == 1
+
+    def test_window_starts_spacing(self):
+        query = make_query(step=30, window=90, end=400)
+        starts = query.window_starts()
+        assert starts[0] == query.start
+        assert np.all(np.diff(starts) == 30)
+        assert starts[-1] + query.window <= query.end
+
+    def test_window_bounds_match_enumeration(self):
+        query = make_query()
+        for k, begin, end in query.iter_windows():
+            assert (begin, end) == query.window_bounds(k)
+            assert end - begin == query.window
+
+    def test_window_bounds_out_of_range(self):
+        query = make_query()
+        with pytest.raises(QueryValidationError):
+            query.window_bounds(query.num_windows)
+        with pytest.raises(QueryValidationError):
+            query.window_bounds(-1)
+
+    def test_nonzero_start_offsets_all_windows(self):
+        query = make_query(start=200, end=700)
+        assert query.window_starts()[0] == 200
+        last_start, last_end = query.window_bounds(query.num_windows - 1)
+        assert last_end <= 700
+
+
+class TestThresholding:
+    def test_signed_keeps_only_high_positive(self):
+        query = make_query(threshold=0.5)
+        assert query.keeps(0.6)
+        assert not query.keeps(0.4)
+        assert not query.keeps(-0.9)
+
+    def test_absolute_keeps_both_signs(self):
+        query = make_query(threshold=0.5, threshold_mode=THRESHOLD_ABSOLUTE)
+        assert query.keeps(0.6)
+        assert query.keeps(-0.6)
+        assert not query.keeps(0.4)
+
+    def test_keep_mask_matches_scalar(self):
+        query = make_query(threshold=0.3, threshold_mode=THRESHOLD_ABSOLUTE)
+        values = np.array([-0.9, -0.2, 0.0, 0.29, 0.31, 1.0])
+        mask = query.keep_mask(values)
+        assert list(mask) == [query.keeps(v) for v in values]
+
+    def test_with_threshold_returns_new_query(self):
+        query = make_query(threshold=0.7)
+        other = query.with_threshold(0.9)
+        assert other.threshold == 0.9
+        assert query.threshold == 0.7
+        assert other.window == query.window
+
+
+class TestHelpers:
+    def test_validate_against_length(self):
+        query = make_query(end=1000)
+        query.validate_against_length(1000)
+        with pytest.raises(QueryValidationError):
+            query.validate_against_length(999)
+
+    def test_describe_mentions_key_parameters(self):
+        text = make_query().describe()
+        assert "window=100" in text
+        assert "beta=0.7" in text
+
+    def test_query_is_hashable_and_frozen(self):
+        query = make_query()
+        with pytest.raises(AttributeError):
+            query.window = 10  # type: ignore[misc]
+        assert hash(query) == hash(make_query())

@@ -1,0 +1,160 @@
+"""Unit tests for result containers (repro.core.result)."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import SlidingQuery
+from repro.core.result import (
+    CorrelationSeriesResult,
+    EngineStats,
+    ThresholdedMatrix,
+)
+from repro.exceptions import DataValidationError
+
+
+def make_matrix(n=5, edges=((0, 1, 0.9), (2, 4, 0.8))) -> ThresholdedMatrix:
+    rows = [e[0] for e in edges]
+    cols = [e[1] for e in edges]
+    vals = [e[2] for e in edges]
+    return ThresholdedMatrix(n, np.array(rows), np.array(cols), np.array(vals))
+
+
+class TestThresholdedMatrix:
+    def test_basic_properties(self):
+        matrix = make_matrix()
+        assert matrix.num_edges == 2
+        assert matrix.edge_set() == {(0, 1), (2, 4)}
+        assert matrix.edge_dict()[(0, 1)] == pytest.approx(0.9)
+
+    def test_to_dense_is_symmetric_with_unit_diagonal(self):
+        dense = make_matrix().to_dense()
+        assert np.allclose(dense, dense.T)
+        assert np.allclose(np.diag(dense), 1.0)
+        assert dense[0, 1] == pytest.approx(0.9)
+        assert dense[1, 0] == pytest.approx(0.9)
+        assert dense[0, 2] == 0.0
+
+    def test_to_dense_without_diagonal(self):
+        dense = make_matrix().to_dense(include_diagonal=False)
+        assert np.allclose(np.diag(dense), 0.0)
+
+    def test_density(self):
+        matrix = make_matrix(n=5)
+        assert matrix.density() == pytest.approx(2 / 10)
+
+    def test_rejects_lower_triangle_entries(self):
+        with pytest.raises(DataValidationError):
+            ThresholdedMatrix(4, np.array([2]), np.array([1]), np.array([0.5]))
+
+    def test_rejects_diagonal_entries(self):
+        with pytest.raises(DataValidationError):
+            ThresholdedMatrix(4, np.array([1]), np.array([1]), np.array([0.5]))
+
+    def test_rejects_out_of_range_indices(self):
+        with pytest.raises(DataValidationError):
+            ThresholdedMatrix(4, np.array([0]), np.array([4]), np.array([0.5]))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(DataValidationError):
+            ThresholdedMatrix(4, np.array([0]), np.array([1, 2]), np.array([0.5]))
+
+    def test_empty_matrix_is_valid(self):
+        matrix = ThresholdedMatrix(3, np.array([]), np.array([]), np.array([]))
+        assert matrix.num_edges == 0
+        assert matrix.density() == 0.0
+        assert matrix.edge_set() == set()
+
+    def test_from_dense_signed_threshold(self):
+        dense = np.eye(3)
+        dense[0, 1] = dense[1, 0] = 0.8
+        dense[0, 2] = dense[2, 0] = -0.9
+        matrix = ThresholdedMatrix.from_dense(dense, threshold=0.5)
+        assert matrix.edge_set() == {(0, 1)}
+
+    def test_from_dense_absolute_threshold(self):
+        dense = np.eye(3)
+        dense[0, 1] = dense[1, 0] = 0.8
+        dense[0, 2] = dense[2, 0] = -0.9
+        matrix = ThresholdedMatrix.from_dense(
+            dense, threshold=0.5, threshold_mode="absolute"
+        )
+        assert matrix.edge_set() == {(0, 1), (0, 2)}
+
+    def test_from_dense_with_query(self):
+        query = SlidingQuery(start=0, end=100, window=50, step=25, threshold=0.85)
+        dense = np.eye(3)
+        dense[0, 1] = dense[1, 0] = 0.8
+        matrix = ThresholdedMatrix.from_dense(dense, query=query)
+        assert matrix.num_edges == 0
+
+    def test_from_dense_rejects_non_square(self):
+        with pytest.raises(DataValidationError):
+            ThresholdedMatrix.from_dense(np.zeros((2, 3)))
+
+
+class TestEngineStats:
+    def test_evaluation_fraction(self):
+        stats = EngineStats(num_series=10, num_windows=4, exact_evaluations=90)
+        assert stats.total_pair_windows == 45 * 4
+        assert stats.evaluation_fraction == pytest.approx(90 / 180)
+
+    def test_evaluation_fraction_empty(self):
+        assert EngineStats().evaluation_fraction == 0.0
+
+    def test_as_dict_includes_extra(self):
+        stats = EngineStats(engine="x", extra={"custom": 1.0})
+        record = stats.as_dict()
+        assert record["engine"] == "x"
+        assert record["custom"] == 1.0
+
+
+class TestCorrelationSeriesResult:
+    def make_result(self, num_windows=3, n=4):
+        query = SlidingQuery(
+            start=0, end=num_windows * 10 + 40, window=50, step=10, threshold=0.5
+        )
+        matrices = [
+            ThresholdedMatrix(
+                n, np.array([0]), np.array([1]), np.array([0.5 + 0.1 * k])
+            )
+            for k in range(query.num_windows)
+        ]
+        return CorrelationSeriesResult(query, matrices, EngineStats(engine="test"))
+
+    def test_len_and_indexing(self):
+        result = self.make_result()
+        assert len(result) == result.query.num_windows
+        assert result[0].num_edges == 1
+        assert all(isinstance(m, ThresholdedMatrix) for m in result)
+
+    def test_dense_series_shape(self):
+        result = self.make_result()
+        stacked = result.dense_series()
+        assert stacked.shape == (result.num_windows, 4, 4)
+
+    def test_edge_counting(self):
+        result = self.make_result()
+        assert result.total_edges() == result.num_windows
+        assert list(result.edge_count_series()) == [1] * result.num_windows
+
+    def test_window_starts_delegates_to_query(self):
+        result = self.make_result()
+        assert np.array_equal(result.window_starts(), result.query.window_starts())
+
+    def test_mismatched_window_count_rejected(self):
+        query = SlidingQuery(start=0, end=100, window=50, step=10, threshold=0.5)
+        matrices = [ThresholdedMatrix(3, np.array([]), np.array([]), np.array([]))]
+        with pytest.raises(DataValidationError):
+            CorrelationSeriesResult(query, matrices)
+
+    def test_mismatched_series_counts_rejected(self):
+        query = SlidingQuery(start=0, end=60, window=50, step=10, threshold=0.5)
+        matrices = [
+            ThresholdedMatrix(3, np.array([]), np.array([]), np.array([])),
+            ThresholdedMatrix(4, np.array([]), np.array([]), np.array([])),
+        ]
+        with pytest.raises(DataValidationError):
+            CorrelationSeriesResult(query, matrices)
+
+    def test_describe_mentions_engine(self):
+        assert "test" in self.make_result().describe()

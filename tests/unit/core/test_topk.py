@@ -1,0 +1,132 @@
+"""Unit tests for top-k correlated pair queries (repro.core.topk)."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import correlation_matrix
+from repro.core.query import SlidingQuery
+from repro.core.topk import (
+    TopKWindow,
+    sliding_top_k,
+    top_k_brute_force,
+    top_k_overlap,
+)
+from repro.exceptions import QueryValidationError
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+
+@pytest.fixture
+def topk_query(small_matrix) -> SlidingQuery:
+    return SlidingQuery(
+        start=0, end=small_matrix.length, window=128, step=32, threshold=0.0
+    )
+
+
+class TestAgainstGroundTruth:
+    def test_sketch_and_brute_force_report_same_pairs(self, small_matrix, topk_query):
+        sketch = sliding_top_k(small_matrix, topk_query, k=5, basic_window_size=32)
+        brute = top_k_brute_force(small_matrix, topk_query, k=5)
+        overlaps = top_k_overlap(sketch, brute)
+        assert np.all(overlaps == pytest.approx(1.0))
+
+    def test_values_are_exact_correlations(self, small_matrix, topk_query):
+        result = sliding_top_k(small_matrix, topk_query, k=3, basic_window_size=32)
+        for window in result:
+            begin = topk_query.start + window.window_index * topk_query.step
+            corr = correlation_matrix(
+                small_matrix.values[:, begin : begin + topk_query.window]
+            )
+            for i, j, value in window.pairs():
+                assert value == pytest.approx(corr[i, j], abs=1e-8)
+
+    def test_values_sorted_descending(self, small_matrix, topk_query):
+        result = sliding_top_k(small_matrix, topk_query, k=6, basic_window_size=32)
+        for window in result:
+            assert np.all(np.diff(window.values) <= 1e-12)
+
+    def test_top_1_is_global_maximum(self, small_matrix, topk_query):
+        result = sliding_top_k(small_matrix, topk_query, k=1, basic_window_size=32)
+        for window in result:
+            begin = topk_query.start + window.window_index * topk_query.step
+            corr = correlation_matrix(
+                small_matrix.values[:, begin : begin + topk_query.window]
+            )
+            iu, ju = np.triu_indices(corr.shape[0], k=1)
+            assert window.values[0] == pytest.approx(corr[iu, ju].max(), abs=1e-9)
+
+    def test_absolute_mode_ranks_by_magnitude(self, rng):
+        base = rng.normal(size=256)
+        data = TimeSeriesMatrix(
+            np.stack([
+                base,
+                -base + 0.01 * rng.normal(size=256),
+                0.3 * base + rng.normal(size=256),
+            ])
+        )
+        query = SlidingQuery(start=0, end=256, window=128, step=64, threshold=0.0)
+        signed = sliding_top_k(data, query, k=1, basic_window_size=32, absolute=False)
+        magnitude = sliding_top_k(data, query, k=1, basic_window_size=32, absolute=True)
+        # The strongest relationship is the anti-correlated pair (0, 1); only the
+        # absolute ranking finds it.
+        assert magnitude[0].pairs()[0][:2] == (0, 1)
+        assert signed[0].pairs()[0][:2] != (0, 1)
+
+
+class TestResultApi:
+    def test_k_larger_than_pair_count_is_clamped(self, small_matrix, topk_query):
+        n = small_matrix.num_series
+        pairs = n * (n - 1) // 2
+        result = sliding_top_k(
+            small_matrix, topk_query, k=pairs + 100, basic_window_size=32
+        )
+        assert all(window.k == pairs for window in result)
+
+    def test_effective_thresholds_and_suggestion(self, small_matrix, topk_query):
+        result = sliding_top_k(small_matrix, topk_query, k=4, basic_window_size=32)
+        thresholds = result.effective_thresholds()
+        assert len(thresholds) == topk_query.num_windows
+        assert result.suggested_threshold() == pytest.approx(thresholds.min())
+        # Using the suggested threshold in a sliding query captures at least the
+        # per-window top-k pairs.
+        assert result.suggested_threshold() <= thresholds.max()
+
+    def test_persistent_pairs_subset_of_reported_pairs(self, small_matrix, topk_query):
+        result = sliding_top_k(small_matrix, topk_query, k=4, basic_window_size=32)
+        everything = set()
+        for window in result:
+            everything |= {(i, j) for i, j, _ in window.pairs()}
+        persistent = result.persistent_pairs(min_fraction=0.6)
+        assert set(persistent) <= everything
+        # Every pair is trivially persistent at fraction 0.
+        assert set(result.persistent_pairs(min_fraction=0.0)) == everything
+
+    def test_indexing_and_iteration(self, small_matrix, topk_query):
+        result = sliding_top_k(small_matrix, topk_query, k=2, basic_window_size=32)
+        assert result.num_windows == topk_query.num_windows
+        assert isinstance(result[0], TopKWindow)
+        assert len(list(result)) == result.num_windows
+
+
+class TestValidation:
+    def test_k_must_be_positive(self, small_matrix, topk_query):
+        with pytest.raises(QueryValidationError):
+            sliding_top_k(small_matrix, topk_query, k=0)
+
+    def test_needs_at_least_two_series(self, topk_query):
+        single = TimeSeriesMatrix(np.random.default_rng(0).normal(size=(1, 512)))
+        with pytest.raises(QueryValidationError):
+            sliding_top_k(single, topk_query, k=1)
+
+    def test_overlap_requires_matching_window_counts(self, small_matrix, topk_query):
+        short_query = SlidingQuery(
+            start=0, end=small_matrix.length // 2, window=128, step=32, threshold=0.0
+        )
+        a = top_k_brute_force(small_matrix, topk_query, k=2)
+        b = top_k_brute_force(small_matrix, short_query, k=2)
+        with pytest.raises(QueryValidationError):
+            top_k_overlap(a, b)
+
+    def test_persistent_pairs_fraction_validated(self, small_matrix, topk_query):
+        result = top_k_brute_force(small_matrix, topk_query, k=2)
+        with pytest.raises(QueryValidationError):
+            result.persistent_pairs(min_fraction=1.5)

@@ -1,0 +1,103 @@
+"""Unit tests for the synthetic USCRN climate generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import correlation_matrix
+from repro.datasets.climate import SyntheticUSCRN
+from repro.exceptions import GenerationError
+
+
+class TestSyntheticUSCRN:
+    @pytest.fixture(scope="class")
+    def generator(self):
+        return SyntheticUSCRN(num_stations=30, num_days=30, seed=99)
+
+    @pytest.fixture(scope="class")
+    def raw(self, generator):
+        return generator.generate()
+
+    def test_shape_and_ids(self, generator, raw):
+        assert raw.shape == (30, 30 * 24)
+        assert len(set(raw.series_ids)) == 30
+        assert raw.series_ids[0].startswith("USCRN-")
+        assert len(generator.stations) == 30
+
+    def test_station_coordinates_inside_conus(self, generator, raw):
+        for station in generator.stations:
+            assert 25.0 <= station.latitude <= 49.0
+            assert -124.0 <= station.longitude <= -67.0
+
+    def test_temperatures_physically_plausible(self, raw):
+        assert raw.values.min() > -60.0
+        assert raw.values.max() < 70.0
+
+    def test_diurnal_cycle_present_in_raw_data(self, raw):
+        series = raw.values[0]
+        hours = np.arange(raw.length) % 24
+        day_mean = series[(hours >= 12) & (hours < 18)].mean()
+        night_mean = series[(hours >= 0) & (hours < 6)].mean()
+        assert abs(day_mean - night_mean) > 0.5
+
+    def test_reproducible_with_seed(self):
+        a = SyntheticUSCRN(num_stations=10, num_days=5, seed=1).generate()
+        b = SyntheticUSCRN(num_stations=10, num_days=5, seed=1).generate()
+        c = SyntheticUSCRN(num_stations=10, num_days=5, seed=2).generate()
+        assert np.array_equal(a.values, b.values)
+        assert not np.array_equal(a.values, c.values)
+
+    def test_raw_correlations_exceed_anomaly_correlations(self, generator, raw):
+        """Shared diurnal/seasonal cycles inflate raw correlations."""
+        iu = np.triu_indices(raw.num_series, k=1)
+        raw_median = np.median(correlation_matrix(raw.values)[iu])
+        anomaly_median = np.median(
+            correlation_matrix(generator.generate_anomalies().values)[iu]
+        )
+        assert raw_median > anomaly_median + 0.2
+
+    def test_anomalies_have_wider_correlation_spread(self, generator):
+        anomalies = generator.generate_anomalies()
+        corr = correlation_matrix(anomalies.values)
+        iu = np.triu_indices(anomalies.num_series, k=1)
+        values = corr[iu]
+        # After removing cycles the network is no longer near-complete.
+        assert np.median(values) < 0.6
+        assert values.max() > np.median(values) + 0.1
+
+    def test_anomalies_remove_diurnal_cycle(self, generator):
+        anomalies = generator.generate_anomalies()
+        series = anomalies.values[0]
+        hours = np.arange(anomalies.length) % 24
+        day_mean = series[(hours >= 12) & (hours < 18)].mean()
+        night_mean = series[(hours >= 0) & (hours < 6)].mean()
+        assert abs(day_mean - night_mean) < 0.5
+
+    def test_nearby_stations_more_correlated_than_distant(self, generator):
+        anomalies = generator.generate_anomalies()
+        corr = correlation_matrix(anomalies.values)
+        stations = generator.stations
+        distances = np.zeros_like(corr)
+        for i, a in enumerate(stations):
+            for j, b in enumerate(stations):
+                distances[i, j] = np.hypot(
+                    a.latitude - b.latitude, a.longitude - b.longitude
+                )
+        iu = np.triu_indices(len(stations), k=1)
+        near = corr[iu][distances[iu] < 10.0]
+        far = corr[iu][distances[iu] > 30.0]
+        assert near.mean() > far.mean()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_stations": 1},
+            {"num_days": 0},
+            {"num_regions": 0},
+            {"correlation_length_degrees": 0.0},
+        ],
+    )
+    def test_parameter_validation(self, kwargs):
+        params = dict(num_stations=5, num_days=2)
+        params.update(kwargs)
+        with pytest.raises(GenerationError):
+            SyntheticUSCRN(**params)

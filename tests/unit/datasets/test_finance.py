@@ -1,0 +1,107 @@
+"""Unit tests for the synthetic market generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import correlation_matrix
+from repro.datasets.finance import SyntheticMarket, crisis_edge_density
+from repro.exceptions import GenerationError
+
+
+class TestSyntheticMarket:
+    @pytest.fixture(scope="class")
+    def market(self):
+        return SyntheticMarket(
+            num_assets=24,
+            num_days=600,
+            num_sectors=4,
+            crisis_periods=[(300, 360)],
+            seed=55,
+        )
+
+    @pytest.fixture(scope="class")
+    def returns(self, market):
+        return market.generate_returns()
+
+    def test_shape_and_tickers(self, market, returns):
+        assert returns.shape == (24, 600)
+        assert len(set(returns.series_ids)) == 24
+
+    def test_sector_labels_round_robin(self, market):
+        labels = market.sector_labels()
+        assert len(labels) == 24
+        assert set(labels) == {0, 1, 2, 3}
+
+    def test_same_sector_more_correlated(self, market, returns):
+        labels = market.sector_labels()
+        corr = correlation_matrix(returns.values)
+        same, different = [], []
+        for i in range(24):
+            for j in range(i + 1, 24):
+                (same if labels[i] == labels[j] else different).append(corr[i, j])
+        assert np.mean(same) > np.mean(different)
+
+    def test_crisis_period_raises_correlations(self, market, returns):
+        crisis = correlation_matrix(returns.values[:, 300:360])
+        calm = correlation_matrix(returns.values[:, 100:160])
+        iu = np.triu_indices(24, k=1)
+        assert crisis[iu].mean() > calm[iu].mean()
+
+    def test_prices_positive_and_start_near_initial(self, market):
+        prices = market.generate_prices(initial_price=50.0)
+        assert np.all(prices.values > 0)
+        assert np.allclose(prices.values[:, 0], 50.0, rtol=0.2)
+
+    def test_reproducible(self):
+        a = SyntheticMarket(num_assets=10, num_days=100, seed=3).generate_returns()
+        b = SyntheticMarket(num_assets=10, num_days=100, seed=3).generate_returns()
+        assert np.array_equal(a.values, b.values)
+
+    def test_volatility_clustering_optional(self):
+        clustered = SyntheticMarket(
+            num_assets=10, num_days=400, volatility_clustering=True, seed=9
+        ).generate_returns()
+        flat = SyntheticMarket(
+            num_assets=10, num_days=400, volatility_clustering=False, seed=9
+        ).generate_returns()
+        # Clustered volatility -> larger autocorrelation of squared returns.
+        def vol_autocorr(matrix):
+            squared = matrix.values**2
+            first = squared[:, :-1].ravel()
+            second = squared[:, 1:].ravel()
+            return np.corrcoef(first, second)[0, 1]
+
+        assert vol_autocorr(clustered) > vol_autocorr(flat)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_assets": 1},
+            {"num_days": 1},
+            {"num_sectors": 0},
+            {"crisis_periods": [(50, 40)]},
+            {"crisis_periods": [(0, 10_000)]},
+            {"crisis_multiplier": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        params = dict(num_assets=10, num_days=100)
+        params.update(kwargs)
+        with pytest.raises(GenerationError):
+            SyntheticMarket(**params)
+
+
+class TestCrisisEdgeDensity:
+    def test_partitions_windows(self):
+        edges = np.array([1, 2, 10, 12, 3])
+        starts = np.array([0, 50, 100, 150, 200])
+        crisis_mean, calm_mean = crisis_edge_density(edges, starts, [(100, 200)])
+        assert crisis_mean == pytest.approx(11.0)
+        assert calm_mean == pytest.approx(2.0)
+
+    def test_no_crisis_periods(self):
+        crisis_mean, calm_mean = crisis_edge_density(
+            np.array([1.0, 2.0]), np.array([0, 10]), []
+        )
+        assert crisis_mean == 0.0
+        assert calm_mean == pytest.approx(1.5)

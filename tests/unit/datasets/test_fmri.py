@@ -1,0 +1,112 @@
+"""Unit tests for the synthetic BOLD fMRI generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import correlation_matrix
+from repro.datasets.fmri import (
+    SyntheticBOLD,
+    hemodynamic_response,
+    region_average_matrix,
+)
+from repro.exceptions import GenerationError
+
+
+class TestHemodynamicResponse:
+    def test_shape_and_normalization(self):
+        hrf = hemodynamic_response(duration_seconds=30.0, tr_seconds=2.0)
+        assert len(hrf) == 15
+        assert np.abs(hrf).sum() == pytest.approx(1.0)
+
+    def test_peak_before_undershoot(self):
+        hrf = hemodynamic_response(duration_seconds=32.0, tr_seconds=1.0)
+        peak_index = int(np.argmax(hrf))
+        trough_index = int(np.argmin(hrf))
+        assert 2 <= peak_index <= 8
+        assert trough_index > peak_index
+
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            hemodynamic_response(duration_seconds=0.0)
+
+
+class TestSyntheticBOLD:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        generator = SyntheticBOLD(
+            grid_shape=(4, 4, 2), num_regions=4, num_volumes=300, seed=31
+        )
+        matrix, labels = generator.generate()
+        return generator, matrix, labels
+
+    def test_shapes(self, generated):
+        generator, matrix, labels = generated
+        assert matrix.shape == (32, 300)
+        assert labels.shape == (32,)
+        assert set(np.unique(labels)) <= set(range(4))
+
+    def test_every_region_nonempty(self, generated):
+        _, _, labels = generated
+        counts = np.bincount(labels, minlength=4)
+        assert np.all(counts > 0)
+
+    def test_within_region_correlation_exceeds_between(self, generated):
+        _, matrix, labels = generated
+        corr = correlation_matrix(matrix.values)
+        n = matrix.num_series
+        within, between = [], []
+        for i in range(n):
+            for j in range(i + 1, n):
+                (within if labels[i] == labels[j] else between).append(corr[i, j])
+        assert np.mean(within) > np.mean(between) + 0.1
+
+    def test_time_axis_uses_tr(self, generated):
+        generator, matrix, _ = generated
+        assert matrix.time_axis.resolution == generator.tr_seconds
+
+    def test_reproducible(self):
+        a = SyntheticBOLD(grid_shape=(3, 3, 2), num_volumes=100, num_regions=3, seed=7)
+        b = SyntheticBOLD(grid_shape=(3, 3, 2), num_volumes=100, num_regions=3, seed=7)
+        assert np.array_equal(a.generate()[0].values, b.generate()[0].values)
+
+    def test_spike_artifacts_increase_amplitude(self):
+        calm = SyntheticBOLD(grid_shape=(3, 3, 1), num_regions=3, num_volumes=200,
+                             spike_probability=0.0, seed=8).generate()[0]
+        spiky = SyntheticBOLD(grid_shape=(3, 3, 1), num_regions=3, num_volumes=200,
+                              spike_probability=0.2, seed=8).generate()[0]
+        assert spiky.values.max() > calm.values.max()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"grid_shape": (0, 3, 3)},
+            {"num_regions": 0},
+            {"num_volumes": 4},
+            {"num_regions": 1000},
+        ],
+    )
+    def test_validation(self, kwargs):
+        params = dict(grid_shape=(3, 3, 2), num_regions=3, num_volumes=100)
+        params.update(kwargs)
+        with pytest.raises(GenerationError):
+            SyntheticBOLD(**params)
+
+
+class TestRegionAverages:
+    def test_region_average_matrix(self):
+        generator = SyntheticBOLD(
+            grid_shape=(3, 3, 2), num_regions=4, num_volumes=120, seed=12
+        )
+        matrix, labels = generator.generate()
+        regions = region_average_matrix(matrix, labels)
+        assert regions.num_series == len(np.unique(labels))
+        assert regions.length == matrix.length
+        first_region = int(np.unique(labels)[0])
+        expected = matrix.values[labels == first_region].mean(axis=0)
+        assert np.allclose(regions.values[0], expected)
+
+    def test_label_length_mismatch(self):
+        generator = SyntheticBOLD(grid_shape=(2, 2, 2), num_regions=2, num_volumes=50, seed=1)
+        matrix, labels = generator.generate()
+        with pytest.raises(GenerationError):
+            region_average_matrix(matrix, labels[:-1])

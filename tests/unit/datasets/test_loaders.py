@@ -1,0 +1,110 @@
+"""Unit tests for dataset loaders and writers (USCRN format, wide CSV)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.climate import SyntheticUSCRN
+from repro.datasets.loaders import (
+    USCRN_MISSING,
+    load_uscrn_hourly,
+    load_wide_csv,
+    station_dictionary,
+    write_uscrn_hourly,
+    write_wide_csv,
+)
+from repro.exceptions import DataValidationError
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+
+@pytest.fixture(scope="module")
+def climate_matrix():
+    return SyntheticUSCRN(num_stations=4, num_days=3, seed=77).generate()
+
+
+class TestUSCRNRoundTrip:
+    def test_write_then_load_recovers_values(self, climate_matrix, tmp_path):
+        paths = write_uscrn_hourly(climate_matrix, tmp_path / "uscrn")
+        assert len(paths) == climate_matrix.num_series
+        loaded = load_uscrn_hourly(paths)
+        assert loaded.num_series == climate_matrix.num_series
+        assert loaded.length == climate_matrix.length
+        # The USCRN text format stores temperatures to 0.1 degC, so the round
+        # trip is exact only up to that quantisation.
+        assert np.allclose(loaded.values, climate_matrix.values, atol=0.051)
+
+    def test_loaded_series_ids_match_filenames(self, climate_matrix, tmp_path):
+        paths = write_uscrn_hourly(climate_matrix, tmp_path / "u2")
+        loaded = load_uscrn_hourly(sorted(paths))
+        assert sorted(loaded.series_ids) == sorted(climate_matrix.series_ids)
+
+    def test_missing_sentinel_is_interpolated(self, tmp_path):
+        matrix = TimeSeriesMatrix(np.arange(48, dtype=float).reshape(1, 48) + 10.0,
+                                  series_ids=["STA"])
+        (path,) = write_uscrn_hourly(matrix, tmp_path / "u3")
+        content = path.read_text().splitlines()
+        fields = content[5].split()
+        fields[8] = f"{USCRN_MISSING:.1f}"
+        content[5] = " ".join(fields)
+        path.write_text("\n".join(content) + "\n")
+        loaded = load_uscrn_hourly([path])
+        assert not loaded.has_missing()
+        assert loaded.values[0, 5] == pytest.approx(15.0, abs=0.5)
+
+    def test_load_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(DataValidationError):
+            load_uscrn_hourly([path])
+
+    def test_load_rejects_malformed_rows(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("12345 20200101\n")
+        with pytest.raises(DataValidationError):
+            load_uscrn_hourly([path])
+
+    def test_load_rejects_no_paths_and_bad_column(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            load_uscrn_hourly([])
+        path = tmp_path / "x.txt"
+        path.write_text("")
+        with pytest.raises(DataValidationError):
+            load_uscrn_hourly([path], variable_column="NOT_A_COLUMN")
+
+    def test_write_rejects_unknown_column(self, climate_matrix, tmp_path):
+        with pytest.raises(DataValidationError):
+            write_uscrn_hourly(climate_matrix, tmp_path, variable_column="XYZ")
+
+
+class TestWideCsv:
+    def test_round_trip(self, tmp_path, rng):
+        matrix = TimeSeriesMatrix(
+            rng.normal(size=(3, 25)), series_ids=["a", "b", "c"]
+        )
+        path = write_wide_csv(matrix, tmp_path / "wide.csv")
+        loaded = load_wide_csv(path)
+        assert loaded.series_ids == ["a", "b", "c"]
+        assert np.allclose(loaded.values, matrix.values)
+
+    def test_rejects_missing_and_ragged_files(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("series_id,t0,t1\na,1,2\nb,1\n")
+        with pytest.raises(DataValidationError):
+            load_wide_csv(path)
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(DataValidationError):
+            load_wide_csv(empty)
+
+    def test_rejects_non_numeric_values(self, tmp_path):
+        path = tmp_path / "text.csv"
+        path.write_text("series_id,t0,t1\na,1,hello\n")
+        with pytest.raises(DataValidationError):
+            load_wide_csv(path)
+
+
+class TestStationDictionary:
+    def test_maps_ids_to_rows(self, climate_matrix):
+        mapping = station_dictionary(climate_matrix)
+        assert set(mapping) == set(climate_matrix.series_ids)
+        first = climate_matrix.series_ids[0]
+        assert np.array_equal(mapping[first], climate_matrix.series(first))

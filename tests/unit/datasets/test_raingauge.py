@@ -1,0 +1,86 @@
+"""Unit tests for the rain-gauge dataset simulator (repro.datasets.raingauge)."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import correlation_matrix
+from repro.datasets.raingauge import SyntheticRainGauges, _normal_quantile
+from repro.exceptions import GenerationError
+
+
+@pytest.fixture(scope="module")
+def rainfall():
+    generator = SyntheticRainGauges(num_gauges=30, num_days=730, seed=5)
+    return generator, generator.generate()
+
+
+class TestGeneration:
+    def test_shape_and_metadata(self, rainfall):
+        generator, matrix = rainfall
+        assert matrix.shape == (30, 730)
+        assert len(generator.gauges) == 30
+        assert matrix.series_ids[0] == "GAUGE-000"
+
+    def test_rainfall_is_non_negative_and_zero_inflated(self, rainfall):
+        _, matrix = rainfall
+        values = matrix.values
+        assert np.all(values >= 0.0)
+        dry_fraction = np.mean(values == 0.0)
+        assert 0.3 < dry_fraction < 0.9
+
+    def test_wet_day_amounts_right_skewed(self, rainfall):
+        _, matrix = rainfall
+        wet = matrix.values[matrix.values > 0]
+        assert wet.mean() > np.median(wet)
+
+    def test_nearby_gauges_more_correlated_than_remote(self, rainfall):
+        generator, matrix = rainfall
+        corr = correlation_matrix(matrix.values)
+        lats = np.array([g.latitude for g in generator.gauges])
+        lons = np.array([g.longitude for g in generator.gauges])
+        distance = np.sqrt(
+            (lats[:, None] - lats[None, :]) ** 2 + (lons[:, None] - lons[None, :]) ** 2
+        )
+        iu, ju = np.triu_indices(len(lats), k=1)
+        near = distance[iu, ju] < np.percentile(distance[iu, ju], 20)
+        far = distance[iu, ju] > np.percentile(distance[iu, ju], 80)
+        assert corr[iu, ju][near].mean() > corr[iu, ju][far].mean()
+
+    def test_reproducible_with_seed(self):
+        first = SyntheticRainGauges(num_gauges=8, num_days=100, seed=2).generate()
+        second = SyntheticRainGauges(num_gauges=8, num_days=100, seed=2).generate()
+        assert np.array_equal(first.values, second.values)
+        different = SyntheticRainGauges(num_gauges=8, num_days=100, seed=3).generate()
+        assert not np.array_equal(first.values, different.values)
+
+    def test_log_transform_compresses_tail(self, rainfall):
+        generator, matrix = rainfall
+        transformed = generator.generate_transformed()
+        assert transformed.shape == matrix.shape
+        assert transformed.values.max() < matrix.values.max()
+        # Zeros stay zero under log1p.
+        assert np.all(transformed.values[matrix.values == 0.0] == 0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(GenerationError):
+            SyntheticRainGauges(num_gauges=1)
+        with pytest.raises(GenerationError):
+            SyntheticRainGauges(wet_probability=0.0)
+        with pytest.raises(GenerationError):
+            SyntheticRainGauges(gamma_shape=-1.0)
+        with pytest.raises(GenerationError):
+            SyntheticRainGauges().generate_transformed(epsilon=0.0)
+
+
+class TestNormalQuantile:
+    def test_matches_scipy(self):
+        from scipy import stats
+
+        for p in (0.01, 0.1, 0.35, 0.5, 0.65, 0.9, 0.99):
+            assert _normal_quantile(p) == pytest.approx(stats.norm.ppf(p), abs=1e-6)
+
+    def test_rejects_boundary(self):
+        with pytest.raises(GenerationError):
+            _normal_quantile(0.0)
+        with pytest.raises(GenerationError):
+            _normal_quantile(1.0)

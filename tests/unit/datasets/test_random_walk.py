@@ -1,0 +1,96 @@
+"""Unit tests for the elementary stochastic-process generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import correlation_matrix
+from repro.datasets.random_walk import (
+    ar1_series,
+    random_walks,
+    sinusoid_mixture,
+    white_noise,
+)
+from repro.exceptions import GenerationError
+
+
+class TestWhiteNoise:
+    def test_shape_and_statistics(self):
+        matrix = white_noise(10, 2000, seed=1)
+        assert matrix.shape == (10, 2000)
+        assert abs(matrix.values.mean()) < 0.1
+        assert abs(matrix.values.std() - 1.0) < 0.1
+
+    def test_independent_series_weakly_correlated(self):
+        corr = correlation_matrix(white_noise(10, 4000, seed=2).values)
+        iu = np.triu_indices(10, k=1)
+        assert np.abs(corr[iu]).max() < 0.15
+
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            white_noise(0, 100)
+        with pytest.raises(GenerationError):
+            white_noise(2, 1)
+
+
+class TestRandomWalks:
+    def test_steps_accumulate(self):
+        matrix = random_walks(3, 500, seed=3)
+        diffs = np.diff(matrix.values, axis=1)
+        assert abs(diffs.std() - 1.0) < 0.1
+
+    def test_spurious_correlations_are_large(self):
+        corr = correlation_matrix(random_walks(8, 800, seed=4).values)
+        iu = np.triu_indices(8, k=1)
+        assert np.abs(corr[iu]).max() > 0.5
+
+    def test_step_scale_validation(self):
+        with pytest.raises(GenerationError):
+            random_walks(2, 100, step_scale=0.0)
+
+
+class TestAR1:
+    def test_autocorrelation_matches_coefficient(self):
+        matrix = ar1_series(1, 20000, coefficient=0.8, seed=5)
+        series = matrix.values[0]
+        lag1 = np.corrcoef(series[:-1], series[1:])[0, 1]
+        assert lag1 == pytest.approx(0.8, abs=0.05)
+
+    def test_shared_innovations_create_cross_correlation(self):
+        independent = ar1_series(10, 3000, shared_innovation_weight=0.0, seed=6)
+        shared = ar1_series(10, 3000, shared_innovation_weight=0.8, seed=6)
+        iu = np.triu_indices(10, k=1)
+        assert (
+            correlation_matrix(shared.values)[iu].mean()
+            > correlation_matrix(independent.values)[iu].mean() + 0.3
+        )
+
+    def test_unit_marginal_variance(self):
+        matrix = ar1_series(5, 10000, coefficient=0.9, seed=7)
+        assert np.allclose(matrix.values.std(axis=1), 1.0, atol=0.15)
+
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            ar1_series(2, 100, coefficient=1.0)
+        with pytest.raises(GenerationError):
+            ar1_series(2, 100, shared_innovation_weight=1.0)
+
+
+class TestSinusoidMixture:
+    def test_energy_concentrated_in_few_frequencies(self):
+        matrix = sinusoid_mixture(4, 1024, num_tones=2, noise_scale=0.05, seed=8)
+        spectrum = np.abs(np.fft.rfft(matrix.values[0])) ** 2
+        top_share = np.sort(spectrum)[::-1][:6].sum() / spectrum.sum()
+        assert top_share > 0.8
+
+    def test_shared_tones_create_correlations(self):
+        corr = correlation_matrix(
+            sinusoid_mixture(8, 2048, num_tones=1, noise_scale=0.1, seed=9).values
+        )
+        iu = np.triu_indices(8, k=1)
+        assert np.abs(corr[iu]).mean() > 0.3
+
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            sinusoid_mixture(2, 100, num_tones=0)
+        with pytest.raises(GenerationError):
+            sinusoid_mixture(2, 100, noise_scale=-1.0)

@@ -1,0 +1,65 @@
+"""Unit tests for the experiment registry (E1–E10).
+
+Each experiment runs at a tiny scale here — the goal is to verify that every
+registered experiment produces a well-formed table with the columns its
+benchmark prints, not to reproduce the paper-scale numbers (that is what the
+benchmarks directory does).
+"""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    experiment_e1_query_time,
+    experiment_e4_threshold_sweep,
+    experiment_e7_pruning_ablation,
+    experiment_e9_bound_quality,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        """E1-E10 reproduce the paper; E11-E15 are the repository's ablations."""
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 16)}
+
+    def test_run_experiment_by_id_case_insensitive(self):
+        result = run_experiment("e1", scale=0.15)
+        assert result.experiment_id == "E1"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("E99")
+
+
+class TestIndividualExperiments:
+    def test_e1_has_row_per_engine_and_speedup_column(self):
+        result = experiment_e1_query_time(scale=0.15)
+        assert len(result.rows) == 3
+        assert "speedup_vs_tsubasa" in result.headers
+        table = result.table()
+        assert "E1" in table and "dangoron" in table
+
+    def test_e4_rows_cover_requested_thresholds(self):
+        result = experiment_e4_threshold_sweep(scale=0.15, thresholds=(0.6, 0.8))
+        assert [row[0] for row in result.rows] == [0.6, 0.8]
+        recall_index = result.headers.index("recall")
+        assert all(row[recall_index] >= 0.0 for row in result.rows)
+
+    def test_e7_covers_all_ablation_configurations(self):
+        result = experiment_e7_pruning_ablation(scale=0.15)
+        labels = [row[0] for row in result.rows]
+        assert labels == [
+            "none", "temporal", "horizontal", "temporal+horizontal",
+            "prefix_combination",
+        ]
+        recall_index = result.headers.index("recall")
+        none_recall = result.rows[0][recall_index]
+        assert none_recall == pytest.approx(1.0)
+
+    def test_e9_violation_rate_is_small(self):
+        result = experiment_e9_bound_quality(scale=0.15, horizons=(1, 4))
+        rate_index = result.headers.index("violation_rate")
+        for row in result.rows:
+            assert 0.0 <= row[rate_index] <= 0.5

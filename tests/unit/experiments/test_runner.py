@@ -1,0 +1,62 @@
+"""Unit tests for the engine-comparison runner."""
+
+import pytest
+
+from repro.baselines.brute_force import BruteForceEngine
+from repro.baselines.tsubasa import TsubasaEngine
+from repro.core.dangoron import DangoronEngine
+from repro.exceptions import ExperimentError
+from repro.experiments.runner import default_engines, run_comparison
+from repro.experiments.workloads import climate_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return climate_workload(scale=0.15, threshold=0.6)
+
+
+@pytest.fixture(scope="module")
+def comparison(workload):
+    engines = [
+        BruteForceEngine(),
+        TsubasaEngine(basic_window_size=workload.basic_window_size),
+        DangoronEngine(basic_window_size=workload.basic_window_size),
+    ]
+    return run_comparison(workload, engines=engines)
+
+
+class TestRunComparison:
+    def test_one_row_per_engine(self, comparison):
+        assert len(comparison.rows) == 3
+        assert len(comparison.results) == 3
+
+    def test_exact_engines_have_perfect_precision(self, comparison):
+        for row in comparison.rows:
+            assert row.precision == pytest.approx(1.0)
+
+    def test_speedup_reference_is_tsubasa(self, comparison):
+        tsubasa_row = comparison.row("tsubasa")
+        assert tsubasa_row.speedup_vs_reference == pytest.approx(1.0)
+
+    def test_dangoron_prunes_relative_to_tsubasa(self, comparison):
+        dangoron_row = comparison.row("dangoron")
+        tsubasa_row = comparison.row("tsubasa")
+        assert dangoron_row.evaluation_fraction <= tsubasa_row.evaluation_fraction
+
+    def test_row_lookup_unknown_prefix(self, comparison):
+        with pytest.raises(ExperimentError):
+            comparison.row("nonexistent")
+
+    def test_table_contains_all_engines(self, comparison):
+        table = comparison.table()
+        for row in comparison.rows:
+            assert row.engine.split("[")[0] in table
+
+    def test_row_as_dict(self, comparison):
+        record = comparison.rows[0].as_dict()
+        assert {"engine", "query_seconds", "recall", "speedup"} <= set(record)
+
+    def test_default_engines_lineup(self):
+        engines = default_engines(basic_window_size=16)
+        names = {engine.name for engine in engines}
+        assert names == {"brute_force", "tsubasa", "dangoron", "parcorr", "statstream"}

@@ -1,0 +1,63 @@
+"""Unit tests for standard experiment workloads."""
+
+import pytest
+
+from repro.core.basic_window import BasicWindowLayout
+from repro.experiments.workloads import (
+    climate_workload,
+    finance_workload,
+    fmri_workload,
+    tomborg_workload,
+)
+
+ALL_BUILDERS = [climate_workload, tomborg_workload, fmri_workload, finance_workload]
+
+
+@pytest.mark.parametrize("builder", ALL_BUILDERS, ids=lambda b: b.__name__)
+class TestWorkloadContract:
+    def test_small_scale_workload_is_consistent(self, builder):
+        workload = builder(scale=0.15)
+        assert workload.num_series >= 10
+        assert workload.matrix.length >= workload.query.window
+        workload.query.validate_against_length(workload.matrix.length)
+        assert workload.num_windows >= 1
+        assert workload.describe().startswith(workload.name)
+
+    def test_query_aligns_with_basic_windows(self, builder):
+        workload = builder(scale=0.15)
+        layout = BasicWindowLayout.for_query(
+            workload.query, workload.basic_window_size
+        )
+        assert workload.query.window % layout.size == 0
+        assert workload.query.step % layout.size == 0
+
+    def test_scale_controls_size(self, builder):
+        small = builder(scale=0.15)
+        large = builder(scale=0.3)
+        assert large.num_series >= small.num_series
+
+
+class TestSpecificWorkloads:
+    def test_climate_threshold_passthrough(self):
+        workload = climate_workload(scale=0.15, threshold=0.42)
+        assert workload.query.threshold == 0.42
+
+    def test_tomborg_metadata_has_ground_truth(self):
+        workload = tomborg_workload(scale=0.15, num_segments=2)
+        dataset = workload.metadata["dataset"]
+        assert len(dataset.segments) == 2
+        assert dataset.length == workload.matrix.length
+
+    def test_fmri_labels_cover_all_voxels(self):
+        workload = fmri_workload(scale=0.15)
+        assert workload.labels is not None
+        assert len(workload.labels) == workload.num_series
+
+    def test_finance_crisis_periods_inside_range(self):
+        workload = finance_workload(scale=0.25)
+        for start, end in workload.metadata["crisis_periods"]:
+            assert 0 <= start < end <= workload.matrix.length
+
+    def test_tomborg_rejects_zero_segments(self):
+        with pytest.raises(Exception):
+            tomborg_workload(scale=0.15, num_segments=0)

@@ -1,0 +1,70 @@
+"""Unit tests for graph construction from thresholded matrices."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import BruteForceEngine
+from repro.core.result import ThresholdedMatrix
+from repro.exceptions import DataValidationError
+from repro.network.builder import graph_from_matrix, graphs_from_result, union_graph
+
+
+@pytest.fixture
+def matrix():
+    return ThresholdedMatrix(
+        5, np.array([0, 1]), np.array([2, 3]), np.array([0.9, 0.75])
+    )
+
+
+class TestGraphFromMatrix:
+    def test_nodes_and_edges(self, matrix):
+        graph = graph_from_matrix(matrix)
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 2
+        assert graph.has_edge(0, 2)
+        assert graph[0][2]["weight"] == pytest.approx(0.9)
+
+    def test_isolated_nodes_kept(self, matrix):
+        graph = graph_from_matrix(matrix)
+        assert 4 in graph.nodes
+
+    def test_series_ids_as_node_labels(self, matrix):
+        graph = graph_from_matrix(matrix, series_ids=list("abcde"))
+        assert graph.has_edge("a", "c")
+        assert "e" in graph.nodes
+
+    def test_series_ids_length_mismatch(self, matrix):
+        with pytest.raises(DataValidationError):
+            graph_from_matrix(matrix, series_ids=["a", "b"])
+
+
+class TestResultGraphs:
+    def test_one_graph_per_window(self, small_matrix, standard_query):
+        result = BruteForceEngine().run(small_matrix, standard_query)
+        graphs = graphs_from_result(result)
+        assert len(graphs) == result.num_windows
+        for graph, matrix in zip(graphs, result.matrices):
+            assert graph.number_of_edges() == matrix.num_edges
+            assert graph.number_of_nodes() == small_matrix.num_series
+
+    def test_union_graph_persistence_weights(self, small_matrix, standard_query):
+        result = BruteForceEngine().run(small_matrix, standard_query)
+        union = union_graph(result, min_persistence=0.0, use_series_ids=False)
+        all_edges = set()
+        for matrix in result.matrices:
+            all_edges |= matrix.edge_set()
+        assert union.number_of_edges() == len(all_edges)
+        for _, _, data in union.edges(data=True):
+            assert 0.0 < data["persistence"] <= 1.0
+            assert -1.0 <= data["weight"] <= 1.0
+
+    def test_union_graph_min_persistence_filters(self, small_matrix, standard_query):
+        result = BruteForceEngine().run(small_matrix, standard_query)
+        loose = union_graph(result, min_persistence=0.0)
+        strict = union_graph(result, min_persistence=0.9)
+        assert strict.number_of_edges() <= loose.number_of_edges()
+
+    def test_union_graph_validation(self, small_matrix, standard_query):
+        result = BruteForceEngine().run(small_matrix, standard_query)
+        with pytest.raises(DataValidationError):
+            union_graph(result, min_persistence=1.5)

@@ -1,0 +1,155 @@
+"""Unit tests for community detection and blinking links (repro.network.communities)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.network.communities import (
+    blinking_links,
+    consensus_communities,
+    detect_communities,
+    detect_communities_over_time,
+    link_activity,
+    partition_agreement,
+)
+
+
+def two_cliques(noise_edge: bool = False) -> nx.Graph:
+    """Two 4-cliques, optionally joined by one bridge edge."""
+    graph = nx.Graph()
+    for offset in (0, 4):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                graph.add_edge(offset + i, offset + j, weight=0.9)
+    if noise_edge:
+        graph.add_edge(0, 4, weight=0.5)
+    return graph
+
+
+@pytest.fixture
+def alternating_graphs():
+    """Edge (0, 1) is always on; edge (2, 3) blinks on and off every window."""
+    graphs = []
+    for window in range(6):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        graph.add_edge(0, 1, weight=0.9)
+        if window % 2 == 0:
+            graph.add_edge(2, 3, weight=0.8)
+        graphs.append(graph)
+    return graphs
+
+
+class TestDetection:
+    @pytest.mark.parametrize("method", ["greedy", "label_propagation"])
+    def test_two_cliques_found(self, method):
+        communities = detect_communities(two_cliques(), method=method)
+        as_sets = {frozenset(c) for c in communities}
+        assert frozenset({0, 1, 2, 3}) in as_sets
+        assert frozenset({4, 5, 6, 7}) in as_sets
+
+    def test_empty_graph_gives_singletons(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(5))
+        communities = detect_communities(graph)
+        assert sorted(len(c) for c in communities) == [1, 1, 1, 1, 1]
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(DataValidationError):
+            detect_communities(two_cliques(), method="louvain-magic")
+
+    def test_timeline_over_windows(self):
+        graphs = [two_cliques(), two_cliques(noise_edge=True), two_cliques()]
+        timeline = detect_communities_over_time(graphs)
+        assert timeline.num_windows == 3
+        assert np.all(timeline.num_communities() >= 2)
+        membership = timeline.membership(0)
+        assert membership[0] == membership[1]
+        assert membership[0] != membership[7]
+
+    def test_stability_high_for_static_structure(self):
+        graphs = [two_cliques() for _ in range(4)]
+        timeline = detect_communities_over_time(graphs)
+        assert np.all(timeline.stability_series() == pytest.approx(1.0))
+
+    def test_node_community_series(self):
+        graphs = [two_cliques(), two_cliques()]
+        timeline = detect_communities_over_time(graphs)
+        series = timeline.node_community_series(0)
+        assert len(series) == 2
+        assert all(value is not None for value in series)
+        missing = timeline.node_community_series("not-a-node")
+        assert missing == [None, None]
+
+
+class TestPartitionAgreement:
+    def test_identical_partitions_agree_fully(self):
+        partition = [{0, 1}, {2, 3}]
+        assert partition_agreement(partition, partition) == pytest.approx(1.0)
+
+    def test_orthogonal_partitions_agree_less(self):
+        first = [{0, 1}, {2, 3}]
+        second = [{0, 2}, {1, 3}]
+        assert partition_agreement(first, second) < 0.5
+
+    def test_disjoint_node_sets_default_to_one(self):
+        assert partition_agreement([{0}], [{1}]) == pytest.approx(1.0)
+
+
+class TestConsensus:
+    def test_consensus_matches_stable_structure(self):
+        graphs = [two_cliques(), two_cliques(noise_edge=True), two_cliques()]
+        communities = consensus_communities(graphs, min_persistence=0.9)
+        as_sets = {frozenset(c) for c in communities}
+        assert frozenset({0, 1, 2, 3}) in as_sets
+        assert frozenset({4, 5, 6, 7}) in as_sets
+
+    def test_invalid_persistence_rejected(self):
+        with pytest.raises(DataValidationError):
+            consensus_communities([two_cliques()], min_persistence=1.5)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(DataValidationError):
+            consensus_communities([])
+
+
+class TestBlinkingLinks:
+    def test_activity_matrix_shape_and_persistence(self, alternating_graphs):
+        activity = link_activity(alternating_graphs)
+        assert activity.activity.shape == (2, 6)
+        persistence = dict(zip(activity.edges, activity.persistence()))
+        assert persistence[(0, 1)] == pytest.approx(1.0)
+        assert persistence[(2, 3)] == pytest.approx(0.5)
+
+    def test_blinking_edges_ranked_by_transitions(self, alternating_graphs):
+        blinking = blinking_links(alternating_graphs, min_transitions=2)
+        assert blinking[0][0] == (2, 3)
+        assert blinking[0][1] == 5  # six windows, flips at every transition
+        # The always-on edge never flips and is excluded.
+        assert all(edge != (0, 1) for edge, _ in blinking)
+
+    def test_blinking_fraction(self, alternating_graphs):
+        activity = link_activity(alternating_graphs)
+        assert activity.blinking_fraction(min_transitions=2) == pytest.approx(0.5)
+
+    def test_min_transitions_validated(self, alternating_graphs):
+        with pytest.raises(DataValidationError):
+            link_activity(alternating_graphs).blinking_edges(min_transitions=0)
+
+    def test_single_window_has_no_transitions(self):
+        graph = two_cliques()
+        activity = link_activity([graph])
+        assert np.all(activity.transitions() == 0)
+        assert blinking_links([graph]) == []
+
+    def test_works_with_dynamic_network(self, small_matrix, standard_query):
+        from repro.baselines.brute_force import BruteForceEngine
+        from repro.network.dynamic import DynamicNetwork
+
+        result = BruteForceEngine().run(small_matrix, standard_query)
+        network = DynamicNetwork.from_result(result)
+        activity = link_activity(network)
+        assert activity.num_windows == standard_query.num_windows
+        timeline = detect_communities_over_time(network)
+        assert timeline.num_windows == standard_query.num_windows

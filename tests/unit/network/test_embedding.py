@@ -1,0 +1,129 @@
+"""Unit tests for node features and spectral embeddings (repro.network.embedding)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import BruteForceEngine
+from repro.exceptions import DataValidationError
+from repro.network.dynamic import DynamicNetwork
+from repro.network.embedding import (
+    NODE_FEATURE_NAMES,
+    connectivity_fingerprints,
+    embedding_series,
+    feature_series,
+    node_features,
+    spectral_embedding,
+)
+
+
+def triangle_plus_isolate() -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_weighted_edges_from([(0, 1, 0.9), (1, 2, 0.8), (0, 2, 0.7)])
+    graph.add_node(3)
+    return graph
+
+
+class TestNodeFeatures:
+    def test_feature_values_of_triangle(self):
+        features = node_features(triangle_plus_isolate(), nodes=[0, 1, 2, 3])
+        degree = features[:, NODE_FEATURE_NAMES.index("degree")]
+        clustering = features[:, NODE_FEATURE_NAMES.index("clustering")]
+        strength = features[:, NODE_FEATURE_NAMES.index("strength")]
+        assert list(degree) == [2, 2, 2, 0]
+        assert clustering[:3] == pytest.approx([1.0, 1.0, 1.0])
+        assert strength[0] == pytest.approx(0.9 + 0.7)
+        assert np.all(features[3] == 0)
+
+    def test_missing_nodes_get_zero_rows(self):
+        features = node_features(triangle_plus_isolate(), nodes=[0, 99])
+        assert np.all(features[1] == 0)
+        assert features.shape == (2, len(NODE_FEATURE_NAMES))
+
+    def test_empty_graph(self):
+        features = node_features(nx.Graph(), nodes=[1, 2])
+        assert features.shape == (2, len(NODE_FEATURE_NAMES))
+        assert np.all(features == 0)
+
+
+class TestFeatureSeries:
+    def test_series_shape_and_lookup(self, small_matrix, standard_query):
+        result = BruteForceEngine().run(small_matrix, standard_query)
+        network = DynamicNetwork.from_result(result)
+        series = feature_series(network)
+        assert series.values.shape == (
+            standard_query.num_windows,
+            small_matrix.num_series,
+            len(NODE_FEATURE_NAMES),
+        )
+        node = small_matrix.series_ids[0]
+        degree_trajectory = series.node_series(node, "degree")
+        assert len(degree_trajectory) == standard_query.num_windows
+        assert series.flattened().shape == (
+            standard_query.num_windows,
+            small_matrix.num_series * len(NODE_FEATURE_NAMES),
+        )
+
+    def test_unknown_node_or_feature_rejected(self, small_matrix, standard_query):
+        result = BruteForceEngine().run(small_matrix, standard_query)
+        series = feature_series(DynamicNetwork.from_result(result))
+        with pytest.raises(DataValidationError):
+            series.node_series("missing-node", "degree")
+        with pytest.raises(DataValidationError):
+            series.node_series(small_matrix.series_ids[0], "pagerank")
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(DataValidationError):
+            feature_series([])
+
+
+class TestSpectralEmbedding:
+    def test_shape_and_isolated_nodes_at_origin(self):
+        embedding = spectral_embedding(triangle_plus_isolate(), dim=2, nodes=[0, 1, 2, 3])
+        assert embedding.shape == (4, 2)
+        assert np.all(embedding[3] == 0.0)
+        assert np.any(embedding[:3] != 0.0)
+
+    def test_two_cliques_separate_along_first_direction(self):
+        graph = nx.Graph()
+        for offset in (0, 5):
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    graph.add_edge(offset + i, offset + j, weight=1.0)
+        graph.add_edge(0, 5, weight=0.1)
+        nodes = list(range(10))
+        embedding = spectral_embedding(graph, dim=1, nodes=nodes)
+        left = embedding[:5, 0]
+        right = embedding[5:, 0]
+        assert np.sign(np.median(left)) != np.sign(np.median(right))
+
+    def test_dimension_validation(self):
+        graph = triangle_plus_isolate()
+        with pytest.raises(DataValidationError):
+            spectral_embedding(graph, dim=0)
+        with pytest.raises(DataValidationError):
+            spectral_embedding(graph, dim=10)
+
+    def test_embedding_series_common_node_order(self, small_matrix, standard_query):
+        result = BruteForceEngine().run(small_matrix, standard_query)
+        network = DynamicNetwork.from_result(result)
+        embeddings = embedding_series(network, dim=2)
+        assert len(embeddings) == standard_query.num_windows
+        assert all(e.shape == (small_matrix.num_series, 2) for e in embeddings)
+
+
+class TestFingerprints:
+    def test_fingerprint_shape_and_values(self, small_matrix, standard_query):
+        result = BruteForceEngine().run(small_matrix, standard_query)
+        fingerprints = connectivity_fingerprints(result)
+        n = small_matrix.num_series
+        assert fingerprints.shape == (standard_query.num_windows, n * (n - 1) // 2)
+        # Every non-zero fingerprint entry is an above-threshold correlation.
+        nonzero = fingerprints[fingerprints != 0.0]
+        assert np.all(nonzero >= standard_query.threshold)
+
+    def test_fingerprints_match_edge_counts(self, small_matrix, standard_query):
+        result = BruteForceEngine().run(small_matrix, standard_query)
+        fingerprints = connectivity_fingerprints(result)
+        for k, matrix in enumerate(result.matrices):
+            assert np.count_nonzero(fingerprints[k]) == matrix.num_edges

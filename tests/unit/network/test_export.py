@@ -1,0 +1,83 @@
+"""Unit tests for network export/import helpers."""
+
+import json
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import BruteForceEngine
+from repro.exceptions import DataValidationError
+from repro.network.builder import graph_from_matrix
+from repro.network.export import (
+    read_edge_list,
+    write_adjacency_npz,
+    write_edge_list,
+    write_summary_json,
+    write_temporal_edge_list,
+)
+
+
+@pytest.fixture(scope="module")
+def result(small_matrix):
+    from repro.core.query import SlidingQuery
+
+    query = SlidingQuery(
+        start=0, end=small_matrix.length, window=128, step=64, threshold=0.6
+    )
+    return BruteForceEngine().run(small_matrix, query)
+
+
+class TestEdgeList:
+    def test_round_trip(self, result, tmp_path):
+        graph = graph_from_matrix(result[0], series_ids=result.series_ids)
+        path = write_edge_list(graph, tmp_path / "edges.csv")
+        loaded = read_edge_list(path)
+        assert set(map(frozenset, loaded.edges())) == set(map(frozenset, graph.edges()))
+        for u, v, data in graph.edges(data=True):
+            assert loaded[str(u)][str(v)]["weight"] == pytest.approx(data["weight"])
+
+    def test_read_missing_file(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            read_edge_list(tmp_path / "missing.csv")
+
+    def test_read_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,0.5\n")
+        with pytest.raises(DataValidationError):
+            read_edge_list(path)
+
+    def test_read_rejects_short_rows(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("source,target,weight\n1,2\n")
+        with pytest.raises(DataValidationError):
+            read_edge_list(path)
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        path = write_edge_list(nx.Graph(), tmp_path / "empty.csv")
+        assert read_edge_list(path).number_of_edges() == 0
+
+
+class TestBulkExports:
+    def test_adjacency_npz_contains_all_windows(self, result, tmp_path):
+        path = write_adjacency_npz(result, tmp_path / "adjacency.npz")
+        with np.load(path) as archive:
+            windows = [
+                k for k in archive.files
+                if k.startswith("window_") and k != "window_starts"
+            ]
+            assert len(windows) == result.num_windows
+            assert np.allclose(archive["window_00000"], result.dense(0))
+            assert np.array_equal(archive["window_starts"], result.window_starts())
+
+    def test_temporal_edge_list_rows(self, result, tmp_path):
+        path = write_temporal_edge_list(result, tmp_path / "temporal.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "window,source,target,weight"
+        assert len(lines) - 1 == result.total_edges()
+
+    def test_summary_json(self, result, tmp_path):
+        path = write_summary_json(result, tmp_path / "summary.json")
+        payload = json.loads(path.read_text())
+        assert payload["edge_counts"] == [int(m.num_edges) for m in result.matrices]
+        assert "query" in payload and "stats" in payload

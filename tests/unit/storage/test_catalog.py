@@ -1,0 +1,91 @@
+"""Unit tests for the on-disk dataset catalog."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.catalog import Catalog, DatasetEntry
+from repro.storage.chunk_store import ChunkStore
+from repro.storage.stats_index import StatsIndex
+
+
+@pytest.fixture
+def store(rng):
+    chunk_store = ChunkStore(4, chunk_columns=32, series_ids=list("wxyz"))
+    chunk_store.append(rng.normal(size=(4, 96)))
+    return chunk_store
+
+
+class TestCatalog:
+    def test_add_and_load_dataset(self, store, tmp_path):
+        catalog = Catalog(tmp_path)
+        entry = catalog.add_dataset("demo", store, description="test data")
+        assert entry.name == "demo"
+        assert catalog.dataset_names() == ["demo"]
+        loaded = catalog.load_dataset("demo")
+        assert np.allclose(loaded.read_all(), store.read_all())
+
+    def test_add_index_and_load_by_label(self, store, tmp_path):
+        catalog = Catalog(tmp_path)
+        catalog.add_dataset("demo", store)
+        index = StatsIndex.build(store.read_all(), basic_window_size=16)
+        label = catalog.add_index("demo", index)
+        assert label == "b16"
+        loaded = catalog.load_index("demo", label)
+        assert loaded.layout.size == 16
+        default = catalog.load_index("demo")
+        assert default.layout.size == 16
+
+    def test_duplicate_dataset_requires_overwrite(self, store, tmp_path):
+        catalog = Catalog(tmp_path)
+        catalog.add_dataset("demo", store)
+        with pytest.raises(StorageError):
+            catalog.add_dataset("demo", store)
+        catalog.add_dataset("demo", store, overwrite=True)
+
+    def test_manifest_survives_reopen(self, store, tmp_path):
+        catalog = Catalog(tmp_path)
+        catalog.add_dataset("demo", store, description="persisted")
+        index = StatsIndex.build(store.read_all(), basic_window_size=32)
+        catalog.add_index("demo", index, label="coarse")
+
+        reopened = Catalog(tmp_path)
+        assert reopened.dataset_names() == ["demo"]
+        assert reopened.describe("demo").description == "persisted"
+        assert reopened.load_index("demo", "coarse").layout.size == 32
+
+    def test_unknown_dataset_and_index_errors(self, store, tmp_path):
+        catalog = Catalog(tmp_path)
+        with pytest.raises(StorageError):
+            catalog.describe("missing")
+        with pytest.raises(StorageError):
+            catalog.load_dataset("missing")
+        catalog.add_dataset("demo", store)
+        with pytest.raises(StorageError):
+            catalog.load_index("demo")
+        index = StatsIndex.build(store.read_all(), basic_window_size=16)
+        catalog.add_index("demo", index)
+        with pytest.raises(StorageError):
+            catalog.load_index("demo", "wrong-label")
+
+    def test_add_index_requires_dataset(self, store, tmp_path):
+        catalog = Catalog(tmp_path)
+        index = StatsIndex.build(store.read_all(), basic_window_size=16)
+        with pytest.raises(StorageError):
+            catalog.add_index("demo", index)
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        (tmp_path / "catalog.json").write_text("{not json")
+        with pytest.raises(StorageError):
+            Catalog(tmp_path)
+
+    def test_entry_serialization_round_trip(self):
+        entry = DatasetEntry(
+            name="n", data_file="f.npz", index_files={"b16": "i.npz"}, description="d"
+        )
+        assert DatasetEntry.from_dict(entry.as_dict()) == entry
+        with pytest.raises(StorageError):
+            DatasetEntry.from_dict({"data_file": "x"})
+
+    def test_repr(self, tmp_path):
+        assert "datasets=0" in repr(Catalog(tmp_path))

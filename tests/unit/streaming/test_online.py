@@ -1,0 +1,78 @@
+"""Unit tests for the online correlation-network monitor."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import BruteForceEngine
+from repro.core.dangoron import DangoronEngine
+from repro.exceptions import StreamingError
+from repro.streaming.online import OnlineCorrelationMonitor
+
+
+class TestOnlineMonitor:
+    def make_monitor(self, num_series, **overrides):
+        params = dict(
+            num_series=num_series,
+            window=128,
+            step=32,
+            threshold=0.6,
+            basic_window_size=32,
+        )
+        params.update(overrides)
+        return OnlineCorrelationMonitor(**params)
+
+    def test_emits_one_result_per_window_in_order(self, small_matrix):
+        monitor = self.make_monitor(small_matrix.num_series)
+        emitted = []
+        for start in range(0, small_matrix.length, 48):
+            emitted.extend(monitor.append(small_matrix.values[:, start : start + 48]))
+        indices = [result.window_index for result in emitted]
+        assert indices == list(range(len(indices)))
+        assert monitor.emitted_windows == len(emitted)
+
+    def test_matches_offline_dangoron(self, small_matrix):
+        monitor = self.make_monitor(small_matrix.num_series)
+        emitted = []
+        for start in range(0, small_matrix.length, 64):
+            emitted.extend(monitor.append(small_matrix.values[:, start : start + 64]))
+        query = monitor.equivalent_query(small_matrix.length)
+        offline = DangoronEngine(basic_window_size=32).run(small_matrix, query)
+        assert len(emitted) == query.num_windows
+        for result, matrix in zip(emitted, offline.matrices):
+            assert result.matrix.edge_set() == matrix.edge_set()
+
+    def test_reported_edges_are_exact(self, small_matrix):
+        monitor = self.make_monitor(small_matrix.num_series, use_temporal_pruning=False)
+        emitted = []
+        for start in range(0, small_matrix.length, 96):
+            emitted.extend(monitor.append(small_matrix.values[:, start : start + 96]))
+        query = monitor.equivalent_query(small_matrix.length)
+        exact = BruteForceEngine().run(small_matrix, query)
+        for result, reference in zip(emitted, exact.matrices):
+            assert result.matrix.edge_set() == reference.edge_set()
+            for edge, value in result.matrix.edge_dict().items():
+                assert value == pytest.approx(reference.edge_dict()[edge], abs=1e-8)
+
+    def test_pruning_reduces_work_on_noise(self, noise_matrix):
+        monitor = self.make_monitor(noise_matrix.num_series, threshold=0.9)
+        emitted = []
+        for start in range(0, noise_matrix.length, 64):
+            emitted.extend(monitor.append(noise_matrix.values[:, start : start + 64]))
+        assert len(emitted) > 2
+        later = emitted[2:]
+        total_pairs = noise_matrix.num_series * (noise_matrix.num_series - 1) // 2
+        assert any(result.exact_evaluations < total_pairs for result in later)
+        assert all(result.skipped_pairs >= 0 for result in later)
+
+    def test_alignment_validation(self):
+        with pytest.raises(StreamingError):
+            self.make_monitor(4, window=100)
+        with pytest.raises(StreamingError):
+            self.make_monitor(4, step=10)
+        with pytest.raises(StreamingError):
+            self.make_monitor(4, threshold=2.0)
+
+    def test_indexed_columns_tracks_complete_basic_windows(self, rng):
+        monitor = self.make_monitor(4)
+        monitor.append(rng.normal(size=(4, 40)))
+        assert monitor.indexed_columns() == 32

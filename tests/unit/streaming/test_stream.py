@@ -1,0 +1,76 @@
+"""Unit tests for the streaming ingestor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StreamingError
+from repro.storage.stats_index import StatsIndex
+from repro.streaming.stream import StreamIngestor
+
+
+class TestStreamIngestor:
+    def test_index_grows_with_complete_basic_windows(self, rng):
+        ingestor = StreamIngestor(num_series=4, basic_window_size=16)
+        assert ingestor.append(rng.normal(size=(4, 10))) == 0
+        assert ingestor.pending_columns == 10
+        assert ingestor.indexed_basic_windows == 0
+        assert ingestor.append(rng.normal(size=(4, 10))) == 1
+        assert ingestor.pending_columns == 4
+        assert ingestor.indexed_basic_windows == 1
+        assert ingestor.ingested_columns == 20
+
+    def test_index_matches_batch_build(self, rng):
+        data = rng.normal(size=(5, 128))
+        ingestor = StreamIngestor(num_series=5, basic_window_size=32)
+        for start in range(0, 128, 20):
+            ingestor.append(data[:, start : start + 20])
+        batch = StatsIndex.build(data, basic_window_size=32)
+        assert ingestor.indexed_basic_windows == batch.layout.count
+        assert np.allclose(
+            ingestor.index.sketch.exact_matrix_scan(0, 4),
+            batch.sketch.exact_matrix_scan(0, 4),
+        )
+
+    def test_raw_store_retains_everything(self, rng):
+        data = rng.normal(size=(3, 70))
+        ingestor = StreamIngestor(num_series=3, basic_window_size=16, keep_raw=True)
+        ingestor.append(data)
+        assert np.allclose(ingestor.store.read_all(), data)
+
+    def test_keep_raw_false_drops_store(self, rng):
+        ingestor = StreamIngestor(num_series=3, basic_window_size=16, keep_raw=False)
+        ingestor.append(rng.normal(size=(3, 32)))
+        assert ingestor.store is None
+        assert ingestor.indexed_basic_windows == 2
+
+    def test_index_before_first_window_raises(self, rng):
+        ingestor = StreamIngestor(num_series=2, basic_window_size=16)
+        ingestor.append(rng.normal(size=(2, 5)))
+        with pytest.raises(StreamingError):
+            _ = ingestor.index
+
+    def test_appended_history_boundaries(self, rng):
+        ingestor = StreamIngestor(num_series=2, basic_window_size=8)
+        assert ingestor.appended_history() == []
+        ingestor.append(rng.normal(size=(2, 20)))
+        assert ingestor.appended_history() == [0, 8, 16]
+
+    def test_shape_and_value_validation(self, rng):
+        ingestor = StreamIngestor(num_series=3, basic_window_size=8)
+        with pytest.raises(StreamingError):
+            ingestor.append(rng.normal(size=(2, 8)))
+        with pytest.raises(StreamingError):
+            ingestor.append(np.full((3, 4), np.nan))
+
+    def test_constructor_validation(self):
+        with pytest.raises(StreamingError):
+            StreamIngestor(num_series=0)
+        with pytest.raises(StreamingError):
+            StreamIngestor(num_series=2, basic_window_size=1)
+
+    def test_single_column_appends(self, rng):
+        ingestor = StreamIngestor(num_series=2, basic_window_size=4)
+        for _ in range(9):
+            ingestor.append(rng.normal(size=2))
+        assert ingestor.indexed_basic_windows == 2
+        assert ingestor.pending_columns == 1

@@ -1,0 +1,46 @@
+"""Unit tests for sliding-window bookkeeping over a growing stream."""
+
+import pytest
+
+from repro.exceptions import StreamingError
+from repro.streaming.window_manager import SlidingWindowManager
+
+
+class TestSlidingWindowManager:
+    def test_no_windows_before_first_is_full(self):
+        manager = SlidingWindowManager(window=100, step=20)
+        assert manager.complete_windows(99) == 0
+        assert manager.newly_complete(99) == []
+
+    def test_windows_appear_as_data_arrives(self):
+        manager = SlidingWindowManager(window=100, step=20)
+        first = manager.newly_complete(100)
+        assert first == [(0, 0, 100)]
+        assert manager.newly_complete(139) == [(1, 20, 120)]
+        assert manager.newly_complete(180) == [(2, 40, 140), (3, 60, 160), (4, 80, 180)]
+        assert manager.emitted_windows == 5
+
+    def test_windows_never_reemitted(self):
+        manager = SlidingWindowManager(window=50, step=25)
+        assert len(manager.newly_complete(200)) == 7
+        assert manager.newly_complete(200) == []
+        assert manager.newly_complete(150) == []
+
+    def test_nonzero_start(self):
+        manager = SlidingWindowManager(window=50, step=25, start=100)
+        assert manager.complete_windows(149) == 0
+        assert manager.newly_complete(150) == [(0, 100, 150)]
+
+    def test_window_bounds(self):
+        manager = SlidingWindowManager(window=30, step=10, start=5)
+        assert manager.window_bounds(3) == (35, 65)
+        with pytest.raises(StreamingError):
+            manager.window_bounds(-1)
+
+    def test_validation(self):
+        with pytest.raises(StreamingError):
+            SlidingWindowManager(window=1, step=5)
+        with pytest.raises(StreamingError):
+            SlidingWindowManager(window=10, step=0)
+        with pytest.raises(StreamingError):
+            SlidingWindowManager(window=10, step=5, start=-1)

@@ -1,0 +1,129 @@
+"""Unit tests for synchronization of irregular series (repro.timeseries.align)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AlignmentError
+from repro.timeseries.align import (
+    IrregularSeries,
+    aggregate_to_grid,
+    interpolate_to_grid,
+    synchronize,
+)
+
+
+class TestIrregularSeries:
+    def test_sorts_by_timestamp(self):
+        series = IrregularSeries("a", [3.0, 1.0, 2.0], [30.0, 10.0, 20.0])
+        assert list(series.timestamps) == [1.0, 2.0, 3.0]
+        assert list(series.values) == [10.0, 20.0, 30.0]
+
+    def test_from_pairs(self):
+        series = IrregularSeries.from_pairs("b", [(0.0, 1.0), (2.0, 3.0)])
+        assert series.series_id == "b"
+        assert len(series.timestamps) == 2
+
+    def test_validation(self):
+        with pytest.raises(AlignmentError):
+            IrregularSeries("a", [1.0, 2.0], [1.0])
+        with pytest.raises(AlignmentError):
+            IrregularSeries("a", [], [])
+        with pytest.raises(AlignmentError):
+            IrregularSeries.from_pairs("a", [])
+
+
+class TestAggregation:
+    def test_mean_aggregation_into_bins(self):
+        series = IrregularSeries("a", [0.1, 0.4, 1.2, 2.9], [1.0, 3.0, 10.0, 20.0])
+        out = aggregate_to_grid(series, start=0.0, resolution=1.0, length=4)
+        assert out[0] == pytest.approx(2.0)
+        assert out[1] == pytest.approx(10.0)
+        assert out[2] == pytest.approx(20.0)
+        assert np.isnan(out[3])
+
+    @pytest.mark.parametrize("how,expected", [("sum", 4.0), ("min", 1.0), ("max", 3.0), ("count", 2.0)])
+    def test_other_aggregators(self, how, expected):
+        series = IrregularSeries("a", [0.1, 0.5], [1.0, 3.0])
+        out = aggregate_to_grid(series, 0.0, 1.0, 2, how=how)
+        assert out[0] == pytest.approx(expected)
+
+    def test_out_of_range_observations_ignored(self):
+        series = IrregularSeries("a", [-5.0, 0.5, 99.0], [1.0, 2.0, 3.0])
+        out = aggregate_to_grid(series, 0.0, 1.0, 3)
+        assert out[0] == pytest.approx(2.0)
+        assert np.isnan(out[1]) and np.isnan(out[2])
+
+    def test_unknown_aggregator(self):
+        series = IrregularSeries("a", [0.0], [1.0])
+        with pytest.raises(AlignmentError):
+            aggregate_to_grid(series, 0.0, 1.0, 2, how="mode")
+
+
+class TestInterpolation:
+    @pytest.fixture
+    def series(self):
+        return IrregularSeries("a", [0.0, 2.0, 4.0], [0.0, 20.0, 40.0])
+
+    def test_linear(self, series):
+        out = interpolate_to_grid(series, 0.0, 1.0, 5, method="linear")
+        assert np.allclose(out, [0, 10, 20, 30, 40])
+
+    def test_previous(self, series):
+        out = interpolate_to_grid(series, 0.0, 1.0, 5, method="previous")
+        assert np.allclose(out, [0, 0, 20, 20, 40])
+
+    def test_nearest(self, series):
+        out = interpolate_to_grid(series, 0.0, 1.0, 5, method="nearest")
+        assert out[1] in (0.0, 20.0)
+        assert out[3] in (20.0, 40.0)
+
+    def test_max_gap_leaves_nan(self):
+        series = IrregularSeries("a", [0.0, 10.0], [0.0, 100.0])
+        out = interpolate_to_grid(series, 0.0, 1.0, 11, method="linear", max_gap=2.0)
+        assert np.isnan(out[5])
+        assert out[0] == 0.0 and out[10] == 100.0
+
+    def test_unknown_method(self, series):
+        with pytest.raises(AlignmentError):
+            interpolate_to_grid(series, 0.0, 1.0, 5, method="spline")
+
+    def test_grid_validation(self, series):
+        with pytest.raises(AlignmentError):
+            interpolate_to_grid(series, 0.0, -1.0, 5)
+        with pytest.raises(AlignmentError):
+            interpolate_to_grid(series, 0.0, 1.0, 1)
+
+
+class TestSynchronize:
+    def test_two_series_on_common_grid(self):
+        a = IrregularSeries("a", np.arange(0, 10, 0.5), np.arange(20) * 1.0)
+        b = IrregularSeries("b", np.arange(0.25, 10, 1.0), np.arange(10) * 2.0)
+        matrix, report = synchronize([a, b], resolution=1.0)
+        assert matrix.num_series == 2
+        assert matrix.series_ids == ["a", "b"]
+        assert report.grid_length == matrix.length
+        assert not matrix.has_missing()
+
+    def test_gap_is_interpolated_and_reported(self):
+        a = IrregularSeries("a", [0.0, 1.0, 5.0, 6.0], [1.0, 2.0, 6.0, 7.0])
+        b = IrregularSeries("b", np.arange(7.0), np.arange(7.0))
+        matrix, report = synchronize([a, b], resolution=1.0)
+        assert report.interpolated_bins["a"] > 0
+        assert report.interpolated_bins["b"] == 0
+        assert report.total_interpolated() == report.interpolated_bins["a"]
+        assert not matrix.has_missing()
+
+    def test_duplicate_ids_rejected(self):
+        a = IrregularSeries("a", [0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(AlignmentError):
+            synchronize([a, a])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(AlignmentError):
+            synchronize([])
+
+    def test_series_outside_grid_rejected(self):
+        a = IrregularSeries("a", [100.0, 101.0], [1.0, 2.0])
+        b = IrregularSeries("b", [0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(AlignmentError):
+            synchronize([a, b], start=0.0, resolution=1.0, length=10)

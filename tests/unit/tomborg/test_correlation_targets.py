@@ -1,0 +1,121 @@
+"""Unit tests for target correlation-matrix construction and repair."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.tomborg.correlation_targets import (
+    block_correlation_matrix,
+    factor_correlation_matrix,
+    is_valid_correlation_matrix,
+    nearest_correlation_matrix,
+    random_correlation_from_eigenvalues,
+    random_correlation_matrix,
+)
+from repro.tomborg.distributions import UniformCorrelations
+
+
+class TestValidityCheck:
+    def test_identity_is_valid(self):
+        assert is_valid_correlation_matrix(np.eye(5))
+
+    def test_asymmetric_invalid(self):
+        matrix = np.eye(3)
+        matrix[0, 1] = 0.5
+        assert not is_valid_correlation_matrix(matrix)
+
+    def test_non_unit_diagonal_invalid(self):
+        matrix = np.eye(3) * 2.0
+        assert not is_valid_correlation_matrix(matrix)
+
+    def test_indefinite_invalid(self):
+        matrix = np.array(
+            [[1.0, 0.9, -0.9], [0.9, 1.0, 0.9], [-0.9, 0.9, 1.0]]
+        )
+        assert not is_valid_correlation_matrix(matrix)
+
+    def test_non_square_invalid(self):
+        assert not is_valid_correlation_matrix(np.zeros((2, 3)))
+
+
+class TestNearestCorrelationMatrix:
+    def test_repairs_indefinite_matrix(self):
+        matrix = np.array(
+            [[1.0, 0.9, -0.9], [0.9, 1.0, 0.9], [-0.9, 0.9, 1.0]]
+        )
+        repaired = nearest_correlation_matrix(matrix)
+        assert is_valid_correlation_matrix(repaired, tolerance=1e-6)
+
+    def test_valid_matrix_unchanged(self):
+        matrix = np.array([[1.0, 0.3], [0.3, 1.0]])
+        repaired = nearest_correlation_matrix(matrix)
+        assert np.allclose(repaired, matrix, atol=1e-8)
+
+    def test_stays_close_to_input(self, rng):
+        raw = random_correlation_matrix(
+            8, UniformCorrelations(-0.5, 0.9), rng, repair=False
+        )
+        repaired = nearest_correlation_matrix(raw)
+        assert is_valid_correlation_matrix(repaired, tolerance=1e-6)
+        assert np.max(np.abs(repaired - raw)) < 0.6
+
+    def test_rejects_non_square(self):
+        with pytest.raises(GenerationError):
+            nearest_correlation_matrix(np.zeros((2, 3)))
+
+
+class TestRandomCorrelationMatrix:
+    def test_output_is_valid(self, rng):
+        matrix = random_correlation_matrix(12, UniformCorrelations(-0.3, 0.8), rng)
+        assert matrix.shape == (12, 12)
+        assert is_valid_correlation_matrix(matrix, tolerance=1e-6)
+
+    def test_unrepaired_draw_keeps_samples(self, rng):
+        matrix = random_correlation_matrix(
+            6, UniformCorrelations(0.2, 0.2), rng, repair=False
+        )
+        off_diagonal = matrix[np.triu_indices(6, k=1)]
+        assert np.allclose(off_diagonal, 0.2)
+
+    def test_too_few_series_rejected(self, rng):
+        with pytest.raises(GenerationError):
+            random_correlation_matrix(1, UniformCorrelations(), rng)
+
+
+class TestStructuredTargets:
+    def test_block_matrix_structure(self):
+        matrix = block_correlation_matrix([3, 2], within=0.7, between=0.1)
+        assert matrix.shape == (5, 5)
+        assert matrix[0, 1] == pytest.approx(0.7, abs=1e-6) or is_valid_correlation_matrix(matrix)
+        assert matrix[0, 4] <= 0.2
+        assert is_valid_correlation_matrix(matrix, tolerance=1e-6)
+
+    def test_block_matrix_validation(self):
+        with pytest.raises(GenerationError):
+            block_correlation_matrix([])
+        with pytest.raises(GenerationError):
+            block_correlation_matrix([2, 3], within=1.5)
+
+    def test_factor_model_valid_and_low_rank_structure(self, rng):
+        matrix = factor_correlation_matrix(15, num_factors=2, loading_scale=0.8, rng=rng)
+        assert is_valid_correlation_matrix(matrix, tolerance=1e-8)
+        eigenvalues = np.sort(np.linalg.eigvalsh(matrix))[::-1]
+        # Two factors should dominate the spectrum.
+        assert eigenvalues[1] > eigenvalues[3]
+
+    def test_factor_model_validation(self, rng):
+        with pytest.raises(GenerationError):
+            factor_correlation_matrix(2, num_factors=0)
+        with pytest.raises(GenerationError):
+            factor_correlation_matrix(2, loading_scale=1.5)
+
+    def test_random_from_eigenvalues(self, rng):
+        matrix = random_correlation_from_eigenvalues([3.0, 1.0, 0.5, 0.5], rng)
+        assert is_valid_correlation_matrix(matrix, tolerance=1e-8)
+        assert matrix.shape == (4, 4)
+
+    def test_random_from_eigenvalues_validation(self, rng):
+        with pytest.raises(GenerationError):
+            random_correlation_from_eigenvalues([1.0], rng)
+        with pytest.raises(GenerationError):
+            random_correlation_from_eigenvalues([-1.0, 2.0], rng)

@@ -1,0 +1,98 @@
+"""Unit tests for Tomborg correlation-value distributions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.tomborg.distributions import (
+    BetaCorrelations,
+    BimodalCorrelations,
+    ConstantCorrelations,
+    SparseSpikeCorrelations,
+    UniformCorrelations,
+    named_distribution,
+)
+
+ALL_DISTRIBUTIONS = [
+    UniformCorrelations(),
+    BetaCorrelations(),
+    BimodalCorrelations(),
+    ConstantCorrelations(0.4),
+    SparseSpikeCorrelations(),
+]
+
+
+@pytest.mark.parametrize("distribution", ALL_DISTRIBUTIONS, ids=lambda d: d.describe())
+class TestCommonContract:
+    def test_samples_in_valid_range(self, distribution, rng):
+        values = distribution.sample(5000, rng)
+        assert values.shape == (5000,)
+        assert np.all(values >= -1.0) and np.all(values <= 1.0)
+
+    def test_describe_is_nonempty(self, distribution):
+        assert distribution.describe()
+        assert isinstance(distribution.describe(), str)
+
+    def test_deterministic_given_seed(self, distribution):
+        a = distribution.sample(100, np.random.default_rng(5))
+        b = distribution.sample(100, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestSpecificShapes:
+    def test_uniform_respects_bounds(self, rng):
+        values = UniformCorrelations(0.2, 0.4).sample(1000, rng)
+        assert values.min() >= 0.2 and values.max() <= 0.4
+
+    def test_constant_is_constant(self, rng):
+        assert np.all(ConstantCorrelations(0.3).sample(10, rng) == 0.3)
+
+    def test_bimodal_has_two_modes(self, rng):
+        values = BimodalCorrelations(
+            weak_center=0.0, strong_center=0.9, strong_fraction=0.5, jitter=0.01
+        ).sample(4000, rng)
+        strong_fraction = np.mean(values > 0.5)
+        assert 0.4 < strong_fraction < 0.6
+
+    def test_sparse_spike_fraction(self, rng):
+        values = SparseSpikeCorrelations(spike_fraction=0.1).sample(5000, rng)
+        assert 0.05 < np.mean(values > 0.5) < 0.15
+
+    def test_beta_skew_direction(self, rng):
+        right_skewed = BetaCorrelations(a=2, b=8, low=0.0, high=1.0).sample(5000, rng)
+        left_skewed = BetaCorrelations(a=8, b=2, low=0.0, high=1.0).sample(5000, rng)
+        assert right_skewed.mean() < left_skewed.mean()
+
+
+class TestValidation:
+    def test_uniform_range_validation(self):
+        with pytest.raises(GenerationError):
+            UniformCorrelations(0.5, 0.2)
+        with pytest.raises(GenerationError):
+            UniformCorrelations(-2.0, 0.5)
+
+    def test_beta_parameter_validation(self):
+        with pytest.raises(GenerationError):
+            BetaCorrelations(a=0.0)
+
+    def test_bimodal_fraction_validation(self):
+        with pytest.raises(GenerationError):
+            BimodalCorrelations(strong_fraction=1.5)
+
+    def test_spike_fraction_validation(self):
+        with pytest.raises(GenerationError):
+            SparseSpikeCorrelations(spike_fraction=-0.1)
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name in ("uniform", "beta", "bimodal", "constant", "sparse"):
+            assert named_distribution(name).describe()
+
+    def test_kwargs_forwarded(self):
+        dist = named_distribution("constant", value=0.25)
+        assert dist.value == 0.25
+
+    def test_unknown_name(self):
+        with pytest.raises(GenerationError):
+            named_distribution("zipf")

@@ -1,0 +1,60 @@
+"""Unit tests for Tomborg output validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.tomborg.correlation_targets import block_correlation_matrix
+from repro.tomborg.generator import SegmentSpec, TomborgGenerator
+from repro.tomborg.validation import (
+    empirical_correlation,
+    max_target_error,
+    validate_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    generator = TomborgGenerator(num_series=8, seed=21)
+    strong = block_correlation_matrix([4, 4], within=0.85, between=0.05)
+    return generator.generate_piecewise(
+        [SegmentSpec(384, strong), SegmentSpec(384, np.eye(8))]
+    )
+
+
+class TestValidation:
+    def test_per_segment_reports(self, dataset):
+        reports = validate_dataset(dataset, edge_threshold=0.7)
+        assert len(reports) == 2
+        for report in reports:
+            assert report.max_abs_error < 1e-6
+            assert report.rmse <= report.max_abs_error + 1e-12
+            assert report.edge_jaccard == pytest.approx(1.0)
+            assert set(report.as_dict()) >= {"segment", "max_abs_error", "edge_jaccard"}
+
+    def test_max_target_error(self, dataset):
+        assert max_target_error(dataset) < 1e-6
+
+    def test_empirical_correlation_range_validation(self, dataset):
+        with pytest.raises(GenerationError):
+            empirical_correlation(dataset, -1, 100)
+        with pytest.raises(GenerationError):
+            empirical_correlation(dataset, 0, dataset.length + 1)
+        with pytest.raises(GenerationError):
+            empirical_correlation(dataset, 100, 100)
+
+    def test_empirical_correlation_shape(self, dataset):
+        corr = empirical_correlation(dataset, 0, 384)
+        assert corr.shape == (8, 8)
+        assert np.allclose(np.diag(corr), 1.0)
+
+    def test_detects_mismatched_ground_truth(self, dataset):
+        # Corrupt the recorded target and check the error is detected.
+        corrupted = dataset.segments[0]
+        original = corrupted.target.copy()
+        corrupted.target = np.eye(8)
+        try:
+            reports = validate_dataset(dataset)
+            assert reports[0].max_abs_error > 0.5
+        finally:
+            corrupted.target = original
