@@ -8,6 +8,7 @@ evaluation-fraction / speedup / recall table (E4).
 
 import pytest
 
+from repro.api import CorrelationSession
 from repro.core.dangoron import DangoronEngine
 from repro.experiments.registry import experiment_e4_threshold_sweep
 
@@ -23,6 +24,25 @@ def test_e4_dangoron_at_threshold(benchmark, climate_bench_workload, beta):
     engine = DangoronEngine(basic_window_size=workload.basic_window_size)
     result = benchmark(engine.run, workload.matrix, query)
     assert result.stats.evaluation_fraction <= 1.0
+
+
+def test_e4_session_sweep_reuses_sketch(benchmark, climate_bench_workload):
+    """The whole sweep through one CorrelationSession: the planner shares a
+    single sketch build across the five thresholds (the seed rebuilt it per
+    run), which is the unified API's headline hot-path win."""
+    workload = climate_bench_workload
+
+    def sweep():
+        session = CorrelationSession(
+            workload.matrix, basic_window_size=workload.basic_window_size
+        )
+        results = session.sweep_thresholds(workload.query, THRESHOLDS)
+        assert session.sketch_cache.builds == 1
+        assert session.cache_stats.hits == len(THRESHOLDS) - 1
+        return results
+
+    results = benchmark(sweep)
+    assert len(results) == len(THRESHOLDS)
 
 
 def test_e4_threshold_table(benchmark):

@@ -1,10 +1,12 @@
 """Exploratory queries beyond a fixed threshold: top-k pairs and lead-lag edges.
 
-Uses climate anomalies to show the two extension query types: (1) the k most
-correlated station pairs per window — and the data-driven threshold they
-suggest for a subsequent Dangoron run — and (2) lagged correlation, which
-finds station pairs whose weather is correlated at a time offset (one station
-"leads" the other as systems move across the map).
+Uses climate anomalies to show the query family beyond ``ThresholdQuery``:
+(1) :class:`TopKQuery` — the k most correlated station pairs per window, and
+the data-driven threshold they suggest for a subsequent pruned run — and
+(2) :class:`LaggedQuery` — station pairs whose weather is correlated at a
+time offset (one station "leads" the other as systems move across the map).
+All three run through one :class:`CorrelationSession`, so the top-k query and
+the tuned threshold query share a single sketch build.
 
 Run with::
 
@@ -15,9 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import DangoronEngine, SlidingQuery, sliding_top_k
+from repro import CorrelationSession, LaggedQuery, ThresholdQuery, TopKQuery
 from repro.analysis import format_table, significance_threshold
-from repro.core.lag import lead_lag_graph_edges, sliding_lagged_correlation
+from repro.core.lag import lead_lag_graph_edges
 from repro.datasets import SyntheticUSCRN
 
 
@@ -35,15 +37,16 @@ def main() -> None:
         time_axis=base.time_axis,
     )
     stations = {i: s for i, s in enumerate(data.series_ids)}
-    query = SlidingQuery(start=0, end=data.length, window=240, step=48, threshold=0.7)
-    print(f"data: {data.num_series} stations x {data.length} hours; {query.describe()}")
+    session = CorrelationSession(data, basic_window_size=24)
+    print(f"data: {data.num_series} stations x {data.length} hours")
 
     # 2. Top-k: the 10 most correlated pairs of every 10-day window.
-    topk = sliding_top_k(data, query, k=10, basic_window_size=24)
+    topk_query = TopKQuery(start=0, end=data.length, window=240, step=48, k=10)
+    topk = session.run(topk_query)
     suggested = topk.suggested_threshold()
     persistent = topk.persistent_pairs(min_fraction=0.75)
     significance = significance_threshold(
-        query.window, alpha=0.01,
+        topk_query.window, alpha=0.01,
         num_comparisons=data.num_series * (data.num_series - 1) // 2,
     )
     rows = [
@@ -58,21 +61,30 @@ def main() -> None:
     for i, j in persistent[:5]:
         print(f"  {stations[i]} -- {stations[j]}")
 
-    # 3. Use the suggested threshold to drive a pruned Dangoron run.
-    tuned_query = query.with_threshold(max(suggested, significance))
-    result = DangoronEngine(basic_window_size=24).run(data, tuned_query)
+    # 3. Use the suggested threshold to drive a pruned Dangoron run — the
+    #    session reuses the sketch the top-k query already built.
+    tuned_query = ThresholdQuery(
+        start=0, end=data.length, window=240, step=48,
+        threshold=max(suggested, significance),
+    )
+    result = session.run(tuned_query)
     print(
         f"\nDangoron at the data-driven threshold {tuned_query.threshold:.3f}: "
         f"{result.total_edges()} edges, evaluation fraction "
-        f"{result.stats.evaluation_fraction:.2f}"
+        f"{result.stats.evaluation_fraction:.2f} "
+        f"(sketch builds so far: {session.sketch_cache.builds})"
     )
 
-    # 4. Lead-lag analysis: correlations at offsets up to 24 hours.
-    lag_query = SlidingQuery(
-        start=0, end=data.length, window=240, step=120, threshold=0.6
+    # 4. Lead-lag analysis: correlations at offsets up to 24 hours.  The lagged
+    #    result speaks the same protocol — its edges carry the best lag.
+    lag_query = LaggedQuery(
+        start=0, end=data.length, window=240, step=120,
+        threshold=0.6, max_lag=24,
     )
-    lag_windows = sliding_lagged_correlation(data, lag_query, max_lag=24)
-    relations = lead_lag_graph_edges(lag_windows, threshold=0.6, min_persistence=0.5)
+    lagged = session.run(lag_query)
+    relations = lead_lag_graph_edges(
+        lagged.windows, threshold=0.6, min_persistence=0.5
+    )
     lagged_only = [r for r in relations if abs(r[3]) >= 3.0]
     print(
         f"\nlead-lag relations above 0.6 in at least half the windows: {len(relations)} "

@@ -7,19 +7,36 @@ time series, using the paper's pruning framework (Dangoron), its benchmark
 generator (Tomborg), and reimplementations of the baselines it compares
 against (TSUBASA, ParCorr, StatStream, brute force).
 
-Quick start::
+Quick start — one session, one query family, one result protocol::
 
-    from repro import DangoronEngine, SlidingQuery
+    from repro import CorrelationSession, ThresholdQuery, TopKQuery
     from repro.datasets import SyntheticUSCRN
 
     data = SyntheticUSCRN(num_stations=64, num_days=60).generate_anomalies()
-    query = SlidingQuery(start=0, end=data.length, window=240, step=24,
-                         threshold=0.7)
-    result = DangoronEngine(basic_window_size=24).run(data, query)
+    session = CorrelationSession(data, basic_window_size=24)
+
+    query = ThresholdQuery(start=0, end=data.length, window=240, step=24,
+                           threshold=0.7)
+    result = session.run(query)                       # thresholded matrices
     print(result.describe())
+
+    sweep = session.sweep_thresholds(query, [0.5, 0.6, 0.7, 0.8, 0.9])
+    top = session.run(TopKQuery(start=0, end=data.length, window=240,
+                                step=24, k=10))       # same sketch, reused
+    edges = top.to_edges()                            # uniform edge records
+
+Every result type answers ``describe()`` / ``num_windows`` /
+``iter_windows()`` / ``to_edges()``, and the session's planner caches
+basic-window sketches across queries, so sweeps and batches build the
+dominant-cost statistics once.  The engine-level API (``DangoronEngine.run``
+and friends) remains available underneath.
 
 Subpackages
 -----------
+``repro.api``
+    The unified front door: ``CorrelationSession``, the query spec family
+    (``ThresholdQuery`` / ``TopKQuery`` / ``LaggedQuery``), the planner and
+    the shared result protocol.
 ``repro.core``
     The Dangoron engine and its building blocks (basic-window sketch, Eq. 2
     temporal bound, triangle bound, jump scheduler).
@@ -37,6 +54,14 @@ Subpackages
     harness regenerating every reported result.
 """
 
+from repro.api import (
+    CorrelationSession,
+    LaggedQuery,
+    LaggedSeriesResult,
+    QueryPlanner,
+    ThresholdQuery,
+    TopKQuery,
+)
 from repro.baselines import (
     BruteForceEngine,
     ParCorrEngine,
@@ -44,6 +69,7 @@ from repro.baselines import (
     TsubasaEngine,
 )
 from repro.core import (
+    Edge,
     BasicWindowSketch,
     CorrelationSeriesResult,
     DangoronEngine,
@@ -79,19 +105,26 @@ __all__ = [
     "BasicWindowSketch",
     "BruteForceEngine",
     "CorrelationSeriesResult",
+    "CorrelationSession",
     "DangoronEngine",
     "DataValidationError",
+    "Edge",
     "EngineStats",
     "ExperimentError",
     "GenerationError",
     "IncrementalEngine",
+    "LaggedQuery",
+    "LaggedSeriesResult",
     "ParCorrEngine",
+    "QueryPlanner",
     "QueryValidationError",
     "ReproError",
     "SketchError",
     "SlidingCorrelationEngine",
     "SlidingQuery",
     "StatStreamEngine",
+    "ThresholdQuery",
+    "TopKQuery",
     "StorageError",
     "StreamingError",
     "ThresholdedMatrix",

@@ -10,6 +10,7 @@ from repro.analysis.report import (
     format_markdown_table,
     format_table,
     rows_from_dicts,
+    summarize_result,
 )
 from repro.analysis.significance import (
     SignificanceReport,
@@ -58,5 +59,6 @@ __all__ = [
     "significance_threshold",
     "speedup",
     "stability_summary",
+    "summarize_result",
     "threshold_crossings",
 ]

@@ -73,6 +73,42 @@ def format_markdown_table(
     return "\n".join(lines)
 
 
+def summarize_result(result, title: Optional[str] = None, precision: int = 3) -> str:
+    """Per-window summary table for any unified-protocol result.
+
+    Consumes only the protocol surface (``describe()``, ``num_windows``,
+    ``to_edges()``), so thresholded series, top-k and lagged results all
+    render with the same columns: edge count, mean |weight|, and — when any
+    edge carries one — the mean absolute lag.  This is the table the CLI
+    prints for every ``--mode``.
+    """
+    edges_by_window: Dict[int, List] = {k: [] for k in range(result.num_windows)}
+    for edge in result.to_edges():
+        edges_by_window.setdefault(edge.window, []).append(edge)
+    any_lag = any(
+        edge.lag for edges in edges_by_window.values() for edge in edges
+    )
+
+    headers = ["window", "edges", "mean_|weight|"]
+    if any_lag:
+        headers.append("mean_|lag|")
+    rows: List[List[Cell]] = []
+    for k in sorted(edges_by_window):
+        edges = edges_by_window[k]
+        mean_weight = (
+            sum(abs(e.weight) for e in edges) / len(edges) if edges else 0.0
+        )
+        row: List[Cell] = [k, len(edges), mean_weight]
+        if any_lag:
+            row.append(
+                sum(abs(e.lag) for e in edges) / len(edges) if edges else 0.0
+            )
+        rows.append(row)
+    return format_table(
+        headers, rows, precision=precision, title=title or result.describe()
+    )
+
+
 def rows_from_dicts(
     records: Sequence[Dict[str, Cell]], columns: Optional[Sequence[str]] = None
 ) -> tuple:

@@ -1,0 +1,54 @@
+"""Unified front door: one query family, one planner, one result protocol.
+
+Everything the library computes — thresholded matrices, top-k pairs, lagged
+networks, online monitoring — is a variant of one sliding-window correlation
+problem over one sketch.  This package exposes it that way::
+
+    from repro.api import CorrelationSession, ThresholdQuery, TopKQuery
+
+    session = CorrelationSession(matrix, basic_window_size=24)
+    result = session.run(ThresholdQuery(start=0, end=matrix.length,
+                                        window=240, step=24, threshold=0.7))
+    sweep = session.sweep_thresholds(result.query, [0.5, 0.6, 0.7, 0.8, 0.9])
+    top = session.run(TopKQuery(start=0, end=matrix.length,
+                                window=240, step=24, k=10))
+
+The session's planner memoizes basic-window sketches across queries, so the
+sweep above builds the γ·N² statistics exactly once, and every result —
+whatever its query type — implements the same minimal protocol
+(``describe``/``num_windows``/``iter_windows``/``to_edges``) consumed by the
+network builders, the report helpers and the CLI.
+"""
+
+from repro.api.planner import (
+    KIND_LAGGED,
+    KIND_THRESHOLD,
+    KIND_TOPK,
+    ExecutionPlan,
+    QueryPlanner,
+)
+from repro.api.queries import LaggedQuery, ThresholdQuery, TopKQuery
+from repro.api.results import (
+    CorrelationResult,
+    CorrelationSeriesResult,
+    Edge,
+    LaggedSeriesResult,
+    TopKResult,
+)
+from repro.api.session import CorrelationSession
+
+__all__ = [
+    "CorrelationResult",
+    "CorrelationSeriesResult",
+    "CorrelationSession",
+    "Edge",
+    "ExecutionPlan",
+    "KIND_LAGGED",
+    "KIND_THRESHOLD",
+    "KIND_TOPK",
+    "LaggedQuery",
+    "LaggedSeriesResult",
+    "QueryPlanner",
+    "ThresholdQuery",
+    "TopKQuery",
+]

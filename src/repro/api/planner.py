@@ -1,0 +1,199 @@
+"""Query planning: route a query spec to an engine and reuse sketches across queries.
+
+The planner is the piece that makes the unified API a performance feature
+rather than sugar.  Every sketch-based execution path declares the
+:class:`~repro.core.basic_window.BasicWindowLayout` it needs (engines via
+``plan_layout``, top-k via the same alignment rule), and the planner resolves
+that layout against a shared :class:`~repro.storage.cache.SketchCache` — so a
+threshold sweep, a top-k refinement of the same range, or a batch of queries
+over one matrix all pay the dominant γ·N² sketch-build cost once.
+
+Routing rules (see :meth:`QueryPlanner.plan`):
+
+=====================  ============================================  ==========
+query type             execution path                                sketch
+=====================  ============================================  ==========
+ThresholdQuery /       registered engine (default ``dangoron``)      shared when
+plain SlidingQuery                                                   the engine
+                                                                     plans a layout
+TopKQuery              ``sliding_top_k`` over the sketch             shared
+LaggedQuery            ``sliding_lagged_correlation`` (raw values)   none
+=====================  ============================================  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.api.queries import LaggedQuery, TopKQuery
+from repro.api.results import LaggedSeriesResult
+from repro.config import DEFAULT_BASIC_WINDOW_SIZE
+from repro.core.basic_window import BasicWindowLayout
+from repro.core.engine import (
+    SlidingCorrelationEngine,
+    create_engine,
+    engine_options,
+)
+from repro.exceptions import ExperimentError
+from repro.core.lag import sliding_lagged_correlation
+from repro.core.query import SlidingQuery
+from repro.core.topk import sliding_top_k
+from repro.storage.cache import SketchCache
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+#: Plan kinds (``ExecutionPlan.kind``).
+KIND_THRESHOLD = "threshold"
+KIND_TOPK = "topk"
+KIND_LAGGED = "lagged"
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How one query will be executed: the path, the engine, the layout.
+
+    ``layout`` is the basic-window layout the execution will recombine from
+    (``None`` for paths that read the raw values); two plans with equal
+    layouts over the same matrix share a sketch build.
+    """
+
+    query: SlidingQuery
+    kind: str
+    engine: Optional[SlidingCorrelationEngine] = None
+    layout: Optional[BasicWindowLayout] = None
+
+    def describe(self) -> str:
+        engine = self.engine.describe() if self.engine is not None else "-"
+        layout = (
+            f"b={self.layout.size} x {self.layout.count}"
+            if self.layout is not None
+            else "raw"
+        )
+        return f"plan[{self.kind}] engine={engine} sketch={layout}"
+
+
+class QueryPlanner:
+    """Routes query specs to execution paths and memoizes sketches across them.
+
+    Parameters
+    ----------
+    engine:
+        Name of the registered engine answering threshold queries (default
+        ``"dangoron"``).
+    engine_options:
+        Constructor options for that engine (``slack``, ``num_pivots``,
+        ``use_horizontal_pruning``, ...).  ``basic_window_size`` is injected
+        automatically when the engine accepts it and the options don't set it.
+    basic_window_size:
+        Requested basic-window size for the injected option and for the
+        top-k sketch alignment.
+    sketch_cache:
+        The shared :class:`SketchCache`; pass one to share sketches across
+        planners/sessions, omit for a private cache.
+    """
+
+    def __init__(
+        self,
+        engine: str = "dangoron",
+        engine_options: Optional[Dict[str, object]] = None,
+        basic_window_size: int = DEFAULT_BASIC_WINDOW_SIZE,
+        sketch_cache: Optional[SketchCache] = None,
+    ) -> None:
+        self.engine_name = engine
+        self.engine_options = dict(engine_options or {})
+        self.basic_window_size = basic_window_size
+        self.sketch_cache = sketch_cache if sketch_cache is not None else SketchCache()
+        self._default_engine: Optional[SlidingCorrelationEngine] = None
+
+    # ---------------------------------------------------------------- engines
+    def resolve_engine(self) -> SlidingCorrelationEngine:
+        """The (memoized) engine instance answering threshold queries."""
+        if self._default_engine is None:
+            options = dict(self.engine_options)
+            accepted = engine_options(self.engine_name)
+            if "basic_window_size" in accepted and "basic_window_size" not in options:
+                options["basic_window_size"] = self.basic_window_size
+            self._default_engine = create_engine(self.engine_name, **options)
+        return self._default_engine
+
+    # ---------------------------------------------------------------- planning
+    def plan(
+        self,
+        matrix: TimeSeriesMatrix,
+        query: SlidingQuery,
+        engine: Optional[SlidingCorrelationEngine] = None,
+    ) -> ExecutionPlan:
+        """Decide the execution path for one query (no side effects).
+
+        ``engine`` overrides the planner's default for threshold queries —
+        this is how the experiment harness runs its engine line-up through
+        one shared sketch cache.  Top-k and lagged queries execute on fixed
+        sketch/raw paths, so an engine override there would be silently
+        ignored; it raises instead.
+        """
+        query.validate_against_length(matrix.length)
+        if isinstance(query, (LaggedQuery, TopKQuery)) and engine is not None:
+            raise ExperimentError(
+                f"engine overrides apply to threshold queries only; "
+                f"{type(query).__name__} has a fixed execution path"
+            )
+        if isinstance(query, LaggedQuery):
+            return ExecutionPlan(query=query, kind=KIND_LAGGED)
+        if isinstance(query, TopKQuery):
+            layout = BasicWindowLayout.for_query(query, self.basic_window_size)
+            return ExecutionPlan(query=query, kind=KIND_TOPK, layout=layout)
+        if engine is None:
+            engine = self.resolve_engine()
+        return ExecutionPlan(
+            query=query,
+            kind=KIND_THRESHOLD,
+            engine=engine,
+            layout=engine.plan_layout(query),
+        )
+
+    # --------------------------------------------------------------- execution
+    def execute(self, matrix: TimeSeriesMatrix, plan: ExecutionPlan):
+        """Run a plan, fetching (or building) its sketch from the shared cache."""
+        sketch = None
+        cache_hit = False
+        if plan.layout is not None:
+            hits_before = self.sketch_cache.stats.hits
+            sketch = self.sketch_cache.get_or_build(matrix, plan.layout)
+            cache_hit = self.sketch_cache.stats.hits > hits_before
+
+        if plan.kind == KIND_LAGGED:
+            query: LaggedQuery = plan.query  # type: ignore[assignment]
+            windows = sliding_lagged_correlation(
+                matrix, query, query.max_lag, absolute=query.effective_absolute
+            )
+            return LaggedSeriesResult(query, windows)
+
+        if plan.kind == KIND_TOPK:
+            query: TopKQuery = plan.query  # type: ignore[assignment]
+            return sliding_top_k(
+                matrix,
+                query,
+                query.k,
+                basic_window_size=self.basic_window_size,
+                absolute=query.effective_absolute,
+                sketch=sketch,
+            )
+
+        engine = plan.engine if plan.engine is not None else self.resolve_engine()
+        if sketch is not None:
+            # plan_layout() returning a layout is the engine's declaration that
+            # run() accepts a prebuilt sketch for it.
+            result = engine.run(matrix, plan.query, sketch=sketch)
+            if getattr(result, "stats", None) is not None:
+                result.stats.extra["sketch_cache_hit"] = float(cache_hit)
+            return result
+        return engine.run(matrix, plan.query)
+
+    def run(
+        self,
+        matrix: TimeSeriesMatrix,
+        query: SlidingQuery,
+        engine: Optional[SlidingCorrelationEngine] = None,
+    ):
+        """Plan and execute one query (the session's hot path)."""
+        return self.execute(matrix, self.plan(matrix, query, engine=engine))

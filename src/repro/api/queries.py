@@ -1,0 +1,108 @@
+"""The query spec family: every capability of the library as *data*.
+
+The seed exposed the paper's query variants through four differently-shaped
+entry points.  This module folds them into one hierarchy rooted at the
+validated :class:`~repro.core.query.SlidingQuery` core (range, window, step,
+threshold), so what used to be a choice of *function* is now a choice of
+*query object* handed to one front door:
+
+:class:`ThresholdQuery`
+    The paper's problem definition — one thresholded correlation matrix per
+    window.  Semantically identical to a plain :class:`SlidingQuery` (which
+    the planner keeps accepting for back compatibility).
+:class:`TopKQuery`
+    The k most correlated pairs per window; the threshold field is unused
+    (``k`` replaces it) and defaults accordingly.
+:class:`LaggedQuery`
+    The strongest lagged correlation per pair per window over
+    ``[-max_lag, max_lag]``; the threshold applies when flattening to edges.
+
+Because queries are data, batching (``session.run_many``), planning and
+caching are uniform: the planner inspects the query type to pick an engine
+and keys its sketch cache on the shared range/window/step core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.query import THRESHOLD_ABSOLUTE, SlidingQuery
+from repro.exceptions import QueryValidationError
+
+
+@dataclass(frozen=True)
+class ThresholdQuery(SlidingQuery):
+    """A sliding thresholded-correlation-matrix query (the paper's Problem 1).
+
+    Today's :class:`SlidingQuery` semantics under the unified spec family:
+    every field, validation rule and helper is inherited unchanged.  Exists so
+    call sites can say what they mean (`ThresholdQuery` vs `TopKQuery`) and so
+    the planner's routing is symmetric across the family.
+    """
+
+
+@dataclass(frozen=True)
+class TopKQuery(SlidingQuery):
+    """The k most correlated pairs of every sliding window.
+
+    ``k`` replaces the threshold (which is ignored and defaults to 1.0, the
+    vacuous value); ``absolute`` overrides the ranking mode, defaulting to the
+    query's ``threshold_mode`` like the legacy ``sliding_top_k`` did.
+    """
+
+    threshold: float = 1.0
+    k: int = 10
+    absolute: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.k < 1:
+            raise QueryValidationError(f"k must be at least 1, got {self.k}")
+
+    @property
+    def effective_absolute(self) -> bool:
+        """Whether ranking uses ``|c|`` (explicit flag, else the threshold mode)."""
+        if self.absolute is not None:
+            return self.absolute
+        return self.threshold_mode == THRESHOLD_ABSOLUTE
+
+    def describe(self) -> str:
+        return f"top-k k={self.k} abs={self.effective_absolute} {super().describe()}"
+
+
+@dataclass(frozen=True)
+class LaggedQuery(SlidingQuery):
+    """Best lagged correlation per pair per window over ``[-max_lag, max_lag]``.
+
+    The threshold (default 0.0) applies when the result is flattened to edges
+    — the per-window lag matrices themselves are kept dense, mirroring the
+    legacy ``sliding_lagged_correlation``.  ``absolute`` overrides the ranking
+    mode, defaulting to the query's ``threshold_mode``.
+    """
+
+    threshold: float = 0.0
+    max_lag: int = 1
+    absolute: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.max_lag < 0:
+            raise QueryValidationError(
+                f"max_lag must be non-negative, got {self.max_lag}"
+            )
+        if self.window - self.max_lag < 2:
+            raise QueryValidationError(
+                f"window of length {self.window} cannot support "
+                f"max_lag={self.max_lag}"
+            )
+
+    @property
+    def effective_absolute(self) -> bool:
+        """Whether ranking uses ``|c|`` (explicit flag, else the threshold mode)."""
+        if self.absolute is not None:
+            return self.absolute
+        return self.threshold_mode == THRESHOLD_ABSOLUTE
+
+    def describe(self) -> str:
+        return f"lagged max_lag={self.max_lag} {super().describe()}"

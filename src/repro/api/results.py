@@ -1,0 +1,130 @@
+"""The unified result protocol shared by every query type.
+
+Whatever the query — thresholded series, top-k, lagged — the answer supports
+the same minimal interface, so the network builders, the report helpers and
+the CLI consume any of them without type dispatch:
+
+``describe() -> str``
+    One-line human-readable summary.
+``num_windows -> int``
+    How many sliding windows the result covers.
+``iter_windows() -> Iterator[(window_index, payload)]``
+    The per-window payloads in window order (a ``ThresholdedMatrix``, a
+    ``TopKWindow`` or a ``LagMatrices`` — still fully typed for consumers that
+    want the specific view).
+``to_edges() -> List[Edge]``
+    The flattened ``(window, source, target, weight, lag)`` records — the
+    lingua franca of :mod:`repro.network` and the exporters.
+
+:class:`CorrelationSeriesResult`, :class:`TopKResult` and
+:class:`LagMatrices` implement it natively (see their modules);
+:class:`LaggedSeriesResult` here wraps the per-window lag matrices of a whole
+:class:`~repro.api.queries.LaggedQuery` behind the same interface.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.api.queries import LaggedQuery
+from repro.core.lag import LagMatrices
+from repro.core.result import CorrelationSeriesResult, Edge  # noqa: F401  (re-export)
+from repro.core.topk import TopKResult  # noqa: F401  (re-export)
+from repro.exceptions import DataValidationError
+
+
+@runtime_checkable
+class CorrelationResult(Protocol):
+    """Structural type of every answer a :class:`CorrelationSession` returns."""
+
+    @property
+    def num_windows(self) -> int: ...
+
+    def describe(self) -> str: ...
+
+    def iter_windows(self) -> Iterator[Tuple[int, object]]: ...
+
+    def to_edges(self) -> List[Edge]: ...
+
+
+class LaggedSeriesResult:
+    """The full answer to a :class:`LaggedQuery`: one lag matrix per window.
+
+    Wraps the ``List[LagMatrices]`` the legacy free function returns behind
+    the unified result protocol; ``to_edges()`` applies the query's threshold
+    and mode, and every edge carries the lag at which its correlation peaks.
+    """
+
+    def __init__(self, query: LaggedQuery, windows: List[LagMatrices]) -> None:
+        windows = list(windows)
+        if len(windows) != query.num_windows:
+            raise DataValidationError(
+                f"expected {query.num_windows} lag matrices for the query, "
+                f"got {len(windows)}"
+            )
+        self.query = query
+        self.windows = windows
+
+    # ------------------------------------------------------------------ access
+    @property
+    def num_windows(self) -> int:
+        return len(self.windows)
+
+    @property
+    def num_series(self) -> int:
+        if not self.windows:
+            return 0
+        return self.windows[0].num_series
+
+    def __len__(self) -> int:
+        return self.num_windows
+
+    def __getitem__(self, k: int) -> LagMatrices:
+        return self.windows[k]
+
+    def __iter__(self) -> Iterator[LagMatrices]:
+        return iter(self.windows)
+
+    def lag_profile(self, i: int, j: int) -> np.ndarray:
+        """Best lag of the pair ``(i, j)`` across the windows."""
+        return np.array([w.best_lag[i, j] for w in self.windows])
+
+    # ------------------------------------------------------- result protocol
+    def iter_windows(self) -> Iterator[Tuple[int, LagMatrices]]:
+        """Yield ``(window_index, payload)`` per window (result protocol)."""
+        return ((w.window_index, w) for w in self.windows)
+
+    def to_edges(self, threshold: Optional[float] = None) -> List[Edge]:
+        """Above-threshold pairs of every window, each carrying its best lag.
+
+        The query's threshold and mode apply by default; pass ``threshold``
+        to flatten at a different cut without re-running the query.
+        """
+        effective = self.query.threshold if threshold is None else threshold
+        edges: List[Edge] = []
+        for window in self.windows:
+            edges.extend(window.to_edges(effective, self.query.threshold_mode))
+        return edges
+
+    def total_edges(self) -> int:
+        """Above-threshold pairs across all windows, without materializing them."""
+        total = 0
+        for window in self.windows:
+            n = window.num_series
+            iu, ju = np.triu_indices(n, k=1)
+            values = window.best_corr[iu, ju]
+            if self.query.threshold_mode == "absolute":
+                total += int(np.count_nonzero(np.abs(values) >= self.query.threshold))
+            else:
+                total += int(np.count_nonzero(values >= self.query.threshold))
+        return total
+
+    def describe(self) -> str:
+        """One-line summary used by reports (result protocol)."""
+        return (
+            f"lagged(max_lag={self.query.max_lag}): {self.num_windows} windows "
+            f"x {self.num_series} series, {self.total_edges()} edges at "
+            f"beta={self.query.threshold}"
+        )

@@ -16,7 +16,7 @@ the pure query time; the sketch construction is reported separately in
 from __future__ import annotations
 
 import time
-from typing import List
+from typing import List, Optional
 
 from repro.config import DEFAULT_BASIC_WINDOW_SIZE
 from repro.core.basic_window import BasicWindowLayout
@@ -27,7 +27,7 @@ from repro.core.result import (
     EngineStats,
     ThresholdedMatrix,
 )
-from repro.core.sketch import BasicWindowSketch
+from repro.core.sketch import BasicWindowSketch, ensure_sketch_layout
 from repro.exceptions import SketchError
 from repro.timeseries.matrix import TimeSeriesMatrix
 
@@ -57,20 +57,31 @@ class TsubasaEngine(SlidingCorrelationEngine):
     def describe(self) -> str:
         return f"{self.name}[b={self.basic_window_size}]"
 
+    def plan_layout(self, query: SlidingQuery) -> BasicWindowLayout:
+        """The layout ``run`` builds its sketch for (see the planner protocol)."""
+        size = min(self.basic_window_size, query.window)
+        size = max(size, 2)
+        return BasicWindowLayout.for_range(query.start, query.end, size)
+
     def run(
-        self, matrix: TimeSeriesMatrix, query: SlidingQuery
+        self,
+        matrix: TimeSeriesMatrix,
+        query: SlidingQuery,
+        *,
+        sketch: Optional[BasicWindowSketch] = None,
     ) -> CorrelationSeriesResult:
         query.validate_against_length(matrix.length)
         values = matrix.values
         n = matrix.num_series
 
-        size = min(self.basic_window_size, query.window)
-        size = max(size, 2)
-        layout = BasicWindowLayout.for_range(query.start, query.end, size)
-
-        build_start = time.perf_counter()
-        sketch = BasicWindowSketch.build(values, layout)
-        sketch_seconds = time.perf_counter() - build_start
+        layout = self.plan_layout(query)
+        if sketch is not None:
+            ensure_sketch_layout(sketch, layout)
+            sketch_seconds = sketch.build_seconds
+        else:
+            build_start = time.perf_counter()
+            sketch = BasicWindowSketch.build(values, layout)
+            sketch_seconds = time.perf_counter() - build_start
 
         matrices: List[ThresholdedMatrix] = []
         started = time.perf_counter()

@@ -6,8 +6,11 @@ Four subcommands cover the workflow a user of the system actually runs:
     Produce a synthetic dataset (climate, fMRI, finance, rain gauges, or a
     Tomborg configuration) and write it as a wide CSV.
 ``repro query``
-    Run a sliding correlation query over a wide CSV with a chosen engine and
-    print the per-window summary (optionally exporting the temporal edge list).
+    Run a sliding correlation query over a wide CSV through a
+    :class:`~repro.api.CorrelationSession` and print the per-window summary
+    (optionally exporting the edge list).  ``--mode`` selects the query type
+    (``threshold``, ``topk`` or ``lagged``) and repeatable ``--engine-opt
+    key=value`` flags reach every engine option without writing Python.
 ``repro experiment``
     Regenerate one of the experiments (E1–E14) and print its table.
 ``repro info``
@@ -21,25 +24,29 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro import __version__
-from repro.analysis.report import format_table
-from repro.core.engine import available_engines, create_engine
-from repro.core.query import THRESHOLD_ABSOLUTE, THRESHOLD_SIGNED, SlidingQuery
+from repro.api.queries import LaggedQuery, ThresholdQuery, TopKQuery
+from repro.api.session import CorrelationSession
+from repro.analysis.report import format_table, summarize_result
+from repro.core.engine import available_engines
+from repro.core.query import THRESHOLD_ABSOLUTE, THRESHOLD_SIGNED
+from repro.core.result import CorrelationSeriesResult
 from repro.datasets.climate import SyntheticUSCRN
 from repro.datasets.finance import SyntheticMarket
 from repro.datasets.fmri import SyntheticBOLD
 from repro.datasets.loaders import load_wide_csv, write_wide_csv
 from repro.datasets.raingauge import SyntheticRainGauges
 from repro.exceptions import ReproError
-from repro.network.export import write_temporal_edge_list
+from repro.network.export import write_protocol_edge_list, write_temporal_edge_list
 from repro.timeseries.matrix import TimeSeriesMatrix
 from repro.tomborg.generator import TomborgGenerator
 from repro.tomborg.distributions import named_distribution
 from repro.tomborg.spectral import named_spectrum
 
 _DATASETS = ("climate", "fmri", "finance", "raingauge", "tomborg")
+_QUERY_MODES = ("threshold", "topk", "lagged")
 
 
 # ---------------------------------------------------------------------------
@@ -90,38 +97,98 @@ def _command_generate(args: argparse.Namespace) -> int:
 # Queries
 # ---------------------------------------------------------------------------
 
-def _command_query(args: argparse.Namespace) -> int:
-    matrix = load_wide_csv(args.input)
-    end = args.end if args.end is not None else matrix.length
-    query = SlidingQuery(
+def parse_engine_option(text: str) -> tuple:
+    """Parse one ``--engine-opt key=value`` flag into a typed ``(key, value)``.
+
+    Values are coerced in order: booleans (``true``/``false``/``yes``/``no``,
+    case-insensitive), ints, floats, ``none``/``null`` to ``None``; anything
+    else stays a string (e.g. ``pivot_strategy=kcenter``).
+    """
+    key, separator, raw = text.partition("=")
+    key = key.strip()
+    if not separator or not key:
+        raise ReproError(
+            f"--engine-opt expects key=value, got {text!r}"
+        )
+    raw = raw.strip()
+    lowered = raw.lower()
+    if lowered in ("true", "yes"):
+        return key, True
+    if lowered in ("false", "no"):
+        return key, False
+    if lowered in ("none", "null"):
+        return key, None
+    try:
+        return key, int(raw)
+    except ValueError:
+        pass
+    try:
+        return key, float(raw)
+    except ValueError:
+        pass
+    return key, raw
+
+
+def _build_query(args: argparse.Namespace, end: int):
+    common = dict(
         start=args.start,
         end=end,
         window=args.window,
         step=args.step,
-        threshold=args.threshold,
         threshold_mode=THRESHOLD_ABSOLUTE if args.absolute else THRESHOLD_SIGNED,
     )
-    engine_kwargs = {}
-    if args.engine in ("dangoron", "tsubasa"):
-        engine_kwargs["basic_window_size"] = args.basic_window
-    engine = create_engine(args.engine, **engine_kwargs)
-    result = engine.run(matrix, query)
+    if args.mode == "topk":
+        return TopKQuery(k=args.k, **common)
+    if args.mode == "lagged":
+        return LaggedQuery(threshold=args.threshold, max_lag=args.max_lag, **common)
+    return ThresholdQuery(threshold=args.threshold, **common)
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    if args.mode != "threshold" and (args.engine != "dangoron" or args.engine_opt):
+        # topk/lagged run on fixed sketch/raw paths; accepting these flags
+        # would silently ignore them.
+        raise ReproError(
+            f"--engine/--engine-opt apply to --mode threshold only "
+            f"(mode {args.mode!r} has a fixed execution path)"
+        )
+    matrix = load_wide_csv(args.input)
+    end = args.end if args.end is not None else matrix.length
+    query = _build_query(args, end)
+    session = CorrelationSession(
+        matrix,
+        engine=args.engine,
+        engine_options=dict(parse_engine_option(opt) for opt in args.engine_opt),
+        basic_window_size=args.basic_window,
+    )
+    result = session.run(query)
 
     print(result.describe())
-    headers = ["window", "start", "end", "edges", "density"]
-    rows = []
-    starts = result.window_starts()
-    for k, matrix_k in enumerate(result.matrices):
-        rows.append(
-            [k, int(starts[k]), int(starts[k]) + query.window, matrix_k.num_edges,
-             matrix_k.density()]
-        )
-    print(format_table(headers, rows, title=f"{engine.describe()} on {args.input}"))
-    stats_rows = [[key, value] for key, value in sorted(result.stats.as_dict().items())]
-    print(format_table(["stat", "value"], stats_rows, title="engine statistics"))
+    if isinstance(result, CorrelationSeriesResult):
+        headers = ["window", "start", "end", "edges", "density"]
+        rows = []
+        starts = result.window_starts()
+        engine = session.planner.resolve_engine()
+        for k, matrix_k in enumerate(result.matrices):
+            rows.append(
+                [k, int(starts[k]), int(starts[k]) + query.window, matrix_k.num_edges,
+                 matrix_k.density()]
+            )
+        print(format_table(headers, rows, title=f"{engine.describe()} on {args.input}"))
+        stats_rows = [
+            [key, value] for key, value in sorted(result.stats.as_dict().items())
+        ]
+        print(format_table(["stat", "value"], stats_rows, title="engine statistics"))
+    else:
+        print(summarize_result(result, title=f"{args.mode} query on {args.input}"))
 
     if args.edges_output:
-        path = write_temporal_edge_list(result, args.edges_output)
+        if isinstance(result, CorrelationSeriesResult):
+            path = write_temporal_edge_list(result, args.edges_output)
+        else:
+            path = write_protocol_edge_list(
+                result, args.edges_output, series_ids=matrix.series_ids
+            )
         print(f"wrote temporal edge list to {path}")
     return 0
 
@@ -191,10 +258,23 @@ def build_parser() -> argparse.ArgumentParser:
         "query", help="run a sliding correlation query over a wide CSV"
     )
     query.add_argument("input", help="wide CSV produced by 'repro generate'")
+    query.add_argument(
+        "--mode", default="threshold", choices=_QUERY_MODES,
+        help="query type: thresholded matrices, top-k pairs, or lagged edges",
+    )
     query.add_argument("--engine", default="dangoron", choices=sorted(available_engines()))
+    query.add_argument(
+        "--engine-opt", action="append", default=[], metavar="KEY=VALUE",
+        help="engine constructor option (repeatable), e.g. --engine-opt slack=0.05 "
+             "--engine-opt use_horizontal_pruning=true",
+    )
     query.add_argument("--window", type=int, required=True)
     query.add_argument("--step", type=int, required=True)
     query.add_argument("--threshold", type=float, default=0.7)
+    query.add_argument("--k", type=int, default=10, help="pairs per window (topk mode)")
+    query.add_argument(
+        "--max-lag", type=int, default=1, help="lag range in columns (lagged mode)"
+    )
     query.add_argument("--start", type=int, default=0)
     query.add_argument("--end", type=int, default=None)
     query.add_argument("--basic-window", type=int, default=32)

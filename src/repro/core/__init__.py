@@ -37,6 +37,7 @@ from repro.core.engine import (
     SlidingCorrelationEngine,
     available_engines,
     create_engine,
+    engine_options,
     register_engine,
 )
 from repro.core.horizontal import (
@@ -62,6 +63,7 @@ from repro.core.query import (
 )
 from repro.core.result import (
     CorrelationSeriesResult,
+    Edge,
     EngineStats,
     ThresholdedMatrix,
 )
@@ -79,6 +81,7 @@ __all__ = [
     "BasicWindowSketch",
     "CorrelationSeriesResult",
     "DangoronEngine",
+    "Edge",
     "EngineStats",
     "HorizontalPruneResult",
     "HorizontalPruner",
@@ -105,6 +108,7 @@ __all__ = [
     "correlation_from_sums",
     "correlation_matrix",
     "create_engine",
+    "engine_options",
     "first_possible_crossing",
     "first_possible_crossing_absolute",
     "lagged_correlation",

@@ -10,8 +10,10 @@ list of engines in the benchmark harness.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Type
+import inspect
+from typing import Dict, Optional, Type
 
+from repro.core.basic_window import BasicWindowLayout
 from repro.core.query import SlidingQuery
 from repro.core.result import CorrelationSeriesResult
 from repro.exceptions import ExperimentError
@@ -35,6 +37,17 @@ class SlidingCorrelationEngine(abc.ABC):
     ) -> CorrelationSeriesResult:
         """Answer the sliding query over the matrix."""
 
+    def plan_layout(self, query: SlidingQuery) -> Optional[BasicWindowLayout]:
+        """The basic-window layout this engine would build for the query.
+
+        Engines whose ``run`` accepts a prebuilt ``sketch`` keyword (Dangoron,
+        TSUBASA) return the layout here so a planner can build — or fetch from
+        a cache — the matching :class:`~repro.core.sketch.BasicWindowSketch`
+        once and share it across queries.  Engines that do not precompute a
+        sketch return ``None``.
+        """
+        return None
+
     def describe(self) -> str:
         """Human-readable engine description (engine name plus key options)."""
         return self.name
@@ -46,12 +59,45 @@ class SlidingCorrelationEngine(abc.ABC):
 _ENGINE_REGISTRY: Dict[str, Type[SlidingCorrelationEngine]] = {}
 
 
-def register_engine(cls: Type[SlidingCorrelationEngine]) -> Type[SlidingCorrelationEngine]:
-    """Class decorator adding an engine to the global registry by its ``name``."""
-    if not cls.name or cls.name == "abstract":
-        raise ExperimentError(f"engine class {cls.__name__} must define a name")
-    _ENGINE_REGISTRY[cls.name] = cls
-    return cls
+def register_engine(
+    cls: Optional[Type[SlidingCorrelationEngine]] = None, *, replace: bool = False
+):
+    """Class decorator adding an engine to the global registry by its ``name``.
+
+    Registering a second engine under an already-taken name raises
+    :class:`ExperimentError` — silent overwrites made registry bugs (two
+    plugins picking the same name) invisible.  Pass ``replace=True``
+    (``@register_engine(replace=True)``) to overwrite deliberately.
+    Re-registering the *same* class object is a no-op, so module reloads stay
+    harmless.
+    """
+
+    def _register(engine_cls: Type[SlidingCorrelationEngine]):
+        if not engine_cls.name or engine_cls.name == "abstract":
+            raise ExperimentError(
+                f"engine class {engine_cls.__name__} must define a name"
+            )
+        existing = _ENGINE_REGISTRY.get(engine_cls.name)
+        # importlib.reload re-runs the decorator with a fresh class object, so
+        # "the same class" means same definition site, not same identity.
+        same_definition = existing is not None and (
+            existing is engine_cls
+            or (
+                existing.__module__ == engine_cls.__module__
+                and existing.__qualname__ == engine_cls.__qualname__
+            )
+        )
+        if existing is not None and not same_definition and not replace:
+            raise ExperimentError(
+                f"engine name {engine_cls.name!r} is already registered to "
+                f"{existing.__name__}; pass replace=True to overwrite it"
+            )
+        _ENGINE_REGISTRY[engine_cls.name] = engine_cls
+        return engine_cls
+
+    if cls is None:
+        return _register
+    return _register(cls)
 
 
 def available_engines() -> Dict[str, Type[SlidingCorrelationEngine]]:
@@ -59,12 +105,45 @@ def available_engines() -> Dict[str, Type[SlidingCorrelationEngine]]:
     return dict(_ENGINE_REGISTRY)
 
 
-def create_engine(name: str, **kwargs) -> SlidingCorrelationEngine:
-    """Instantiate a registered engine by name with keyword options."""
+def engine_options(name: str) -> Dict[str, inspect.Parameter]:
+    """Constructor options accepted by a registered engine (name -> Parameter)."""
     try:
         cls = _ENGINE_REGISTRY[name]
     except KeyError:
         raise ExperimentError(
             f"unknown engine {name!r}; available: {sorted(_ENGINE_REGISTRY)}"
         ) from None
-    return cls(**kwargs)
+    parameters = dict(inspect.signature(cls.__init__).parameters)
+    parameters.pop("self", None)
+    # Engines without their own __init__ inherit object's (*args, **kwargs)
+    # signature; those pseudo-parameters are not real options.
+    return {
+        name: parameter
+        for name, parameter in parameters.items()
+        if parameter.kind
+        not in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
+    }
+
+
+def create_engine(name: str, **kwargs) -> SlidingCorrelationEngine:
+    """Instantiate a registered engine by name with keyword options.
+
+    Unknown names and unknown constructor options both raise
+    :class:`ExperimentError` naming the engine and the options it accepts, so
+    a typo like ``num_pivot=4`` fails with a message instead of a bare
+    ``TypeError``.
+    """
+    try:
+        cls = _ENGINE_REGISTRY[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown engine {name!r}; available: {sorted(_ENGINE_REGISTRY)}"
+        ) from None
+    try:
+        return cls(**kwargs)
+    except TypeError as error:
+        accepted = sorted(engine_options(name))
+        raise ExperimentError(
+            f"invalid options for engine {name!r}: {error}; "
+            f"accepted options: {accepted}"
+        ) from error

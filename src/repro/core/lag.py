@@ -15,12 +15,13 @@ Sign conventions: a *positive* lag ``d`` correlates ``x[t]`` with ``y[t + d]``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.config import FLOAT_DTYPE, INDEX_DTYPE, VARIANCE_EPSILON
 from repro.core.query import THRESHOLD_ABSOLUTE, SlidingQuery
+from repro.core.result import Edge
 from repro.exceptions import DataValidationError, QueryValidationError
 from repro.timeseries.matrix import TimeSeriesMatrix
 
@@ -118,6 +119,38 @@ class LagMatrices:
             for i, j, v, d in zip(iu[keep], ju[keep], values[keep], lags[keep])
         ]
 
+    # ------------------------------------------------------- result protocol
+    @property
+    def num_windows(self) -> int:
+        """A single :class:`LagMatrices` describes exactly one window."""
+        return 1
+
+    def iter_windows(self) -> Iterator[Tuple[int, "LagMatrices"]]:
+        """Yield ``(window_index, payload)`` — itself (result protocol)."""
+        yield self.window_index, self
+
+    def to_edges(
+        self, threshold: Optional[float] = None, threshold_mode: str = "signed"
+    ) -> List[Edge]:
+        """This window's pairs as protocol edges carrying the best lag.
+
+        With no ``threshold`` every pair is reported (a lagged query keeps the
+        full matrix); pass one to keep only the surviving pairs.
+        """
+        effective = -1.0 if threshold is None else threshold
+        mode = "signed" if threshold is None else threshold_mode
+        return [
+            Edge(self.window_index, i, j, v, d)
+            for i, j, v, d in self.edges(effective, mode)
+        ]
+
+    def describe(self) -> str:
+        """One-line summary used by reports (result protocol)."""
+        return (
+            f"lagged window #{self.window_index}: {self.num_series} series, "
+            f"lags in [{int(self.best_lag.min())}, {int(self.best_lag.max())}]"
+        )
+
 
 def lagged_correlation_matrix(
     window: np.ndarray, max_lag: int, absolute: bool = True, window_index: int = 0
@@ -173,6 +206,13 @@ def sliding_lagged_correlation(
     absolute: Optional[bool] = None,
 ) -> List[LagMatrices]:
     """Best lagged correlations for every window of a sliding query.
+
+    .. note::
+       Prefer the unified front door: ``CorrelationSession(matrix).run(
+       LaggedQuery(..., max_lag=max_lag))`` (see :mod:`repro.api`) returns a
+       :class:`~repro.api.results.LaggedSeriesResult` implementing the common
+       result protocol.  This free function is kept as a thin compatibility
+       shim and may be removed in a future major version.
 
     The query's threshold is not applied here (call :meth:`LagMatrices.edges`
     per window); its ``threshold_mode`` provides the default ranking mode.

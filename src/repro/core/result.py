@@ -13,13 +13,28 @@ horizontally) — this is what the pruning-effectiveness experiments measure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.config import FLOAT_DTYPE, INDEX_DTYPE
 from repro.core.query import SlidingQuery
 from repro.exceptions import DataValidationError
+
+
+class Edge(NamedTuple):
+    """One edge of the unified result protocol: a pair in one window.
+
+    Every result type — thresholded series, top-k, lagged — flattens to a list
+    of these via ``to_edges()``, which is what the network builders, report
+    helpers and the CLI consume uniformly.  ``lag`` is 0 for zero-lag queries.
+    """
+
+    window: int
+    source: int
+    target: int
+    weight: float
+    lag: int = 0
 
 
 @dataclass(frozen=True)
@@ -225,6 +240,21 @@ class CorrelationSeriesResult:
     def edge_count_series(self) -> np.ndarray:
         """Number of edges per window (the network's temporal density profile)."""
         return np.array([m.num_edges for m in self.matrices], dtype=INDEX_DTYPE)
+
+    # ------------------------------------------------------- result protocol
+    def iter_windows(self) -> Iterator[Tuple[int, ThresholdedMatrix]]:
+        """Yield ``(window_index, payload)`` per window (result protocol)."""
+        return enumerate(self.matrices)
+
+    def to_edges(self) -> List[Edge]:
+        """Flatten the result to the protocol's uniform edge list (lag 0)."""
+        edges: List[Edge] = []
+        for k, matrix in enumerate(self.matrices):
+            edges.extend(
+                Edge(k, int(i), int(j), float(v))
+                for i, j, v in zip(matrix.rows, matrix.cols, matrix.values)
+            )
+        return edges
 
     def describe(self) -> str:
         """One-line summary used by reports."""

@@ -27,6 +27,7 @@ The recombination exposed here comes in two flavours:
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from typing import Optional, Tuple
 
 import numpy as np
@@ -35,6 +36,21 @@ from repro.config import FLOAT_DTYPE, VARIANCE_EPSILON, clamp_correlation_array
 from repro.core.basic_window import BasicWindowLayout
 from repro.core.correlation import correlation_from_sums
 from repro.exceptions import SketchError
+
+
+def ensure_sketch_layout(sketch: "BasicWindowSketch", layout) -> "BasicWindowSketch":
+    """Validate that a prebuilt sketch matches the layout an execution plans.
+
+    Shared by every path accepting a planner-supplied sketch (Dangoron,
+    TSUBASA, ``sliding_top_k``), so a stale or mismatched sketch always fails
+    the same way: a :class:`SketchError`.
+    """
+    if sketch.layout != layout:
+        raise SketchError(
+            f"prebuilt sketch layout {sketch.layout} does not match the "
+            f"layout {layout} planned for the query"
+        )
+    return sketch
 
 
 class BasicWindowSketch:
@@ -68,6 +84,9 @@ class BasicWindowSketch:
         )
         self._corr_prefix: Optional[np.ndarray] = None
         self._sumprod_prefix: Optional[np.ndarray] = None
+        self._scan_memo: Optional["OrderedDict[Tuple[int, int], np.ndarray]"] = None
+        self._scan_memo_max = 0
+        self.scan_memo_hits = 0
 
     # ------------------------------------------------------------------ build
     @classmethod
@@ -218,6 +237,22 @@ class BasicWindowSketch:
         return prefix[first + count, rows, cols] - prefix[first, rows, cols]
 
     # -------------------------------------------------------------- exact scan
+    def enable_scan_memo(self, max_entries: int = 16) -> None:
+        """Memoize :meth:`exact_matrix_scan` results per basic-window range.
+
+        Off by default: a single query never scans the same range twice.  The
+        planner enables it on sketches it *shares* across queries (threshold
+        sweeps, batched top-k), where different queries rescan identical
+        ranges.  Entries are LRU-bounded; hits return defensive copies.
+        """
+        if max_entries < 1:
+            raise SketchError(f"max_entries must be at least 1, got {max_entries}")
+        if self._scan_memo is None:
+            self._scan_memo = OrderedDict()
+        self._scan_memo_max = max_entries
+        while len(self._scan_memo) > self._scan_memo_max:
+            self._scan_memo.popitem(last=False)
+
     def exact_matrix_scan(self, first: int, count: int) -> np.ndarray:
         """Exact correlation matrix of a basic-window range by scanning it.
 
@@ -226,6 +261,12 @@ class BasicWindowSketch:
         """
         self._require_pairwise()
         self._check_range(first, count)
+        if self._scan_memo is not None:
+            cached = self._scan_memo.get((first, count))
+            if cached is not None:
+                self._scan_memo.move_to_end((first, count))
+                self.scan_memo_hits += 1
+                return cached.copy()
         n_points = count * self.layout.size
         sums = self.series_sums[:, first : first + count].sum(axis=1)
         sumsqs = self.series_sumsqs[:, first : first + count].sum(axis=1)
@@ -239,6 +280,10 @@ class BasicWindowSketch:
             sumprods,
         )
         np.fill_diagonal(corr, 1.0)
+        if self._scan_memo is not None:
+            self._scan_memo[(first, count)] = corr.copy()
+            while len(self._scan_memo) > self._scan_memo_max:
+                self._scan_memo.popitem(last=False)
         return corr
 
     def exact_pairs_scan(

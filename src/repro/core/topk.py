@@ -23,7 +23,7 @@ modes).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -31,7 +31,8 @@ from repro.config import DEFAULT_BASIC_WINDOW_SIZE, FLOAT_DTYPE, INDEX_DTYPE
 from repro.core.basic_window import BasicWindowLayout
 from repro.core.correlation import correlation_matrix
 from repro.core.query import SlidingQuery
-from repro.core.sketch import BasicWindowSketch
+from repro.core.result import Edge
+from repro.core.sketch import BasicWindowSketch, ensure_sketch_layout
 from repro.exceptions import QueryValidationError
 from repro.timeseries.matrix import TimeSeriesMatrix
 
@@ -106,6 +107,28 @@ class TopKResult:
             raise QueryValidationError("no windows reported any pairs")
         return float(finite.min())
 
+    # ------------------------------------------------------- result protocol
+    def iter_windows(self) -> Iterator[Tuple[int, TopKWindow]]:
+        """Yield ``(window_index, payload)`` per window (result protocol)."""
+        return ((w.window_index, w) for w in self.windows)
+
+    def to_edges(self) -> List[Edge]:
+        """Flatten the result to the protocol's uniform edge list (lag 0)."""
+        edges: List[Edge] = []
+        for window in self.windows:
+            edges.extend(
+                Edge(window.window_index, i, j, v) for i, j, v in window.pairs()
+            )
+        return edges
+
+    def describe(self) -> str:
+        """One-line summary used by reports (result protocol)."""
+        ranking = "|c|" if self.absolute else "c"
+        return (
+            f"top-{self.k} by {ranking}: {self.num_windows} windows, "
+            f"{sum(w.k for w in self.windows)} reported pairs"
+        )
+
     def persistent_pairs(self, min_fraction: float = 0.5) -> List[Tuple[int, int]]:
         """Pairs appearing in the top k of at least ``min_fraction`` of windows."""
         if not 0.0 <= min_fraction <= 1.0:
@@ -150,8 +173,15 @@ def sliding_top_k(
     k: int,
     basic_window_size: int = DEFAULT_BASIC_WINDOW_SIZE,
     absolute: Optional[bool] = None,
+    sketch: Optional[BasicWindowSketch] = None,
 ) -> TopKResult:
     """The k most correlated pairs of every window, from the basic-window sketch.
+
+    .. note::
+       Prefer the unified front door: ``CorrelationSession(matrix).run(
+       TopKQuery(..., k=k))`` (see :mod:`repro.api`) plans the sketch once and
+       reuses it across queries.  This free function is kept as a thin
+       compatibility shim and may be removed in a future major version.
 
     Parameters
     ----------
@@ -166,6 +196,10 @@ def sliding_top_k(
         same way the Dangoron engine aligns it).
     absolute:
         Rank by ``|c|`` instead of ``c``.  Defaults to the query's mode.
+    sketch:
+        Prebuilt sketch whose layout matches what this function would build
+        (``BasicWindowLayout.for_query(query, basic_window_size)``); supplied
+        by the planner for cross-query reuse.
     """
     _validate_k(k, matrix.num_series)
     query.validate_against_length(matrix.length)
@@ -173,7 +207,10 @@ def sliding_top_k(
         absolute = query.threshold_mode == "absolute"
 
     layout = BasicWindowLayout.for_query(query, basic_window_size)
-    sketch = BasicWindowSketch.build(matrix.values, layout)
+    if sketch is not None:
+        ensure_sketch_layout(sketch, layout)
+    else:
+        sketch = BasicWindowSketch.build(matrix.values, layout)
     window_bw = query.window // layout.size
 
     windows: List[TopKWindow] = []

@@ -5,6 +5,13 @@ edges are above-threshold correlations within a window (Fig. 1).  These
 helpers materialize that network as :mod:`networkx` graphs, either for one
 window or for a whole sliding-query result, carrying the correlation values as
 edge weights and the series identifiers as node labels.
+
+Two families of builders coexist: the original ones bound to
+:class:`CorrelationSeriesResult`, and protocol-based ones
+(:func:`graphs_from_edges`, :func:`union_graph_from_edges`) that consume any
+object implementing the unified result protocol of :mod:`repro.api` —
+thresholded series, top-k and lagged results alike — via ``to_edges()``.
+Lagged edges carry their best lag as a ``lag`` edge attribute.
 """
 
 from __future__ import annotations
@@ -15,6 +22,91 @@ import networkx as nx
 
 from repro.core.result import CorrelationSeriesResult, ThresholdedMatrix
 from repro.exceptions import DataValidationError
+
+
+def _protocol_nodes(result, num_nodes: Optional[int]):
+    """Node count and labels for a protocol result (series ids when known)."""
+    if num_nodes is None:
+        num_nodes = getattr(result, "num_series", None)
+    series_ids = getattr(result, "series_ids", None)
+    if series_ids is not None and num_nodes is None:
+        num_nodes = len(series_ids)
+
+    def node(i: int):
+        return series_ids[i] if series_ids is not None else int(i)
+
+    return num_nodes, node
+
+
+def graphs_from_edges(result, num_nodes: Optional[int] = None) -> List[nx.Graph]:
+    """One graph per window from any unified-protocol result.
+
+    Consumes only the protocol surface (``num_windows``, ``to_edges()``), so
+    thresholded, top-k and lagged results all work.  Edge weights are the
+    correlation values; lagged edges additionally carry ``lag``.  When the
+    result exposes ``num_series``/``series_ids`` (or ``num_nodes`` is given),
+    isolated series appear as nodes, keeping node counts comparable across
+    windows like :func:`graph_from_matrix` does.
+    """
+    num_nodes, node = _protocol_nodes(result, num_nodes)
+    graphs = [nx.Graph() for _ in range(result.num_windows)]
+    if num_nodes is not None:
+        for graph in graphs:
+            graph.add_nodes_from(node(i) for i in range(num_nodes))
+    for edge in result.to_edges():
+        if not 0 <= edge.window < len(graphs):
+            raise DataValidationError(
+                f"edge window index {edge.window} outside "
+                f"[0, {result.num_windows})"
+            )
+        graphs[edge.window].add_edge(
+            node(edge.source), node(edge.target), weight=edge.weight, lag=edge.lag
+        )
+    return graphs
+
+
+def union_graph_from_edges(
+    result,
+    min_persistence: float = 0.0,
+    num_nodes: Optional[int] = None,
+) -> nx.Graph:
+    """Persistence-weighted union graph from any unified-protocol result.
+
+    The protocol twin of :func:`union_graph`: each edge's ``persistence`` is
+    the fraction of windows in which the pair appears, ``weight`` its mean
+    correlation over those windows, and ``lag`` its mean lag (0 for zero-lag
+    results).  Edges below ``min_persistence`` are dropped.
+    """
+    if not 0.0 <= min_persistence <= 1.0:
+        raise DataValidationError(
+            f"min_persistence must lie in [0, 1], got {min_persistence}"
+        )
+    num_nodes, node = _protocol_nodes(result, num_nodes)
+    counts: dict = {}
+    weight_sums: dict = {}
+    lag_sums: dict = {}
+    for edge in result.to_edges():
+        pair = (edge.source, edge.target)
+        counts[pair] = counts.get(pair, 0) + 1
+        weight_sums[pair] = weight_sums.get(pair, 0.0) + edge.weight
+        lag_sums[pair] = lag_sums.get(pair, 0.0) + edge.lag
+
+    graph = nx.Graph()
+    if num_nodes is not None:
+        graph.add_nodes_from(node(i) for i in range(num_nodes))
+    num_windows = max(result.num_windows, 1)
+    for (i, j), count in counts.items():
+        persistence = count / num_windows
+        if persistence >= min_persistence:
+            graph.add_edge(
+                node(i),
+                node(j),
+                weight=weight_sums[(i, j)] / count,
+                persistence=persistence,
+                windows=count,
+                lag=lag_sums[(i, j)] / count,
+            )
+    return graph
 
 
 def graph_from_matrix(

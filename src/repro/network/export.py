@@ -12,7 +12,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Union
+from typing import Optional, Sequence, Union
 
 import networkx as nx
 import numpy as np
@@ -90,6 +90,34 @@ def write_temporal_edge_list(
         for k, matrix in enumerate(result.matrices):
             for i, j, v in zip(matrix.rows, matrix.cols, matrix.values):
                 writer.writerow([k, node(int(i)), node(int(j)), repr(float(v))])
+    return path
+
+
+def write_protocol_edge_list(
+    result, path: Union[str, Path], series_ids: Optional[Sequence[str]] = None
+) -> Path:
+    """Write any unified-protocol result as ``window, source, target, weight, lag``.
+
+    The protocol twin of :func:`write_temporal_edge_list`: consumes only
+    ``to_edges()``, so thresholded, top-k and lagged results all export with
+    one schema.  Node names use ``series_ids`` (or the result's own, when it
+    carries them), otherwise indices.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    ids = series_ids if series_ids is not None else getattr(result, "series_ids", None)
+
+    def node(i: int):
+        return ids[i] if ids is not None else int(i)
+
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["window", "source", "target", "weight", "lag"])
+        for edge in result.to_edges():
+            writer.writerow(
+                [edge.window, node(edge.source), node(edge.target),
+                 repr(float(edge.weight)), int(edge.lag)]
+            )
     return path
 
 

@@ -11,6 +11,7 @@ of many datasets together on disk.
 from repro.storage.cache import (
     CacheStats,
     QueryCache,
+    SketchCache,
     matrix_fingerprint,
     query_fingerprint,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "ChunkStore",
     "DatasetEntry",
     "QueryCache",
+    "SketchCache",
     "StatsIndex",
     "matrix_fingerprint",
     "query_fingerprint",

@@ -1,4 +1,4 @@
-"""In-memory result cache for repeated sliding queries.
+"""In-memory caches for repeated sliding queries.
 
 Interactive exploration (the paper's challenge 1) repeatedly re-runs similar
 queries — the same range with a different threshold, the same threshold over a
@@ -7,18 +7,28 @@ of an identical query is to not run it at all.  :class:`QueryCache` memoizes
 :class:`~repro.core.result.CorrelationSeriesResult` objects keyed by a
 fingerprint of the data, the query, and the engine configuration, with LRU
 eviction bounded either by entry count or by the estimated memory held.
+
+One level below whole results, :class:`SketchCache` memoizes the
+:class:`~repro.core.sketch.BasicWindowSketch` itself, keyed on the data plus
+the basic-window layout (range, size).  Queries that differ only in threshold,
+``k`` or lag share a sketch, so a threshold sweep — the dominant-cost path of
+the E4 experiment — builds the γ·N² statistics once.  This is the cache the
+:class:`repro.api.QueryPlanner` plans against.
 """
 
 from __future__ import annotations
 
 import hashlib
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.core.basic_window import BasicWindowLayout
 from repro.core.engine import SlidingCorrelationEngine
 from repro.core.query import SlidingQuery
 from repro.core.result import CorrelationSeriesResult
+from repro.core.sketch import BasicWindowSketch
 from repro.exceptions import StorageError
 from repro.timeseries.matrix import TimeSeriesMatrix
 
@@ -39,6 +49,33 @@ def query_fingerprint(query: SlidingQuery) -> str:
         f"{query.start}:{query.end}:{query.window}:{query.step}:"
         f"{query.threshold!r}:{query.threshold_mode}"
     )
+
+
+class _FingerprintMemo:
+    """Per-object memo of :func:`matrix_fingerprint` safe against id reuse.
+
+    Hashing the full data array is the expensive part of a cache key, so both
+    caches memoize it per matrix *object*.  Keying a plain dict by ``id()``
+    alone is unsound: once the matrix is garbage collected the id can be
+    recycled by an unrelated matrix, which would silently inherit the dead
+    object's fingerprint.  A ``weakref.finalize`` drops each entry when its
+    matrix dies, which also keeps the memo from growing without bound.
+    """
+
+    def __init__(self) -> None:
+        self._fingerprints: Dict[int, str] = {}
+
+    def __call__(self, matrix: TimeSeriesMatrix) -> str:
+        identity = id(matrix)
+        fingerprint = self._fingerprints.get(identity)
+        if fingerprint is None:
+            fingerprint = matrix_fingerprint(matrix)
+            self._fingerprints[identity] = fingerprint
+            weakref.finalize(matrix, self._fingerprints.pop, identity, None)
+        return fingerprint
+
+    def clear(self) -> None:
+        self._fingerprints.clear()
 
 
 def _result_bytes(result: CorrelationSeriesResult) -> int:
@@ -100,7 +137,7 @@ class QueryCache:
             OrderedDict()
         )
         self._sizes: Dict[Tuple[str, str, str], int] = {}
-        self._fingerprints: Dict[int, str] = {}
+        self._fingerprint = _FingerprintMemo()
 
     # ------------------------------------------------------------------ sizing
     def __len__(self) -> int:
@@ -115,14 +152,9 @@ class QueryCache:
     def _key(
         self, matrix: TimeSeriesMatrix, query: SlidingQuery, engine_label: str
     ) -> Tuple[str, str, str]:
-        # Fingerprinting hashes the full data array; cache it per matrix object
+        # Fingerprinting hashes the full data array; memoized per matrix object
         # so repeated queries over the same (immutable) matrix pay it once.
-        identity = id(matrix)
-        fingerprint = self._fingerprints.get(identity)
-        if fingerprint is None:
-            fingerprint = matrix_fingerprint(matrix)
-            self._fingerprints[identity] = fingerprint
-        return fingerprint, query_fingerprint(query), engine_label
+        return self._fingerprint(matrix), query_fingerprint(query), engine_label
 
     def get(
         self, matrix: TimeSeriesMatrix, query: SlidingQuery, engine_label: str
@@ -171,7 +203,7 @@ class QueryCache:
         """Drop every cached entry (statistics are preserved)."""
         self._entries.clear()
         self._sizes.clear()
-        self._fingerprints.clear()
+        self._fingerprint.clear()
 
     # ---------------------------------------------------------------- internal
     def _evict(self) -> None:
@@ -185,3 +217,84 @@ class QueryCache:
         key, _ = self._entries.popitem(last=False)
         self._sizes.pop(key, None)
         self.stats.evictions += 1
+
+
+class SketchCache:
+    """LRU cache of :class:`BasicWindowSketch` instances for cross-query reuse.
+
+    Keyed on the data fingerprint plus the layout (offset, basic-window size,
+    count) and whether pairwise statistics were requested — every query whose
+    planned layout coincides (a threshold sweep, a top-k refinement of the
+    same range, Dangoron and TSUBASA at the same basic-window size) shares one
+    build.  ``stats`` counts hits/misses; ``builds`` counts actual sketch
+    constructions, which is what the reuse tests assert on.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of sketches kept (least recently used evicted first).
+    scan_memo_entries:
+        When positive, :meth:`BasicWindowSketch.enable_scan_memo` is switched
+        on for every cached sketch with this bound, so dense window scans that
+        repeat across the sharing queries (e.g. each sweep run's first window)
+        are also answered once.  ``0`` disables the memo.
+    """
+
+    def __init__(self, max_entries: int = 8, scan_memo_entries: int = 16) -> None:
+        if max_entries < 1:
+            raise StorageError(f"max_entries must be at least 1, got {max_entries}")
+        if scan_memo_entries < 0:
+            raise StorageError(
+                f"scan_memo_entries must be non-negative, got {scan_memo_entries}"
+            )
+        self.max_entries = max_entries
+        self.scan_memo_entries = scan_memo_entries
+        self.stats = CacheStats()
+        self.builds = 0
+        self._entries: "OrderedDict[Tuple[str, int, int, int, bool], BasicWindowSketch]" = (
+            OrderedDict()
+        )
+        self._fingerprint = _FingerprintMemo()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Summed estimated size of all cached sketches."""
+        return sum(sketch.memory_bytes() for sketch in self._entries.values())
+
+    def _key(
+        self, matrix: TimeSeriesMatrix, layout: BasicWindowLayout, pairwise: bool
+    ) -> Tuple[str, int, int, int, bool]:
+        fingerprint = self._fingerprint(matrix)
+        return fingerprint, layout.offset, layout.size, layout.count, pairwise
+
+    def get_or_build(
+        self,
+        matrix: TimeSeriesMatrix,
+        layout: BasicWindowLayout,
+        pairwise: bool = True,
+    ) -> BasicWindowSketch:
+        """Return the cached sketch for (data, layout) or build and cache it."""
+        key = self._key(matrix, layout, pairwise)
+        sketch = self._entries.get(key)
+        if sketch is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return sketch
+        self.stats.misses += 1
+        sketch = BasicWindowSketch.build(matrix.values, layout, pairwise=pairwise)
+        self.builds += 1
+        if self.scan_memo_entries:
+            sketch.enable_scan_memo(self.scan_memo_entries)
+        self._entries[key] = sketch
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return sketch
+
+    def clear(self) -> None:
+        """Drop every cached sketch (statistics are preserved)."""
+        self._entries.clear()
+        self._fingerprint.clear()

@@ -1,0 +1,104 @@
+"""Unit tests for QueryPlanner internals (repro.api.planner)."""
+
+import pytest
+
+from repro.api import QueryPlanner, ThresholdQuery, TopKQuery
+from repro.baselines.brute_force import BruteForceEngine
+from repro.core.basic_window import BasicWindowLayout
+from repro.core.result import CorrelationSeriesResult
+from repro.exceptions import QueryValidationError
+from repro.storage.cache import SketchCache
+
+
+@pytest.fixture
+def query():
+    return ThresholdQuery(start=0, end=512, window=128, step=32, threshold=0.6)
+
+
+class TestEngineResolution:
+    def test_default_engine_is_memoized(self):
+        planner = QueryPlanner()
+        assert planner.resolve_engine() is planner.resolve_engine()
+
+    def test_basic_window_size_injected_when_accepted(self):
+        planner = QueryPlanner(engine="dangoron", basic_window_size=16)
+        assert planner.resolve_engine().basic_window_size == 16
+
+    def test_explicit_option_wins_over_injection(self):
+        planner = QueryPlanner(
+            engine="dangoron",
+            engine_options={"basic_window_size": 8},
+            basic_window_size=16,
+        )
+        assert planner.resolve_engine().basic_window_size == 8
+
+    def test_engines_without_the_option_are_not_injected(self):
+        planner = QueryPlanner(engine="brute_force", basic_window_size=16)
+        engine = planner.resolve_engine()
+        assert engine.name == "brute_force"
+        assert not hasattr(engine, "basic_window_size")
+
+
+class TestPlanning:
+    def test_plan_validates_against_matrix_length(self, small_matrix):
+        too_long = ThresholdQuery(
+            start=0, end=4096, window=128, step=32, threshold=0.6
+        )
+        with pytest.raises(QueryValidationError):
+            QueryPlanner(basic_window_size=32).plan(small_matrix, too_long)
+
+    def test_plan_layout_matches_engine_choice(self, small_matrix, query):
+        planner = QueryPlanner(basic_window_size=32)
+        plan = planner.plan(small_matrix, query)
+        assert plan.layout == planner.resolve_engine().plan_layout(query)
+
+    def test_topk_layout_uses_planner_basic_window(self, small_matrix):
+        planner = QueryPlanner(basic_window_size=16)
+        plan = planner.plan(
+            small_matrix, TopKQuery(start=0, end=512, window=128, step=32, k=3)
+        )
+        assert plan.layout == BasicWindowLayout.for_query(plan.query, 16)
+
+    def test_engine_override_changes_the_plan(self, small_matrix, query):
+        planner = QueryPlanner(basic_window_size=32)
+        plan = planner.plan(small_matrix, query, engine=BruteForceEngine())
+        assert plan.engine.name == "brute_force"
+        assert plan.layout is None
+
+    def test_engine_override_rejected_for_fixed_paths(self, small_matrix):
+        """topk/lagged execute on fixed paths; a silently ignored engine
+        override would mislead engine comparisons."""
+        from repro.api import LaggedQuery
+        from repro.exceptions import ExperimentError
+
+        planner = QueryPlanner(basic_window_size=32)
+        topk = TopKQuery(start=0, end=512, window=128, step=32, k=3)
+        lagged = LaggedQuery(start=0, end=512, window=128, step=32, max_lag=2)
+        for query in (topk, lagged):
+            with pytest.raises(ExperimentError, match="threshold queries only"):
+                planner.plan(small_matrix, query, engine=BruteForceEngine())
+
+
+class TestExecution:
+    def test_execute_runs_the_plan(self, small_matrix, query):
+        planner = QueryPlanner(basic_window_size=32)
+        result = planner.execute(small_matrix, planner.plan(small_matrix, query))
+        assert isinstance(result, CorrelationSeriesResult)
+        assert result.num_windows == query.num_windows
+
+    def test_shared_cache_spans_planners(self, small_matrix, query):
+        cache = SketchCache()
+        QueryPlanner(basic_window_size=32, sketch_cache=cache).run(
+            small_matrix, query
+        )
+        QueryPlanner(basic_window_size=32, sketch_cache=cache).run(
+            small_matrix, query.with_threshold(0.8)
+        )
+        assert cache.builds == 1
+
+    def test_engines_without_layout_run_without_sketch(self, small_matrix, query):
+        planner = QueryPlanner(engine="brute_force")
+        result = planner.run(small_matrix, query)
+        assert result.stats.engine == "brute_force"
+        assert planner.sketch_cache.builds == 0
+        assert "sketch_cache_hit" not in result.stats.extra

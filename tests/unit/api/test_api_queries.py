@@ -1,0 +1,74 @@
+"""Unit tests for the query spec family (repro.api.queries)."""
+
+import pytest
+
+from repro.api import LaggedQuery, ThresholdQuery, TopKQuery
+from repro.core.query import THRESHOLD_ABSOLUTE, SlidingQuery
+from repro.exceptions import QueryValidationError
+
+
+class TestThresholdQuery:
+    def test_is_a_sliding_query(self):
+        query = ThresholdQuery(start=0, end=100, window=20, step=10, threshold=0.7)
+        assert isinstance(query, SlidingQuery)
+        assert query.num_windows == 9
+        assert query.keeps(0.8) and not query.keeps(0.6)
+
+    def test_inherits_validation(self):
+        with pytest.raises(QueryValidationError):
+            ThresholdQuery(start=0, end=10, window=20, step=10, threshold=0.7)
+        with pytest.raises(QueryValidationError):
+            ThresholdQuery(start=0, end=100, window=20, step=10, threshold=1.5)
+
+    def test_with_threshold_preserves_type(self):
+        query = ThresholdQuery(start=0, end=100, window=20, step=10, threshold=0.7)
+        relaxed = query.with_threshold(0.5)
+        assert isinstance(relaxed, ThresholdQuery)
+        assert relaxed.threshold == 0.5
+        assert relaxed.window == query.window
+
+
+class TestTopKQuery:
+    def test_threshold_defaults_vacuous(self):
+        query = TopKQuery(start=0, end=100, window=20, step=10, k=5)
+        assert query.k == 5
+        assert query.threshold == 1.0
+
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(QueryValidationError):
+            TopKQuery(start=0, end=100, window=20, step=10, k=0)
+
+    def test_effective_absolute_follows_mode_then_flag(self):
+        by_mode = TopKQuery(
+            start=0, end=100, window=20, step=10, k=5,
+            threshold_mode=THRESHOLD_ABSOLUTE,
+        )
+        assert by_mode.effective_absolute
+        overridden = TopKQuery(
+            start=0, end=100, window=20, step=10, k=5,
+            threshold_mode=THRESHOLD_ABSOLUTE, absolute=False,
+        )
+        assert not overridden.effective_absolute
+
+    def test_describe_mentions_k(self):
+        query = TopKQuery(start=0, end=100, window=20, step=10, k=5)
+        assert "k=5" in query.describe()
+
+
+class TestLaggedQuery:
+    def test_defaults(self):
+        query = LaggedQuery(start=0, end=100, window=20, step=10, max_lag=4)
+        assert query.max_lag == 4
+        assert query.threshold == 0.0
+
+    def test_rejects_negative_lag(self):
+        with pytest.raises(QueryValidationError):
+            LaggedQuery(start=0, end=100, window=20, step=10, max_lag=-1)
+
+    def test_rejects_lag_swallowing_window(self):
+        with pytest.raises(QueryValidationError):
+            LaggedQuery(start=0, end=100, window=20, step=10, max_lag=19)
+
+    def test_describe_mentions_lag(self):
+        query = LaggedQuery(start=0, end=100, window=20, step=10, max_lag=4)
+        assert "max_lag=4" in query.describe()

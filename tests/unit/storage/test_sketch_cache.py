@@ -1,0 +1,140 @@
+"""Unit tests for the cross-query sketch cache (repro.storage.cache.SketchCache)."""
+
+import numpy as np
+import pytest
+
+from repro.core.basic_window import BasicWindowLayout
+from repro.datasets.random_walk import ar1_series
+from repro.exceptions import StorageError
+from repro.storage.cache import SketchCache
+
+
+@pytest.fixture
+def matrix():
+    return ar1_series(8, 256, coefficient=0.8, shared_innovation_weight=0.6, seed=9)
+
+
+@pytest.fixture
+def layout():
+    return BasicWindowLayout.for_range(0, 256, 32)
+
+
+class TestHitMissAccounting:
+    def test_first_request_builds(self, matrix, layout):
+        cache = SketchCache()
+        sketch = cache.get_or_build(matrix, layout)
+        assert cache.builds == 1
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+        assert sketch.layout == layout
+
+    def test_repeat_request_hits_and_returns_same_object(self, matrix, layout):
+        cache = SketchCache()
+        first = cache.get_or_build(matrix, layout)
+        second = cache.get_or_build(matrix, layout)
+        assert first is second
+        assert cache.builds == 1
+        assert cache.stats.hits == 1
+
+    def test_distinct_layouts_miss(self, matrix, layout):
+        cache = SketchCache()
+        cache.get_or_build(matrix, layout)
+        cache.get_or_build(matrix, BasicWindowLayout.for_range(0, 256, 16))
+        cache.get_or_build(matrix, BasicWindowLayout.for_range(32, 256, 32))
+        assert cache.builds == 3
+
+    def test_pairwise_flag_is_part_of_the_key(self, matrix, layout):
+        cache = SketchCache()
+        full = cache.get_or_build(matrix, layout, pairwise=True)
+        slim = cache.get_or_build(matrix, layout, pairwise=False)
+        assert full is not slim
+        assert cache.builds == 2
+        assert not slim.has_pairwise
+
+    def test_identical_content_shares_across_objects(self, matrix, layout):
+        cache = SketchCache()
+        clone = type(matrix)(
+            matrix.values.copy(),
+            series_ids=list(matrix.series_ids),
+            time_axis=matrix.time_axis,
+        )
+        cache.get_or_build(matrix, layout)
+        cache.get_or_build(clone, layout)
+        assert cache.builds == 1  # keyed on content fingerprint, not identity
+
+    def test_different_content_misses(self, matrix, layout):
+        cache = SketchCache()
+        other = type(matrix)(
+            matrix.values + 1.0,
+            series_ids=list(matrix.series_ids),
+            time_axis=matrix.time_axis,
+        )
+        cache.get_or_build(matrix, layout)
+        cache.get_or_build(other, layout)
+        assert cache.builds == 2
+
+
+class TestFingerprintMemoSafety:
+    def test_memo_entry_dies_with_the_matrix(self, layout):
+        """The per-object fingerprint memo must not survive its matrix: a
+        recycled id() would otherwise inherit a dead object's fingerprint and
+        silently serve a sketch built from different data."""
+        import gc
+
+        cache = SketchCache()
+        matrix = ar1_series(8, 256, coefficient=0.8, seed=1)
+        cache.get_or_build(matrix, layout)
+        assert len(cache._fingerprint._fingerprints) == 1
+        del matrix
+        gc.collect()
+        assert len(cache._fingerprint._fingerprints) == 0
+
+
+class TestEvictionAndLimits:
+    def test_lru_eviction(self, matrix):
+        cache = SketchCache(max_entries=2)
+        layouts = [BasicWindowLayout.for_range(0, 256, size) for size in (8, 16, 32)]
+        for layout in layouts:
+            cache.get_or_build(matrix, layout)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        cache.get_or_build(matrix, layouts[0])  # evicted -> rebuilt
+        assert cache.builds == 4
+
+    def test_clear_preserves_stats(self, matrix, layout):
+        cache = SketchCache()
+        cache.get_or_build(matrix, layout)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+        cache.get_or_build(matrix, layout)
+        assert cache.builds == 2
+
+    def test_invalid_limits_raise(self):
+        with pytest.raises(StorageError):
+            SketchCache(max_entries=0)
+        with pytest.raises(StorageError):
+            SketchCache(scan_memo_entries=-1)
+
+    def test_memory_accounting(self, matrix, layout):
+        cache = SketchCache()
+        cache.get_or_build(matrix, layout)
+        assert cache.memory_bytes > 0
+
+
+class TestScanMemo:
+    def test_cached_sketches_memoize_dense_scans(self, matrix, layout):
+        cache = SketchCache(scan_memo_entries=4)
+        sketch = cache.get_or_build(matrix, layout)
+        first = sketch.exact_matrix_scan(0, 4)
+        second = sketch.exact_matrix_scan(0, 4)
+        assert sketch.scan_memo_hits == 1
+        np.testing.assert_array_equal(first, second)
+        second[0, 1] = 42.0  # defensive copy: mutating a result is safe
+        assert sketch.exact_matrix_scan(0, 4)[0, 1] != 42.0
+
+    def test_memo_can_be_disabled(self, matrix, layout):
+        cache = SketchCache(scan_memo_entries=0)
+        sketch = cache.get_or_build(matrix, layout)
+        sketch.exact_matrix_scan(0, 4)
+        sketch.exact_matrix_scan(0, 4)
+        assert sketch.scan_memo_hits == 0
