@@ -1,0 +1,155 @@
+"""E16 — parallel scaling of sharded pair-space execution (ROADMAP north star).
+
+The E5 scalability workload (USCRN-like climate data, 30-day window sliding
+daily) is rerun here through :class:`repro.parallel.ShardedExecutor` at
+increasing worker counts.  Two claims are checked:
+
+* **Determinism** — sharded results (thread and process mode) are
+  bit-identical to the serial engine run: same edges, same float values,
+  same per-window ordering.  Asserted unconditionally on every machine.
+* **Scaling** — sharding TSUBASA, the Θ(N²)-per-window engine whose pair
+  work dominates E5, must clear :func:`speedup_floor` over the serial run at
+  the top worker count (1.8x at >= 4 workers, 1.3x at 2–3).  Asserted only
+  when the machine actually has that many usable cores; otherwise the timing
+  table is still printed and the assertion is skipped.
+
+Dangoron rows are reported for reference without a floor: at the paper's
+beta=0.7 its pruning leaves sub-second residual work on this workload, so
+pool startup dominates — sharding Dangoron pays off at larger N or lower
+thresholds, not here.  ``REPRO_BENCH_WORKERS`` caps the worker ladder (CI
+smoke uses 2); ``REPRO_BENCH_SCALE`` scales the workload as everywhere else.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.tsubasa import TsubasaEngine
+from repro.core.dangoron import DangoronEngine
+from repro.core.sketch import BasicWindowSketch
+from repro.experiments.workloads import climate_workload
+from repro.parallel import MODE_PROCESS, MODE_THREAD, ShardedExecutor, available_workers
+
+from _bench_common import BENCH_SCALE, BENCH_THRESHOLD, print_experiment_table
+
+#: Top of the worker ladder (and the count the speedup floor applies to).
+#: Any value >= 1 works; the ladder always ends exactly at this count.
+MAX_WORKERS = max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "4")))
+
+#: Sharded worker counts to time: powers of two below the top, then the top.
+WORKER_COUNTS = [w for w in (2, 4, 8, 16) if w < MAX_WORKERS]
+if MAX_WORKERS > 1:
+    WORKER_COUNTS.append(MAX_WORKERS)
+
+
+def speedup_floor(workers: int) -> float:
+    """Minimum sharded-TSUBASA speedup over serial at a given worker count."""
+    return 1.8 if workers >= 4 else 1.3
+
+
+def _identical(serial, sharded) -> bool:
+    return serial.num_windows == sharded.num_windows and all(
+        np.array_equal(a.rows, b.rows)
+        and np.array_equal(a.cols, b.cols)
+        and np.array_equal(a.values, b.values)
+        for a, b in zip(serial.matrices, sharded.matrices)
+    )
+
+
+@pytest.fixture(scope="module")
+def e5_workload():
+    """The E5 workload at twice the bench scale (pair work must dominate)."""
+    return climate_workload(
+        scale=BENCH_SCALE * 4, threshold=BENCH_THRESHOLD, window_hours=1440
+    )
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    """A quick workload for the determinism checks."""
+    return climate_workload(
+        scale=BENCH_SCALE, threshold=BENCH_THRESHOLD, window_hours=1440
+    )
+
+
+@pytest.mark.parametrize("engine_name", ["dangoron", "tsubasa"])
+@pytest.mark.parametrize("mode", [MODE_THREAD, MODE_PROCESS])
+def test_e16_sharded_bit_identical(small_workload, engine_name, mode):
+    """Sharded execution reproduces the serial result bit for bit."""
+    workload = small_workload
+    if engine_name == "tsubasa":
+        engine = TsubasaEngine(basic_window_size=workload.basic_window_size)
+    else:
+        engine = DangoronEngine(basic_window_size=workload.basic_window_size)
+    sketch = BasicWindowSketch.build(
+        workload.matrix.values, engine.plan_layout(workload.query)
+    )
+    serial = engine.run(workload.matrix, workload.query, sketch=sketch)
+    sharded = ShardedExecutor(workers=4, mode=mode).run(
+        engine, workload.matrix, workload.query, sketch=sketch
+    )
+    assert _identical(serial, sharded)
+    assert sharded.stats.exact_evaluations == serial.stats.exact_evaluations
+    assert sharded.stats.candidate_pairs == serial.stats.candidate_pairs
+
+
+def test_e16_parallel_scaling(e5_workload):
+    """Timing table: serial vs sharded at 1..MAX_WORKERS workers, both engines."""
+    workload = e5_workload
+    engines = {
+        "tsubasa": TsubasaEngine(basic_window_size=workload.basic_window_size),
+        "dangoron": DangoronEngine(basic_window_size=workload.basic_window_size),
+    }
+    rows = []
+    speedups = {}
+    for name, engine in engines.items():
+        sketch = BasicWindowSketch.build(
+            workload.matrix.values, engine.plan_layout(workload.query)
+        )
+        started = time.perf_counter()
+        serial = engine.run(workload.matrix, workload.query, sketch=sketch)
+        serial_seconds = time.perf_counter() - started
+        rows.append([name, "serial", 1, round(serial_seconds, 4), 1.0])
+        for workers in WORKER_COUNTS:
+            executor = ShardedExecutor(workers=workers, mode=MODE_PROCESS)
+            started = time.perf_counter()
+            sharded = executor.run(
+                engine, workload.matrix, workload.query, sketch=sketch
+            )
+            seconds = time.perf_counter() - started
+            assert _identical(serial, sharded)
+            speedup = serial_seconds / seconds if seconds > 0 else float("inf")
+            speedups[(name, workers)] = speedup
+            rows.append([name, "sharded", workers, round(seconds, 4),
+                         round(speedup, 2)])
+
+    class _Table:
+        experiment_id = "E16"
+        notes = workload.describe()
+        headers = ["engine", "execution", "workers", "wall_seconds", "speedup"]
+
+        def table(self):
+            header = " | ".join(self.headers)
+            lines = [header, "-" * len(header)]
+            lines += [" | ".join(str(v) for v in row) for row in rows]
+            return "\n".join(lines)
+
+    print_experiment_table(_Table())
+
+    if MAX_WORKERS < 2:
+        pytest.skip("REPRO_BENCH_WORKERS=1: nothing to scale")
+    floor = speedup_floor(MAX_WORKERS)
+    usable = available_workers()
+    if usable < MAX_WORKERS:
+        pytest.skip(
+            f"speedup floor needs {MAX_WORKERS} usable cores, "
+            f"this machine exposes {usable}"
+        )
+    assert speedups[("tsubasa", MAX_WORKERS)] >= floor, (
+        f"sharded tsubasa at {MAX_WORKERS} workers reached only "
+        f"{speedups[('tsubasa', MAX_WORKERS)]:.2f}x (floor {floor}x)"
+    )

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Check that README/docs markdown links resolve.
+
+Scans the given markdown files (default: README.md and docs/*.md) for inline
+``[text](target)`` links and verifies that
+
+* relative file targets exist on disk (anchors stripped), and
+* same-file ``#anchor`` targets match a heading in the file (GitHub slug
+  rules: lowercase, punctuation dropped, spaces to dashes).
+
+External links (``http://``, ``https://``, ``mailto:``) are not fetched —
+CI must not depend on the network — they are only counted.  Exits non-zero
+listing every broken link, so the CI docs job fails loudly.
+
+Usage::
+
+    python scripts/check_docs_links.py [files...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def default_files(root: Path) -> List[Path]:
+    files = [root / "README.md"]
+    files += sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def check_file(path: Path, root: Path) -> Tuple[List[str], int]:
+    """Return (broken link descriptions, number of external links)."""
+    text = path.read_text(encoding="utf-8")
+    slugs = {github_slug(h) for h in _HEADING.findall(text)}
+    broken: List[str] = []
+    external = 0
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL):
+            external += 1
+            continue
+        if target.startswith("#"):
+            if target[1:] not in slugs:
+                broken.append(f"{path.relative_to(root)}: no heading for {target}")
+            continue
+        file_part = target.split("#", 1)[0]
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            broken.append(f"{path.relative_to(root)}: missing file {target}")
+    return broken, external
+
+
+def main(argv: List[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = [Path(arg) for arg in argv] if argv else default_files(root)
+    if not files:
+        print("no markdown files found to check", file=sys.stderr)
+        return 1
+    all_broken: List[str] = []
+    total_links = 0
+    for path in files:
+        broken, external = check_file(path, root)
+        all_broken += broken
+        total_links += external
+    for line in all_broken:
+        print(f"BROKEN: {line}", file=sys.stderr)
+    print(
+        f"checked {len(files)} files: "
+        f"{len(all_broken)} broken, {total_links} external (not fetched)"
+    )
+    return 1 if all_broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -2,22 +2,37 @@
 
 Everything the library computes — thresholded matrices, top-k pairs, lagged
 networks, online monitoring — is a variant of one sliding-window correlation
-problem over one sketch.  This package exposes it that way::
+problem over one sketch.  This package exposes it that way (the same
+quickstart as README.md, kept runnable as a doctest):
 
-    from repro.api import CorrelationSession, ThresholdQuery, TopKQuery
-
-    session = CorrelationSession(matrix, basic_window_size=24)
-    result = session.run(ThresholdQuery(start=0, end=matrix.length,
-                                        window=240, step=24, threshold=0.7))
-    sweep = session.sweep_thresholds(result.query, [0.5, 0.6, 0.7, 0.8, 0.9])
-    top = session.run(TopKQuery(start=0, end=matrix.length,
-                                window=240, step=24, k=10))
+>>> import numpy as np
+>>> from repro.api import CorrelationSession, ThresholdQuery, TopKQuery
+>>> from repro.timeseries.matrix import TimeSeriesMatrix
+>>> rng = np.random.default_rng(7)
+>>> base = rng.standard_normal(256)                  # one shared driver signal
+>>> values = np.stack([base + 0.1 * rng.standard_normal(256) for _ in range(6)])
+>>> matrix = TimeSeriesMatrix(values)                # 6 series x 256 steps
+>>> session = CorrelationSession(matrix, basic_window_size=16)
+>>> result = session.run(ThresholdQuery(start=0, end=256, window=64,
+...                                     step=32, threshold=0.8))
+>>> result.num_windows                               # (256 - 64) / 32 + 1
+7
+>>> result.total_edges()                             # all 15 pairs, all windows
+105
+>>> top = session.run(TopKQuery(start=0, end=256, window=64, step=32, k=3))
+>>> len(top.to_edges())                              # 3 pairs per window
+21
+>>> sweep = session.sweep_thresholds(result.query, [0.5, 0.7, 0.9])
+>>> session.sketch_cache.builds     # every query above shared ONE sketch build
+1
 
 The session's planner memoizes basic-window sketches across queries, so the
 sweep above builds the γ·N² statistics exactly once, and every result —
 whatever its query type — implements the same minimal protocol
 (``describe``/``num_windows``/``iter_windows``/``to_edges``) consumed by the
-network builders, the report helpers and the CLI.
+network builders, the report helpers and the CLI.  Construct the session
+with ``workers=N`` to shard large threshold queries across a worker pool
+(:mod:`repro.parallel`) with bit-identical results.
 """
 
 from repro.api.planner import (

@@ -19,6 +19,13 @@ plain SlidingQuery                                                   the engine
 TopKQuery              ``sliding_top_k`` over the sketch             shared
 LaggedQuery            ``sliding_lagged_correlation`` (raw values)   none
 =====================  ============================================  ==========
+
+Threshold queries additionally carry an *execution* decision: with
+``workers=N`` configured, the planner shards the pair space across a worker
+pool (:class:`repro.parallel.ShardedExecutor`) whenever the engine supports
+pair subsets and the pair count clears ``parallel_min_pairs`` — small
+matrices stay serial because the dispatch overhead would dominate.  Sharded
+results are bit-identical to serial ones.
 """
 
 from __future__ import annotations
@@ -28,10 +35,11 @@ from typing import Dict, Optional
 
 from repro.api.queries import LaggedQuery, TopKQuery
 from repro.api.results import LaggedSeriesResult
-from repro.config import DEFAULT_BASIC_WINDOW_SIZE
+from repro.config import DEFAULT_BASIC_WINDOW_SIZE, DEFAULT_PARALLEL_MIN_PAIRS
 from repro.core.basic_window import BasicWindowLayout
 from repro.core.engine import (
     SlidingCorrelationEngine,
+    accepts_sketch_kwarg,
     create_engine,
     engine_options,
 )
@@ -39,6 +47,8 @@ from repro.exceptions import ExperimentError
 from repro.core.lag import sliding_lagged_correlation
 from repro.core.query import SlidingQuery
 from repro.core.topk import sliding_top_k
+from repro.parallel.executor import MODE_AUTO, ShardedExecutor
+from repro.parallel.partition import pair_count
 from repro.storage.cache import SketchCache
 from repro.timeseries.matrix import TimeSeriesMatrix
 
@@ -47,6 +57,10 @@ KIND_THRESHOLD = "threshold"
 KIND_TOPK = "topk"
 KIND_LAGGED = "lagged"
 
+#: Execution strategies (``ExecutionPlan.execution``).
+EXECUTION_SERIAL = "serial"
+EXECUTION_SHARDED = "sharded"
+
 
 @dataclass(frozen=True)
 class ExecutionPlan:
@@ -54,13 +68,30 @@ class ExecutionPlan:
 
     ``layout`` is the basic-window layout the execution will recombine from
     (``None`` for paths that read the raw values); two plans with equal
-    layouts over the same matrix share a sketch build.
+    layouts over the same matrix share a sketch build.  ``execution`` is
+    ``"sharded"`` when the pair space will be partitioned across ``workers``
+    pool workers (threshold queries only; results stay bit-identical).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.api import QueryPlanner, ThresholdQuery
+    >>> from repro.timeseries.matrix import TimeSeriesMatrix
+    >>> matrix = TimeSeriesMatrix(np.random.default_rng(0).standard_normal((8, 128)))
+    >>> plan = QueryPlanner(basic_window_size=16).plan(
+    ...     matrix, ThresholdQuery(start=0, end=128, window=32, step=16, threshold=0.5))
+    >>> plan.kind, plan.execution, plan.workers
+    ('threshold', 'serial', 1)
+    >>> plan.describe()
+    'plan[threshold] engine=dangoron[temporal, b<=16] sketch=b=16 x 8 exec=serial'
     """
 
     query: SlidingQuery
     kind: str
     engine: Optional[SlidingCorrelationEngine] = None
     layout: Optional[BasicWindowLayout] = None
+    execution: str = EXECUTION_SERIAL
+    workers: int = 1
 
     def describe(self) -> str:
         engine = self.engine.describe() if self.engine is not None else "-"
@@ -69,7 +100,10 @@ class ExecutionPlan:
             if self.layout is not None
             else "raw"
         )
-        return f"plan[{self.kind}] engine={engine} sketch={layout}"
+        execution = self.execution
+        if self.execution == EXECUTION_SHARDED:
+            execution = f"{self.execution}(workers={self.workers})"
+        return f"plan[{self.kind}] engine={engine} sketch={layout} exec={execution}"
 
 
 class QueryPlanner:
@@ -90,6 +124,33 @@ class QueryPlanner:
     sketch_cache:
         The shared :class:`SketchCache`; pass one to share sketches across
         planners/sessions, omit for a private cache.
+    workers:
+        When greater than 1, threshold queries over at least
+        ``parallel_min_pairs`` series pairs execute sharded across this many
+        pool workers (engines that support pair subsets only; results are
+        bit-identical to serial runs).  ``None``/``1`` keeps every query
+        serial.
+    parallel_min_pairs:
+        Pair-count floor below which sharding is not worth the dispatch
+        overhead (default :data:`~repro.config.DEFAULT_PARALLEL_MIN_PAIRS`).
+    parallel_mode:
+        Pool flavour for sharded runs: ``"auto"`` (default; processes for
+        large pair-window counts, threads otherwise), ``"process"`` or
+        ``"thread"``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.api import QueryPlanner, ThresholdQuery
+    >>> from repro.timeseries.matrix import TimeSeriesMatrix
+    >>> matrix = TimeSeriesMatrix(np.random.default_rng(1).standard_normal((6, 96)))
+    >>> planner = QueryPlanner(engine="tsubasa", basic_window_size=8)
+    >>> result = planner.run(matrix, ThresholdQuery(
+    ...     start=0, end=96, window=32, step=16, threshold=0.9))
+    >>> result.num_windows
+    5
+    >>> planner.sketch_cache.builds      # the run built (and cached) one sketch
+    1
     """
 
     def __init__(
@@ -98,11 +159,19 @@ class QueryPlanner:
         engine_options: Optional[Dict[str, object]] = None,
         basic_window_size: int = DEFAULT_BASIC_WINDOW_SIZE,
         sketch_cache: Optional[SketchCache] = None,
+        workers: Optional[int] = None,
+        parallel_min_pairs: int = DEFAULT_PARALLEL_MIN_PAIRS,
+        parallel_mode: str = MODE_AUTO,
     ) -> None:
+        if workers is not None and workers < 1:
+            raise ExperimentError(f"workers must be at least 1, got {workers}")
         self.engine_name = engine
         self.engine_options = dict(engine_options or {})
         self.basic_window_size = basic_window_size
         self.sketch_cache = sketch_cache if sketch_cache is not None else SketchCache()
+        self.workers = workers
+        self.parallel_min_pairs = parallel_min_pairs
+        self.parallel_mode = parallel_mode
         self._default_engine: Optional[SlidingCorrelationEngine] = None
 
     # ---------------------------------------------------------------- engines
@@ -144,12 +213,42 @@ class QueryPlanner:
             return ExecutionPlan(query=query, kind=KIND_TOPK, layout=layout)
         if engine is None:
             engine = self.resolve_engine()
+        layout = engine.plan_layout(query)
+        execution = EXECUTION_SERIAL
+        workers = 1
+        if (
+            self.workers is not None
+            and self.workers > 1
+            and engine.supports_pair_subset()
+            and pair_count(matrix.num_series) >= self.parallel_min_pairs
+            and self._windows_sketch_aligned(layout, query)
+        ):
+            execution = EXECUTION_SHARDED
+            workers = self.workers
         return ExecutionPlan(
             query=query,
             kind=KIND_THRESHOLD,
             engine=engine,
-            layout=engine.plan_layout(query),
+            layout=layout,
+            execution=execution,
+            workers=workers,
         )
+
+    @staticmethod
+    def _windows_sketch_aligned(
+        layout: Optional[BasicWindowLayout], query: SlidingQuery
+    ) -> bool:
+        """Sharding gate: every window must recombine from whole basic windows.
+
+        An unaligned window makes each shard fall back to the dense
+        edge-corrected matrix (TSUBASA's arbitrary-window path), so sharding
+        would *multiply* that window's work by the shard count instead of
+        dividing it.  Such queries stay serial.
+        """
+        if layout is None:
+            return True
+        begin, end = query.window_bounds(0)
+        return layout.is_aligned(begin, end) and query.step % layout.size == 0
 
     # --------------------------------------------------------------- execution
     def execute(self, matrix: TimeSeriesMatrix, plan: ExecutionPlan):
@@ -180,14 +279,42 @@ class QueryPlanner:
             )
 
         engine = plan.engine if plan.engine is not None else self.resolve_engine()
+        if plan.execution == EXECUTION_SHARDED:
+            if sketch is not None:
+                self._check_accepts_sketch(engine)
+            executor = ShardedExecutor(workers=plan.workers, mode=self.parallel_mode)
+            result = executor.run(engine, matrix, plan.query, sketch=sketch)
+            if sketch is not None and getattr(result, "stats", None) is not None:
+                result.stats.extra["sketch_cache_hit"] = float(cache_hit)
+            return result
         if sketch is not None:
             # plan_layout() returning a layout is the engine's declaration that
-            # run() accepts a prebuilt sketch for it.
+            # run() accepts a prebuilt sketch for it; surface a broken
+            # declaration as a clear error instead of a raw TypeError.
+            self._check_accepts_sketch(engine)
             result = engine.run(matrix, plan.query, sketch=sketch)
             if getattr(result, "stats", None) is not None:
                 result.stats.extra["sketch_cache_hit"] = float(cache_hit)
             return result
         return engine.run(matrix, plan.query)
+
+    @staticmethod
+    def _check_accepts_sketch(engine: SlidingCorrelationEngine) -> None:
+        """Raise :class:`ExperimentError` when ``run`` rejects ``sketch=...``.
+
+        An engine whose :meth:`plan_layout` returns a layout promises that its
+        ``run`` accepts the matching prebuilt sketch.  A subclass that breaks
+        that promise (overrides ``plan_layout`` but keeps a sketch-less
+        ``run``) used to surface as a raw ``TypeError`` from deep inside the
+        call; this names the engine and the fix instead.
+        """
+        if not accepts_sketch_kwarg(engine):
+            raise ExperimentError(
+                f"engine {engine.name!r} ({type(engine).__name__}) planned a "
+                f"basic-window layout but its run() does not accept the "
+                f"prebuilt 'sketch' keyword; accept sketch=... in run() or "
+                f"return None from plan_layout()"
+            )
 
     def run(
         self,

@@ -39,6 +39,22 @@ class ThresholdQuery(SlidingQuery):
     every field, validation rule and helper is inherited unchanged.  Exists so
     call sites can say what they mean (`ThresholdQuery` vs `TopKQuery`) and so
     the planner's routing is symmetric across the family.
+
+    Examples
+    --------
+    >>> query = ThresholdQuery(start=0, end=240, window=96, step=48,
+    ...                        threshold=0.7)
+    >>> query.num_windows
+    4
+    >>> query.window_bounds(1)
+    (48, 144)
+    >>> query.with_threshold(0.9).threshold   # sweeps reuse one spec
+    0.9
+    >>> ThresholdQuery(start=0, end=50, window=96, step=48, threshold=0.7)
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.QueryValidationError: query range of length 50 is \
+shorter than the window size 96
     """
 
 
@@ -49,6 +65,19 @@ class TopKQuery(SlidingQuery):
     ``k`` replaces the threshold (which is ignored and defaults to 1.0, the
     vacuous value); ``absolute`` overrides the ranking mode, defaulting to the
     query's ``threshold_mode`` like the legacy ``sliding_top_k`` did.
+
+    Examples
+    --------
+    >>> query = TopKQuery(start=0, end=128, window=64, step=32, k=5)
+    >>> query.k, query.effective_absolute
+    (5, False)
+    >>> TopKQuery(start=0, end=128, window=64, step=32, k=5,
+    ...           absolute=True).effective_absolute
+    True
+    >>> TopKQuery(start=0, end=128, window=64, step=32, k=0)
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.QueryValidationError: k must be at least 1, got 0
     """
 
     threshold: float = 1.0
@@ -79,6 +108,18 @@ class LaggedQuery(SlidingQuery):
     — the per-window lag matrices themselves are kept dense, mirroring the
     legacy ``sliding_lagged_correlation``.  ``absolute`` overrides the ranking
     mode, defaulting to the query's ``threshold_mode``.
+
+    Examples
+    --------
+    >>> query = LaggedQuery(start=0, end=128, window=64, step=32,
+    ...                     max_lag=4, threshold=0.6)
+    >>> query.max_lag, query.effective_absolute
+    (4, False)
+    >>> LaggedQuery(start=0, end=128, window=4, step=2, max_lag=3)
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.QueryValidationError: window of length 4 cannot \
+support max_lag=3
     """
 
     threshold: float = 0.0

@@ -37,7 +37,22 @@ from repro.exceptions import DataValidationError
 
 @runtime_checkable
 class CorrelationResult(Protocol):
-    """Structural type of every answer a :class:`CorrelationSession` returns."""
+    """Structural type of every answer a :class:`CorrelationSession` returns.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.api import CorrelationResult, CorrelationSession, TopKQuery
+    >>> from repro.timeseries.matrix import TimeSeriesMatrix
+    >>> matrix = TimeSeriesMatrix(
+    ...     np.random.default_rng(11).standard_normal((4, 64)))
+    >>> session = CorrelationSession(matrix, basic_window_size=8)
+    >>> result = session.run(TopKQuery(start=0, end=64, window=32, step=16, k=2))
+    >>> isinstance(result, CorrelationResult)    # runtime-checkable protocol
+    True
+    >>> [edge.window for edge in result.to_edges()]
+    [0, 0, 1, 1, 2, 2]
+    """
 
     @property
     def num_windows(self) -> int: ...
@@ -55,6 +70,23 @@ class LaggedSeriesResult:
     Wraps the ``List[LagMatrices]`` the legacy free function returns behind
     the unified result protocol; ``to_edges()`` applies the query's threshold
     and mode, and every edge carries the lag at which its correlation peaks.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.api import CorrelationSession, LaggedQuery
+    >>> from repro.timeseries.matrix import TimeSeriesMatrix
+    >>> rng = np.random.default_rng(13)
+    >>> leader = rng.standard_normal(128)
+    >>> follower = np.roll(leader, 2)            # trails the leader by 2 steps
+    >>> matrix = TimeSeriesMatrix(np.stack([leader, follower]))
+    >>> session = CorrelationSession(matrix, basic_window_size=8)
+    >>> result = session.run(LaggedQuery(start=0, end=128, window=64, step=32,
+    ...                                  max_lag=3, threshold=0.9))
+    >>> result.num_windows
+    3
+    >>> {edge.lag for edge in result.to_edges()}  # the true lag is recovered
+    {2}
     """
 
     def __init__(self, query: LaggedQuery, windows: List[LagMatrices]) -> None:

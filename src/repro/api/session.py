@@ -60,10 +60,31 @@ class CorrelationSession:
     basic_window_size:
         Requested basic-window size (sketch granularity) for engines that
         take one, for top-k alignment, and for streaming.
+    workers:
+        When greater than 1, threshold queries over large pair spaces run
+        sharded across this many pool workers (see
+        :class:`repro.parallel.ShardedExecutor`); results are bit-identical
+        to serial runs.  Small matrices stay serial automatically.
     planner:
-        A preconfigured :class:`QueryPlanner`; overrides the three options
-        above.  Pass planners sharing one :class:`SketchCache` to share
-        sketch builds across sessions.
+        A preconfigured :class:`QueryPlanner`; overrides the options above.
+        Pass planners sharing one :class:`SketchCache` to share sketch
+        builds across sessions.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.api import CorrelationSession, ThresholdQuery
+    >>> from repro.timeseries.matrix import TimeSeriesMatrix
+    >>> rng = np.random.default_rng(7)
+    >>> base = rng.standard_normal(256)
+    >>> values = np.stack([base + 0.1 * rng.standard_normal(256) for _ in range(6)])
+    >>> session = CorrelationSession(TimeSeriesMatrix(values), basic_window_size=16)
+    >>> result = session.run(ThresholdQuery(start=0, end=256, window=64,
+    ...                                     step=32, threshold=0.8))
+    >>> result.num_windows
+    7
+    >>> all(m.num_edges == 15 for m in result)   # 6 near-copies: every pair correlates
+    True
     """
 
     def __init__(
@@ -72,6 +93,7 @@ class CorrelationSession:
         engine: str = "dangoron",
         engine_options: Optional[Dict[str, object]] = None,
         basic_window_size: int = DEFAULT_BASIC_WINDOW_SIZE,
+        workers: Optional[int] = None,
         planner: Optional[QueryPlanner] = None,
     ) -> None:
         self.matrix = matrix
@@ -82,6 +104,7 @@ class CorrelationSession:
                 engine=engine,
                 engine_options=engine_options,
                 basic_window_size=basic_window_size,
+                workers=workers,
             )
         )
 
@@ -101,7 +124,24 @@ class CorrelationSession:
     def sweep_thresholds(
         self, query: SlidingQuery, thresholds: Iterable[float]
     ) -> List[object]:
-        """Run the query once per threshold (one sketch build for the sweep)."""
+        """Run the query once per threshold (one sketch build for the sweep).
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.api import CorrelationSession, ThresholdQuery
+        >>> from repro.timeseries.matrix import TimeSeriesMatrix
+        >>> matrix = TimeSeriesMatrix(
+        ...     np.random.default_rng(5).standard_normal((5, 128)))
+        >>> session = CorrelationSession(matrix, basic_window_size=16)
+        >>> query = ThresholdQuery(start=0, end=128, window=32, step=16,
+        ...                        threshold=0.5)
+        >>> sweep = session.sweep_thresholds(query, [0.3, 0.5, 0.7])
+        >>> [r.query.threshold for r in sweep]
+        [0.3, 0.5, 0.7]
+        >>> session.sketch_cache.builds    # the whole sweep shared one sketch
+        1
+        """
         return self.run_many(query.with_threshold(beta) for beta in thresholds)
 
     def run_with_engine(

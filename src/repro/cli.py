@@ -9,8 +9,10 @@ Four subcommands cover the workflow a user of the system actually runs:
     Run a sliding correlation query over a wide CSV through a
     :class:`~repro.api.CorrelationSession` and print the per-window summary
     (optionally exporting the edge list).  ``--mode`` selects the query type
-    (``threshold``, ``topk`` or ``lagged``) and repeatable ``--engine-opt
-    key=value`` flags reach every engine option without writing Python.
+    (``threshold``, ``topk`` or ``lagged``), repeatable ``--engine-opt
+    key=value`` flags reach every engine option without writing Python, and
+    ``--workers N`` shards large threshold queries across a worker pool
+    (bit-identical results, see :mod:`repro.parallel`).
 ``repro experiment``
     Regenerate one of the experiments (E1–E14) and print its table.
 ``repro info``
@@ -145,13 +147,17 @@ def _build_query(args: argparse.Namespace, end: int):
 
 
 def _command_query(args: argparse.Namespace) -> int:
-    if args.mode != "threshold" and (args.engine != "dangoron" or args.engine_opt):
-        # topk/lagged run on fixed sketch/raw paths; accepting these flags
-        # would silently ignore them.
+    if args.mode != "threshold" and (
+        args.engine != "dangoron" or args.engine_opt or args.workers is not None
+    ):
+        # topk/lagged run on fixed serial sketch/raw paths; accepting these
+        # flags would silently ignore them.
         raise ReproError(
-            f"--engine/--engine-opt apply to --mode threshold only "
+            f"--engine/--engine-opt/--workers apply to --mode threshold only "
             f"(mode {args.mode!r} has a fixed execution path)"
         )
+    if args.workers is not None and args.workers < 1:
+        raise ReproError(f"--workers must be at least 1, got {args.workers}")
     matrix = load_wide_csv(args.input)
     end = args.end if args.end is not None else matrix.length
     query = _build_query(args, end)
@@ -160,7 +166,14 @@ def _command_query(args: argparse.Namespace) -> int:
         engine=args.engine,
         engine_options=dict(parse_engine_option(opt) for opt in args.engine_opt),
         basic_window_size=args.basic_window,
+        workers=args.workers,
     )
+    if args.mode == "threshold":
+        # Shows whether the planner chose serial or sharded execution — in
+        # particular when an explicit --workers request stays serial (pair
+        # count under the floor, unaligned windows, or an engine
+        # configuration that cannot shard).
+        print(session.plan(query).describe())
     result = session.run(query)
 
     print(result.describe())
@@ -217,11 +230,13 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 def _command_info(args: argparse.Namespace) -> int:
     from repro.experiments.registry import EXPERIMENTS
+    from repro.parallel.executor import available_workers
 
     print(f"dangoron-repro {__version__}")
     print("engines: " + ", ".join(sorted(available_engines())))
     print("experiments: " + ", ".join(sorted(EXPERIMENTS)))
     print("datasets: " + ", ".join(_DATASETS))
+    print(f"cpus available for --workers: {available_workers()}")
     return 0
 
 
@@ -278,6 +293,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--start", type=int, default=0)
     query.add_argument("--end", type=int, default=None)
     query.add_argument("--basic-window", type=int, default=32)
+    query.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard large threshold queries across N pool workers "
+             "(results are bit-identical to serial execution)",
+    )
     query.add_argument(
         "--absolute", action="store_true", help="threshold on |c| instead of c"
     )

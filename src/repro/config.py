@@ -45,6 +45,21 @@ DEFAULT_NUM_PIVOTS = 4
 #: Default seed used by examples and benchmarks so results are reproducible.
 DEFAULT_SEED = 20230611
 
+#: Minimum number of series pairs before the query planner considers sharded
+#: parallel execution.  Below this the per-shard dispatch overhead exceeds the
+#: O(n^2) pair work a worker would take off the critical path.
+DEFAULT_PARALLEL_MIN_PAIRS = 4096
+
+#: Default number of pair blocks created per worker by the sharded executor.
+#: More blocks than workers smooths load imbalance from uneven pruning at the
+#: cost of slightly more dispatch overhead.
+DEFAULT_SHARDS_PER_WORKER = 2
+
+#: Minimum number of pair-windows (candidate pairs times sliding windows)
+#: before the sharded executor prefers processes over threads in ``auto``
+#: mode; below it the process startup and data transfer cost dominates.
+DEFAULT_PROCESS_MIN_PAIR_WINDOWS = 500_000
+
 
 def clamp_correlation(value: float) -> float:
     """Clamp a correlation-like value into the valid interval ``[-1, 1]``.

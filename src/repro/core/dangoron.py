@@ -25,7 +25,7 @@ recall back at the cost of fewer skips.
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -40,7 +40,11 @@ from repro.core.bounds import (
     first_possible_crossing_absolute,
     triangle_bounds_from_pivots,
 )
-from repro.core.engine import SlidingCorrelationEngine, register_engine
+from repro.core.engine import (
+    SlidingCorrelationEngine,
+    register_engine,
+    validate_pair_subset,
+)
 from repro.core.horizontal import select_pivots
 from repro.core.jumping import JumpScheduler
 from repro.core.query import THRESHOLD_ABSOLUTE, SlidingQuery
@@ -50,7 +54,7 @@ from repro.core.result import (
     ThresholdedMatrix,
 )
 from repro.core.sketch import BasicWindowSketch, ensure_sketch_layout
-from repro.exceptions import QueryValidationError
+from repro.exceptions import ParallelError, QueryValidationError
 from repro.timeseries.matrix import TimeSeriesMatrix
 
 
@@ -120,16 +124,36 @@ class DangoronEngine(SlidingCorrelationEngine):
         """The layout ``run`` builds its sketch for (see the planner protocol)."""
         return BasicWindowLayout.for_query(query, self.basic_window_size)
 
+    def supports_pair_subset(self) -> bool:
+        """Shardable unless horizontal pruning couples pairs through the gate.
+
+        With temporal pruning alone every pair's evaluation schedule depends
+        only on its own values and the Eq. 2 bound, so a run restricted to any
+        pair subset reproduces exactly the schedule (and therefore the edges)
+        of the full run.  Horizontal pruning breaks that independence: its
+        activation gate counts the *globally* due pairs (see
+        :meth:`_horizontal_min_due`), so per-shard runs could prune — and
+        schedule — differently than the serial run.
+        """
+        return not self.use_horizontal_pruning
+
     def run(
         self,
         matrix: TimeSeriesMatrix,
         query: SlidingQuery,
         *,
         sketch: Optional[BasicWindowSketch] = None,
+        pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> CorrelationSeriesResult:
         query.validate_against_length(matrix.length)
         values = matrix.values
         n = matrix.num_series
+        if pairs is not None and self.use_horizontal_pruning:
+            raise ParallelError(
+                "dangoron with horizontal pruning cannot run on a pair subset: "
+                "the pruning gate counts globally due pairs, so sharded "
+                "schedules would diverge from the serial run"
+            )
 
         layout = self.plan_layout(query)
         if sketch is not None:
@@ -148,7 +172,10 @@ class DangoronEngine(SlidingCorrelationEngine):
         window_bw = query.window // layout.size
         num_windows = query.num_windows
 
-        rows, cols = np.triu_indices(n, k=1)
+        if pairs is not None:
+            rows, cols = validate_pair_subset(pairs, n)
+        else:
+            rows, cols = np.triu_indices(n, k=1)
         scheduler = JumpScheduler(len(rows), num_windows)
 
         pivots: Optional[np.ndarray] = None
@@ -230,12 +257,20 @@ class DangoronEngine(SlidingCorrelationEngine):
                 pair_rows = rows[eval_positions]
                 pair_cols = cols[eval_positions]
                 if self.prefix_combination:
-                    dense = sketch.exact_matrix_fast(bw_first, window_bw)
-                    exact_vals = dense[pair_rows, pair_cols]
-                elif len(eval_positions) * 2 > len(rows):
+                    if pairs is None:
+                        dense = sketch.exact_matrix_fast(bw_first, window_bw)
+                        exact_vals = dense[pair_rows, pair_cols]
+                    else:
+                        exact_vals = sketch.exact_pairs_fast(
+                            pair_rows, pair_cols, bw_first, window_bw
+                        )
+                elif pairs is None and len(eval_positions) * 2 > len(rows):
                     # When most pairs are due (typically the first window) the
                     # dense recombination is cheaper than per-pair gathers and
-                    # performs exactly the same amount of Eq. 1 work.
+                    # performs exactly the same amount of Eq. 1 work.  Pair
+                    # subsets never take this path: a shard computing the full
+                    # N x N matrix would multiply the window's work by the
+                    # shard count.
                     dense = sketch.exact_matrix_scan(bw_first, window_bw)
                     exact_vals = dense[pair_rows, pair_cols]
                 else:

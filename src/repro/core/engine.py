@@ -11,13 +11,62 @@ from __future__ import annotations
 
 import abc
 import inspect
-from typing import Dict, Optional, Type
+from typing import Dict, Optional, Tuple, Type
 
+import numpy as np
+
+from repro.config import INDEX_DTYPE
 from repro.core.basic_window import BasicWindowLayout
 from repro.core.query import SlidingQuery
 from repro.core.result import CorrelationSeriesResult
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, ParallelError
 from repro.timeseries.matrix import TimeSeriesMatrix
+
+
+def accepts_sketch_kwarg(engine: "SlidingCorrelationEngine") -> bool:
+    """Whether ``engine.run`` accepts the prebuilt ``sketch`` keyword.
+
+    Engines whose :meth:`SlidingCorrelationEngine.plan_layout` returns a
+    layout promise this; the planner and the sharded executor verify the
+    promise up front so a broken subclass fails with a named error instead
+    of a raw ``TypeError`` from inside the call (or a pool worker).
+    """
+    parameters = inspect.signature(engine.run).parameters
+    return "sketch" in parameters or any(
+        parameter.kind == inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
+def validate_pair_subset(
+    pairs: Tuple[np.ndarray, np.ndarray], num_series: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate a ``pairs=(rows, cols)`` subset against the matrix size.
+
+    Shared by every engine accepting pair subsets so a malformed subset
+    always fails the same way: a :class:`ParallelError`.  Returns the pair
+    index arrays as ``INDEX_DTYPE`` (validated to satisfy ``0 <= i < j < N``).
+    """
+    try:
+        rows, cols = pairs
+    except (TypeError, ValueError):
+        raise ParallelError(
+            f"pairs must be a (rows, cols) tuple of index arrays, got {pairs!r}"
+        ) from None
+    rows = np.asarray(rows, dtype=INDEX_DTYPE).ravel()
+    cols = np.asarray(cols, dtype=INDEX_DTYPE).ravel()
+    if rows.shape != cols.shape:
+        raise ParallelError(
+            f"pair rows and cols must have equal length, "
+            f"got {len(rows)} and {len(cols)}"
+        )
+    if len(rows) and (
+        rows.min() < 0 or cols.max() >= num_series or np.any(rows >= cols)
+    ):
+        raise ParallelError(
+            f"pair subset entries must satisfy 0 <= i < j < {num_series}"
+        )
+    return rows, cols
 
 
 class SlidingCorrelationEngine(abc.ABC):
@@ -47,6 +96,20 @@ class SlidingCorrelationEngine(abc.ABC):
         sketch return ``None``.
         """
         return None
+
+    def supports_pair_subset(self) -> bool:
+        """Whether ``run`` accepts a ``pairs=(rows, cols)`` keyword.
+
+        An engine that answers a query restricted to an arbitrary subset of
+        the series-pair space — producing for those pairs exactly the edges
+        its full run would produce — can be sharded by
+        :class:`repro.parallel.ShardedExecutor`: the pair space is split into
+        blocks, each block runs independently, and the merged result is
+        bit-identical to a serial run.  Engines whose per-pair work is coupled
+        across pairs (or that never inspect pairs individually) return
+        ``False`` and always execute serially.
+        """
+        return False
 
     def describe(self) -> str:
         """Human-readable engine description (engine name plus key options)."""

@@ -28,6 +28,15 @@ class Edge(NamedTuple):
     Every result type — thresholded series, top-k, lagged — flattens to a list
     of these via ``to_edges()``, which is what the network builders, report
     helpers and the CLI consume uniformly.  ``lag`` is 0 for zero-lag queries.
+
+    Examples
+    --------
+    >>> edge = Edge(window=3, source=0, target=5, weight=0.91)
+    >>> edge.lag                      # zero-lag queries leave the default
+    0
+    >>> window, i, j, weight, lag = edge   # unpacks as a plain tuple
+    >>> (window, i, j)
+    (3, 0, 5)
     """
 
     window: int
@@ -173,7 +182,25 @@ class EngineStats:
 
 
 class CorrelationSeriesResult:
-    """The full answer to a sliding query: one thresholded matrix per window."""
+    """The full answer to a sliding query: one thresholded matrix per window.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.query import SlidingQuery
+    >>> query = SlidingQuery(start=0, end=12, window=8, step=4, threshold=0.5)
+    >>> windows = [
+    ...     ThresholdedMatrix(3, rows=[0], cols=[1], values=[0.9]),
+    ...     ThresholdedMatrix(3, rows=[0, 1], cols=[1, 2], values=[0.8, 0.6]),
+    ... ]
+    >>> result = CorrelationSeriesResult(query, windows)
+    >>> result.num_windows, result.total_edges()
+    (2, 3)
+    >>> result.edge_sets()[1] == {(0, 1), (1, 2)}
+    True
+    >>> [tuple(edge)[:4] for edge in result.to_edges()]
+    [(0, 0, 1, 0.9), (1, 0, 1, 0.8), (1, 1, 2, 0.6)]
+    """
 
     def __init__(
         self,

@@ -264,7 +264,12 @@ class BasicWindowSketch:
         if self._scan_memo is not None:
             cached = self._scan_memo.get((first, count))
             if cached is not None:
-                self._scan_memo.move_to_end((first, count))
+                try:
+                    self._scan_memo.move_to_end((first, count))
+                except KeyError:
+                    # Concurrently evicted by another thread-mode shard
+                    # between get() and move_to_end(); the hit is still valid.
+                    pass
                 self.scan_memo_hits += 1
                 return cached.copy()
         n_points = count * self.layout.size
@@ -283,7 +288,10 @@ class BasicWindowSketch:
         if self._scan_memo is not None:
             self._scan_memo[(first, count)] = corr.copy()
             while len(self._scan_memo) > self._scan_memo_max:
-                self._scan_memo.popitem(last=False)
+                try:
+                    self._scan_memo.popitem(last=False)
+                except KeyError:
+                    break  # another thread already evicted past the bound
         return corr
 
     def exact_pairs_scan(
@@ -316,6 +324,35 @@ class BasicWindowSketch:
         )
 
     # -------------------------------------------------------------- exact fast
+    def exact_pairs_fast(
+        self, rows: np.ndarray, cols: np.ndarray, first: int, count: int
+    ) -> np.ndarray:
+        """Exact correlations of selected pairs via prefix sums (O(1) per pair).
+
+        The pair-subset counterpart of :meth:`exact_matrix_fast`, used by
+        sharded runs of the prefix-combination ablation so a shard's cost
+        stays proportional to its subset instead of the full N² matrix.
+        Bit-identical to gathering the same pairs from
+        :meth:`exact_matrix_fast` (same element-wise operations, no
+        reductions over a different axis).
+        """
+        self._require_pairwise()
+        self._check_range(first, count)
+        rows = np.asarray(rows)
+        cols = np.asarray(cols)
+        n_points = count * self.layout.size
+        sums, sumsqs = self.series_range_sums(first, count)
+        prefix = self.sumprod_prefix
+        sumprods = prefix[first + count, rows, cols] - prefix[first, rows, cols]
+        return correlation_from_sums(
+            np.full(len(rows), float(n_points)),
+            sums[rows],
+            sums[cols],
+            sumsqs[rows],
+            sumsqs[cols],
+            sumprods,
+        )
+
     def exact_matrix_fast(self, first: int, count: int) -> np.ndarray:
         """Exact correlation matrix via prefix sums (O(1) per pair; ablation path)."""
         self._require_pairwise()

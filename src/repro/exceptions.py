@@ -60,3 +60,12 @@ class GenerationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment runner when a configuration is unusable."""
+
+
+class ParallelError(ReproError):
+    """Raised by the sharded parallel executor.
+
+    Examples: asking for a sharded run of an engine that does not support
+    pair subsets, an invalid worker count or execution mode, or a pair
+    partition that does not cover the pair space exactly once.
+    """

@@ -1,0 +1,352 @@
+"""Sharded parallel execution of pairwise correlation engines.
+
+:class:`ShardedExecutor` splits the pair space into contiguous blocks
+(:mod:`repro.parallel.partition`), runs the engine once per block — each run
+restricted to its block via the engine's ``pairs=(rows, cols)`` keyword — and
+merges the per-block results back into one
+:class:`~repro.core.result.CorrelationSeriesResult`
+(:mod:`repro.parallel.merge`).  Because shardable engines answer a pair
+subset exactly as their full run would, the merged result is **bit-identical
+to the serial run** for any worker count.
+
+Execution modes
+---------------
+``process``
+    A ``ProcessPoolExecutor``; the matrix, query, engine and (shared) sketch
+    are shipped to each worker once through the pool initializer, and tasks
+    carry only two integers (the block bounds).  This is the mode that scales
+    with cores — the per-window recombination work is Python/NumPy code that
+    holds the GIL for most of its time.
+``thread``
+    A ``ThreadPoolExecutor`` sharing the sketch in memory.  The fallback for
+    small inputs (no fork/pickle cost) and for environments where process
+    pools are unavailable; NumPy releases the GIL in large kernels, so big
+    windows still overlap somewhat.
+``auto``
+    Picks ``process`` when the total pair-window count crosses
+    :data:`~repro.config.DEFAULT_PROCESS_MIN_PAIR_WINDOWS`, else ``thread``.
+``serial``
+    Runs the engine unsharded (used by ``workers=1`` and as the planner's
+    default); returns exactly what ``engine.run`` returns.
+
+One sketch, many shards: when no prebuilt sketch is passed, the executor
+builds the engine's planned layout once and hands the same sketch to every
+shard — sharding never multiplies the γ·N² sketch-build cost.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import (
+    DEFAULT_PROCESS_MIN_PAIR_WINDOWS,
+    DEFAULT_SHARDS_PER_WORKER,
+)
+from repro.core.engine import SlidingCorrelationEngine, accepts_sketch_kwarg
+from repro.core.query import SlidingQuery
+from repro.core.result import CorrelationSeriesResult
+from repro.core.sketch import BasicWindowSketch
+from repro.exceptions import ParallelError
+from repro.parallel.merge import merge_shard_results
+from repro.parallel.partition import (
+    PairBlock,
+    pair_count,
+    pair_slice,
+    partition_pairs,
+)
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+#: Execution mode names accepted by :class:`ShardedExecutor`.
+MODE_AUTO = "auto"
+MODE_THREAD = "thread"
+MODE_PROCESS = "process"
+MODE_SERIAL = "serial"
+
+_MODES = (MODE_AUTO, MODE_THREAD, MODE_PROCESS, MODE_SERIAL)
+
+
+def available_workers() -> int:
+    """Number of CPUs this process may use (affinity-aware, at least 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------------
+# Process-pool plumbing.  The heavy objects travel once per worker through the
+# initializer; each task is just the (start, stop) bounds of its pair block.
+# ---------------------------------------------------------------------------
+
+class _ProcessPoolUnavailable(Exception):
+    """Internal: the pool infrastructure (fork, semaphores, pickling) failed.
+
+    Distinguishes environment problems — which degrade to the thread pool —
+    from real errors raised by the engine inside a worker, which propagate.
+    """
+
+
+_WORKER_CONTEXT: Optional[Tuple[SlidingCorrelationEngine, TimeSeriesMatrix,
+                                SlidingQuery, Optional[BasicWindowSketch]]] = None
+
+
+def _init_shard_worker(engine, matrix, query, sketch) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = (engine, matrix, query, sketch)
+
+
+def _run_shard(bounds: Tuple[int, int]) -> CorrelationSeriesResult:
+    engine, matrix, query, sketch = _WORKER_CONTEXT
+    pairs = pair_slice(matrix.num_series, bounds[0], bounds[1])
+    kwargs = {"pairs": pairs}
+    if sketch is not None:
+        kwargs["sketch"] = sketch
+    return engine.run(matrix, query, **kwargs)
+
+
+class ShardedExecutor:
+    """Runs one engine over a partitioned pair space with a pool of workers.
+
+    Parameters
+    ----------
+    workers:
+        Number of pool workers.  ``1`` always executes serially.
+    mode:
+        ``"auto"`` (default), ``"process"``, ``"thread"`` or ``"serial"``.
+    num_shards:
+        Number of pair blocks; defaults to ``workers *``
+        :data:`~repro.config.DEFAULT_SHARDS_PER_WORKER` so uneven pruning
+        across blocks still keeps every worker busy.
+    process_min_pair_windows:
+        ``auto``-mode cutover: total pair-windows below this use threads.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.dangoron import DangoronEngine
+    >>> from repro.core.query import SlidingQuery
+    >>> from repro.parallel import ShardedExecutor
+    >>> from repro.timeseries.matrix import TimeSeriesMatrix
+    >>> rng = np.random.default_rng(3)
+    >>> matrix = TimeSeriesMatrix(rng.standard_normal((12, 256)))
+    >>> query = SlidingQuery(start=0, end=256, window=64, step=32, threshold=0.2)
+    >>> engine = DangoronEngine(basic_window_size=16)
+    >>> executor = ShardedExecutor(workers=2, mode="thread")
+    >>> sharded = executor.run(engine, matrix, query)
+    >>> serial = engine.run(matrix, query)
+    >>> all(np.array_equal(a.values, b.values)
+    ...     for a, b in zip(sharded.matrices, serial.matrices))
+    True
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        mode: str = MODE_AUTO,
+        num_shards: Optional[int] = None,
+        shards_per_worker: int = DEFAULT_SHARDS_PER_WORKER,
+        process_min_pair_windows: int = DEFAULT_PROCESS_MIN_PAIR_WINDOWS,
+    ) -> None:
+        if workers < 1:
+            raise ParallelError(f"workers must be at least 1, got {workers}")
+        if mode not in _MODES:
+            raise ParallelError(f"mode must be one of {_MODES}, got {mode!r}")
+        if num_shards is not None and num_shards < 1:
+            raise ParallelError(f"num_shards must be at least 1, got {num_shards}")
+        if shards_per_worker < 1:
+            raise ParallelError(
+                f"shards_per_worker must be at least 1, got {shards_per_worker}"
+            )
+        self.workers = workers
+        self.mode = mode
+        self.num_shards = num_shards
+        self.shards_per_worker = shards_per_worker
+        self.process_min_pair_windows = process_min_pair_windows
+
+    # ------------------------------------------------------------------ plan
+    def resolve_mode(self, num_pairs: int, num_windows: int) -> str:
+        """The concrete mode ``run`` will use for a given problem size."""
+        if self.mode != MODE_AUTO:
+            return self.mode
+        if self.workers == 1 or num_pairs < 2:
+            return MODE_SERIAL
+        if num_pairs * num_windows >= self.process_min_pair_windows:
+            return MODE_PROCESS
+        return MODE_THREAD
+
+    def describe(self) -> str:
+        shards = self.num_shards or self.workers * self.shards_per_worker
+        return f"sharded[{self.mode} x{self.workers} workers, {shards} shards]"
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        engine: SlidingCorrelationEngine,
+        matrix: TimeSeriesMatrix,
+        query: SlidingQuery,
+        sketch: Optional[BasicWindowSketch] = None,
+    ) -> CorrelationSeriesResult:
+        """Answer the query with the engine, sharded across the pair space.
+
+        The result is bit-identical to ``engine.run(matrix, query)`` — same
+        edges, same values, same per-window ordering — with work counters
+        summed across shards and wall-clock ``query_seconds``.
+        """
+        query.validate_against_length(matrix.length)
+        n = matrix.num_series
+        total_pairs = pair_count(n)
+        mode = self.resolve_mode(total_pairs, query.num_windows)
+        if mode != MODE_SERIAL and not engine.supports_pair_subset():
+            raise ParallelError(
+                f"engine {engine.describe()!r} does not support pair subsets "
+                f"and cannot be sharded; run it serially instead"
+            )
+
+        if mode != MODE_SERIAL and not accepts_sketch_kwarg(engine):
+            # A shardable engine without the sketch keyword cannot share a
+            # prebuilt sketch; run it sketch-less rather than exploding with
+            # a TypeError inside a pool worker.
+            sketch = None
+        elif sketch is None and mode != MODE_SERIAL:
+            layout = engine.plan_layout(query)
+            if layout is not None:
+                # One shared build instead of one per shard.
+                sketch = BasicWindowSketch.build(matrix.values, layout)
+
+        if mode == MODE_SERIAL:
+            if sketch is not None:
+                return engine.run(matrix, query, sketch=sketch)
+            return engine.run(matrix, query)
+
+        num_shards = self.num_shards or self.workers * self.shards_per_worker
+        blocks = partition_pairs(n, num_shards)
+        if len(blocks) < 2:
+            if sketch is not None:
+                return engine.run(matrix, query, sketch=sketch)
+            return engine.run(matrix, query)
+
+        if (
+            sketch is not None
+            and sketch.has_pairwise
+            and getattr(engine, "use_temporal_pruning", False)
+        ):
+            # Materialize the lazy Eq. 2 prefix once before fan-out: thread
+            # shards would otherwise each build a copy in a benign race, and
+            # forked process workers would each build a private one instead
+            # of inheriting it copy-on-write.  Engines that never read it
+            # (TSUBASA) skip the cost entirely.
+            sketch.corr_prefix
+
+        fallback_from_process = False
+        wall_start = time.perf_counter()
+        if mode == MODE_PROCESS:
+            try:
+                shard_results = self._run_process_pool(
+                    engine, matrix, query, sketch, blocks
+                )
+            except (_ProcessPoolUnavailable, BrokenProcessPool):
+                # Sandboxes without fork/semaphores, unpicklable custom
+                # engines, or workers killed by the environment: degrade to
+                # threads rather than failing the query.  Errors raised *by
+                # the engine* inside a worker propagate normally.
+                fallback_from_process = True
+                mode = MODE_THREAD
+                wall_start = time.perf_counter()
+                shard_results = self._run_thread_pool(
+                    engine, matrix, query, sketch, blocks
+                )
+        else:
+            shard_results = self._run_thread_pool(
+                engine, matrix, query, sketch, blocks
+            )
+        wall_seconds = time.perf_counter() - wall_start
+
+        merged = merge_shard_results(
+            query,
+            shard_results,
+            series_ids=matrix.series_ids,
+            engine_label=engine.describe(),
+        )
+        merged.stats.extra["parallel_shard_seconds_total"] = (
+            merged.stats.query_seconds
+        )
+        merged.stats.query_seconds = wall_seconds
+        if sketch is not None:
+            merged.stats.sketch_build_seconds = sketch.build_seconds
+        merged.stats.extra["parallel_workers"] = float(self.workers)
+        merged.stats.extra["parallel_shards"] = float(len(blocks))
+        merged.stats.extra["parallel_mode_process"] = float(mode == MODE_PROCESS)
+        if fallback_from_process:
+            merged.stats.extra["parallel_fallback_thread"] = 1.0
+        return merged
+
+    # ------------------------------------------------------------- internals
+    def _run_thread_pool(
+        self,
+        engine: SlidingCorrelationEngine,
+        matrix: TimeSeriesMatrix,
+        query: SlidingQuery,
+        sketch: Optional[BasicWindowSketch],
+        blocks: Sequence[PairBlock],
+    ) -> List[CorrelationSeriesResult]:
+        kwargs = {} if sketch is None else {"sketch": sketch}
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [
+                pool.submit(
+                    engine.run, matrix, query,
+                    pairs=(block.rows, block.cols), **kwargs,
+                )
+                for block in blocks
+            ]
+            return [future.result() for future in futures]
+
+    @staticmethod
+    def _process_context():
+        """The multiprocessing context for shard pools.
+
+        Prefers ``fork`` where available: the workers then inherit the
+        matrix and the shared sketch through copy-on-write memory instead of
+        pickling them, which keeps pool startup cost flat in the data size.
+        """
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context()
+
+    def _run_process_pool(
+        self,
+        engine: SlidingCorrelationEngine,
+        matrix: TimeSeriesMatrix,
+        query: SlidingQuery,
+        sketch: Optional[BasicWindowSketch],
+        blocks: Sequence[PairBlock],
+    ) -> List[CorrelationSeriesResult]:
+        # Pool creation and submission touch only infrastructure (fork,
+        # semaphores, task pickling); failures there mean "no process pool in
+        # this environment" and are translated for the thread fallback.
+        # future.result() re-raises whatever the *engine* raised in the
+        # worker, which must propagate untranslated.
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._process_context(),
+                initializer=_init_shard_worker,
+                initargs=(engine, matrix, query, sketch),
+            )
+        except (OSError, ValueError, ImportError) as error:
+            raise _ProcessPoolUnavailable(str(error)) from error
+        with pool:
+            try:
+                futures = [
+                    pool.submit(_run_shard, (block.start, block.stop))
+                    for block in blocks
+                ]
+            except (OSError, pickle.PicklingError, TypeError) as error:
+                raise _ProcessPoolUnavailable(str(error)) from error
+            return [future.result() for future in futures]

@@ -229,6 +229,15 @@ class SketchCache:
     build.  ``stats`` counts hits/misses; ``builds`` counts actual sketch
     constructions, which is what the reuse tests assert on.
 
+    Sharded parallel execution reuses the cache too: the planner fetches one
+    sketch here and hands the same object to every shard of a
+    :class:`repro.parallel.ShardedExecutor` run (fork-based process pools
+    inherit it copy-on-write), so ``workers=N`` never multiplies the γ·N²
+    build cost.  Cached sketches are treated as immutable; the only mutation
+    after publication is the LRU-bounded scan memo, whose get/evict steps
+    tolerate concurrent thread-mode shards (a hit whose key is evicted
+    mid-lookup stays a hit — see ``BasicWindowSketch.exact_matrix_scan``).
+
     Parameters
     ----------
     max_entries:

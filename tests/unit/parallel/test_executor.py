@@ -1,0 +1,158 @@
+"""Unit tests for the sharded executor and the merge layer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import BruteForceEngine
+from repro.baselines.tsubasa import TsubasaEngine
+from repro.core.dangoron import DangoronEngine
+from repro.core.sketch import BasicWindowSketch
+from repro.exceptions import ParallelError
+from repro.parallel import (
+    MODE_PROCESS,
+    MODE_SERIAL,
+    MODE_THREAD,
+    ShardedExecutor,
+    available_workers,
+    merge_shard_results,
+    partition_pairs,
+)
+
+
+def _assert_identical(serial, sharded):
+    assert sharded.num_windows == serial.num_windows
+    for a, b in zip(serial.matrices, sharded.matrices):
+        assert np.array_equal(a.rows, b.rows)
+        assert np.array_equal(a.cols, b.cols)
+        assert np.array_equal(a.values, b.values)
+
+
+@pytest.mark.parametrize("mode", [MODE_THREAD, MODE_PROCESS])
+def test_sharded_run_is_bit_identical(small_matrix, standard_query, mode):
+    engine = DangoronEngine(basic_window_size=16)
+    serial = engine.run(small_matrix, standard_query)
+    sharded = ShardedExecutor(workers=3, mode=mode).run(
+        engine, small_matrix, standard_query
+    )
+    _assert_identical(serial, sharded)
+    assert sharded.stats.exact_evaluations == serial.stats.exact_evaluations
+    assert sharded.stats.skipped_by_jumping == serial.stats.skipped_by_jumping
+    assert sharded.stats.candidate_pairs == serial.stats.candidate_pairs
+    assert sharded.stats.extra["parallel_workers"] == 3.0
+    assert sharded.stats.extra["parallel_mode_process"] == float(
+        mode == MODE_PROCESS
+    )
+
+
+def test_sharded_run_shares_one_prebuilt_sketch(small_matrix, standard_query):
+    engine = TsubasaEngine(basic_window_size=16)
+    sketch = BasicWindowSketch.build(
+        small_matrix.values, engine.plan_layout(standard_query)
+    )
+    sharded = ShardedExecutor(workers=2, mode=MODE_THREAD).run(
+        engine, small_matrix, standard_query, sketch=sketch
+    )
+    serial = engine.run(small_matrix, standard_query, sketch=sketch)
+    _assert_identical(serial, sharded)
+    assert sharded.stats.sketch_build_seconds == sketch.build_seconds
+
+
+def test_workers_one_runs_serially(small_matrix, standard_query):
+    engine = DangoronEngine(basic_window_size=16)
+    result = ShardedExecutor(workers=1).run(engine, small_matrix, standard_query)
+    # The serial path returns the engine's own result: no parallel extras.
+    assert "parallel_workers" not in result.stats.extra
+
+
+def test_auto_mode_picks_threads_for_small_inputs():
+    executor = ShardedExecutor(workers=4)
+    assert executor.resolve_mode(num_pairs=120, num_windows=10) == MODE_THREAD
+    assert (
+        executor.resolve_mode(num_pairs=10_000, num_windows=100) == MODE_PROCESS
+    )
+    assert ShardedExecutor(workers=1).resolve_mode(120, 10) == MODE_SERIAL
+
+
+def test_unshardable_engine_is_rejected(small_matrix, standard_query):
+    executor = ShardedExecutor(workers=2, mode=MODE_THREAD)
+    with pytest.raises(ParallelError):
+        executor.run(BruteForceEngine(), small_matrix, standard_query)
+
+
+def test_executor_validates_configuration():
+    with pytest.raises(ParallelError):
+        ShardedExecutor(workers=0)
+    with pytest.raises(ParallelError):
+        ShardedExecutor(workers=2, mode="fleet")
+    with pytest.raises(ParallelError):
+        ShardedExecutor(workers=2, num_shards=0)
+    with pytest.raises(ParallelError):
+        ShardedExecutor(workers=2, shards_per_worker=0)
+
+
+def test_available_workers_positive():
+    assert available_workers() >= 1
+
+
+def test_shardable_engine_without_sketch_kwarg_runs_sketchless(
+    small_matrix, standard_query
+):
+    """A shardable engine lacking the sketch keyword must not get one."""
+    from repro.core.basic_window import BasicWindowLayout
+    from repro.core.engine import SlidingCorrelationEngine
+    from repro.core.result import CorrelationSeriesResult, ThresholdedMatrix
+
+    class _PairsOnlyEngine(SlidingCorrelationEngine):
+        name = "pairs-only"
+        exact = True
+
+        def plan_layout(self, query):
+            return BasicWindowLayout.for_query(query, 16)
+
+        def supports_pair_subset(self):
+            return True
+
+        def run(self, matrix, query, *, pairs=None):  # no sketch kwarg
+            matrices = [
+                ThresholdedMatrix(matrix.num_series, [], [], [])
+                for _ in range(query.num_windows)
+            ]
+            return CorrelationSeriesResult(query, matrices)
+
+    result = ShardedExecutor(workers=2, mode=MODE_THREAD).run(
+        _PairsOnlyEngine(), small_matrix, standard_query
+    )
+    assert result.num_windows == standard_query.num_windows
+
+
+def test_merge_rejects_inconsistent_shards(small_matrix, standard_query):
+    engine = DangoronEngine(basic_window_size=16)
+    blocks = partition_pairs(small_matrix.num_series, 2)
+    shard = engine.run(
+        small_matrix, standard_query, pairs=(blocks[0].rows, blocks[0].cols)
+    )
+    with pytest.raises(ParallelError):
+        merge_shard_results(standard_query, [])
+    shorter = type(standard_query)(
+        start=standard_query.start,
+        end=standard_query.end,
+        window=standard_query.window,
+        step=standard_query.step * 2,
+        threshold=standard_query.threshold,
+    )
+    with pytest.raises(ParallelError):
+        merge_shard_results(shorter, [shard])
+
+
+def test_merge_handles_arbitrary_shard_order(small_matrix, standard_query):
+    engine = DangoronEngine(basic_window_size=16)
+    serial = engine.run(small_matrix, standard_query)
+    blocks = partition_pairs(small_matrix.num_series, 4)
+    shards = [
+        engine.run(small_matrix, standard_query, pairs=(b.rows, b.cols))
+        for b in blocks
+    ]
+    merged = merge_shard_results(
+        standard_query, list(reversed(shards)), series_ids=small_matrix.series_ids
+    )
+    _assert_identical(serial, merged)
