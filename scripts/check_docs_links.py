@@ -28,6 +28,17 @@ _LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 _EXTERNAL = ("http://", "https://", "mailto:")
 
+#: Pages that must exist (relative to the repo root).  A doc page that is
+#: deleted or renamed without updating this registry fails the docs job even
+#: if nothing links to it any more.
+REQUIRED_PAGES = (
+    "README.md",
+    "docs/api.md",
+    "docs/architecture.md",
+    "docs/benchmarks.md",
+    "docs/service.md",
+)
+
 
 def github_slug(heading: str) -> str:
     """The anchor GitHub generates for a heading."""
@@ -72,6 +83,12 @@ def main(argv: List[str]) -> int:
         print("no markdown files found to check", file=sys.stderr)
         return 1
     all_broken: List[str] = []
+    if not argv:
+        all_broken += [
+            f"required page missing: {page}"
+            for page in REQUIRED_PAGES
+            if not (root / page).exists()
+        ]
     total_links = 0
     for path in files:
         broken, external = check_file(path, root)

@@ -80,6 +80,8 @@ class TopKQuery(SlidingQuery):
     repro.exceptions.QueryValidationError: k must be at least 1, got 0
     """
 
+    mode = "topk"
+
     threshold: float = 1.0
     k: int = 10
     absolute: Optional[bool] = None
@@ -121,6 +123,8 @@ class LaggedQuery(SlidingQuery):
     repro.exceptions.QueryValidationError: window of length 4 cannot \
 support max_lag=3
     """
+
+    mode = "lagged"
 
     threshold: float = 0.0
     max_lag: int = 1

@@ -89,6 +89,9 @@ class LaggedSeriesResult:
     {2}
     """
 
+    #: Wire-schema discriminator used by :mod:`repro.service.wire`.
+    kind = "lagged"
+
     def __init__(self, query: LaggedQuery, windows: List[LagMatrices]) -> None:
         windows = list(windows)
         if len(windows) != query.num_windows:

@@ -1,18 +1,22 @@
 """Command-line interface for the Dangoron reproduction.
 
-Four subcommands cover the workflow a user of the system actually runs:
+Five subcommands cover the workflow a user of the system actually runs:
 
 ``repro generate``
     Produce a synthetic dataset (climate, fMRI, finance, rain gauges, or a
     Tomborg configuration) and write it as a wide CSV.
 ``repro query``
-    Run a sliding correlation query over a wide CSV through a
-    :class:`~repro.api.CorrelationSession` and print the per-window summary
-    (optionally exporting the edge list).  ``--mode`` selects the query type
-    (``threshold``, ``topk`` or ``lagged``), repeatable ``--engine-opt
-    key=value`` flags reach every engine option without writing Python, and
-    ``--workers N`` shards large threshold queries across a worker pool
-    (bit-identical results, see :mod:`repro.parallel`).
+    Run a sliding correlation query over a wide CSV or a chunk-store
+    ``.npz`` through a :class:`~repro.api.CorrelationSession` and print the
+    per-window summary (optionally exporting the edge list).  ``--mode``
+    selects the query type (``threshold``, ``topk`` or ``lagged``),
+    repeatable ``--engine-opt key=value`` flags reach every engine option
+    without writing Python, and ``--workers N`` shards large threshold
+    queries across a worker pool (bit-identical results, see
+    :mod:`repro.parallel`).
+``repro serve``
+    Run the long-lived correlation query service over a dataset catalog
+    directory (see :mod:`repro.service` and ``docs/service.md``).
 ``repro experiment``
     Regenerate one of the experiments (E1–E14) and print its table.
 ``repro info``
@@ -131,6 +135,35 @@ def parse_engine_option(text: str) -> tuple:
     return key, raw
 
 
+def _load_input_matrix(path: str) -> TimeSeriesMatrix:
+    """Load a query input: wide CSV, or a ``.npz`` chunk store from a catalog.
+
+    A missing file or a corrupt/truncated archive used to escape as a raw
+    ``FileNotFoundError``/``zipfile``/``numpy`` traceback; every failure mode
+    now surfaces as :class:`~repro.exceptions.ExperimentError` naming the
+    path, matching the planner's error style.
+    """
+    from repro.exceptions import ExperimentError
+    from repro.storage.chunk_store import ChunkStore
+
+    try:
+        if path.endswith(".npz"):
+            store = ChunkStore.load(path)
+            if store.length == 0:
+                raise ExperimentError(f"chunk store {path} contains no columns")
+            return store.to_matrix()
+        return load_wide_csv(path)
+    except ReproError:
+        raise  # already named and typed by the loader
+    except OSError as error:
+        raise ExperimentError(f"cannot read query input {path}: {error}") from error
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ExperimentError(
+            f"query input {path} is not a readable dataset "
+            f"(expected a wide CSV or a chunk-store .npz): {error}"
+        ) from error
+
+
 def _build_query(args: argparse.Namespace, end: int):
     common = dict(
         start=args.start,
@@ -158,7 +191,7 @@ def _command_query(args: argparse.Namespace) -> int:
         )
     if args.workers is not None and args.workers < 1:
         raise ReproError(f"--workers must be at least 1, got {args.workers}")
-    matrix = load_wide_csv(args.input)
+    matrix = _load_input_matrix(args.input)
     end = args.end if args.end is not None else matrix.length
     query = _build_query(args, end)
     session = CorrelationSession(
@@ -203,6 +236,48 @@ def _command_query(args: argparse.Namespace) -> int:
                 result, args.edges_output, series_ids=matrix.series_ids
             )
         print(f"wrote temporal edge list to {path}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Service
+# ---------------------------------------------------------------------------
+
+def create_server(args: argparse.Namespace):
+    """Build the (unstarted) service server from parsed ``repro serve`` args.
+
+    Split from :func:`_command_serve` so tests can construct a server on an
+    ephemeral port without blocking on ``serve_forever``.
+    """
+    # Imported lazily: most CLI invocations never need the HTTP stack.
+    from repro.service import CorrelationServer, CorrelationService
+    from repro.storage.catalog import Catalog
+
+    if args.workers is not None and args.workers < 1:
+        raise ReproError(f"--workers must be at least 1, got {args.workers}")
+    service = CorrelationService(
+        Catalog(args.catalog),
+        engine=args.engine,
+        engine_options=dict(parse_engine_option(opt) for opt in args.engine_opt),
+        basic_window_size=args.basic_window,
+        workers=args.workers,
+    )
+    return CorrelationServer(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    server = create_server(args)
+    names = server.service.catalog.dataset_names()
+    print(f"serving {len(names)} dataset(s) from {args.catalog} on {server.url}")
+    if names:
+        print("datasets: " + ", ".join(names))
+    print("endpoints: GET /healthz  GET /datasets  POST /datasets/{name}/query  (see docs/service.md)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
     return 0
 
 
@@ -272,7 +347,11 @@ def build_parser() -> argparse.ArgumentParser:
     query = subparsers.add_parser(
         "query", help="run a sliding correlation query over a wide CSV"
     )
-    query.add_argument("input", help="wide CSV produced by 'repro generate'")
+    query.add_argument(
+        "input",
+        help="wide CSV produced by 'repro generate', or a chunk-store .npz "
+             "from a storage catalog",
+    )
     query.add_argument(
         "--mode", default="threshold", choices=_QUERY_MODES,
         help="query type: thresholded matrices, top-k pairs, or lagged edges",
@@ -305,6 +384,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--edges-output", default=None, help="also write the temporal edge list CSV"
     )
     query.set_defaults(handler=_command_query)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the correlation query service over a dataset catalog"
+    )
+    serve.add_argument(
+        "--catalog", required=True,
+        help="catalog directory (created by repro.storage.Catalog)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8350, help="listening port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--engine", default="dangoron", choices=sorted(available_engines()),
+        help="engine answering threshold queries",
+    )
+    serve.add_argument(
+        "--engine-opt", action="append", default=[], metavar="KEY=VALUE",
+        help="engine constructor option (repeatable)",
+    )
+    serve.add_argument("--basic-window", type=int, default=32)
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="default worker count for sharded threshold queries "
+             "(requests may override per call)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every request to stderr"
+    )
+    serve.set_defaults(handler=_command_serve)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's experiments"

@@ -47,6 +47,10 @@ class SlidingQuery:
         ``"absolute"`` (keep ``|c| >= beta``).
     """
 
+    #: Wire-schema discriminator used by :mod:`repro.service.wire`; subclasses
+    #: override it (``"topk"``, ``"lagged"``).  Not a dataclass field.
+    mode = "threshold"
+
     start: int
     end: int
     window: int

@@ -202,6 +202,9 @@ class CorrelationSeriesResult:
     [(0, 0, 1, 0.9), (1, 0, 1, 0.8), (1, 1, 2, 0.6)]
     """
 
+    #: Wire-schema discriminator used by :mod:`repro.service.wire`.
+    kind = "threshold"
+
     def __init__(
         self,
         query: SlidingQuery,

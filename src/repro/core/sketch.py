@@ -38,6 +38,37 @@ from repro.core.correlation import correlation_from_sums
 from repro.exceptions import SketchError
 
 
+def _contiguous_array(array: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    """Normalize a statistics array to one canonical (C-contiguous) layout.
+
+    The *same bits* reduced from differently-laid-out memory can differ in
+    the last ulp, because NumPy picks its traversal and pairwise-summation
+    blocking from the strides.  Sketches are produced by ``einsum`` (which
+    returns transposed views), loaded from ``.npz`` archives (C-contiguous)
+    and merged by the streaming extension — so the bit-identity contract
+    (stored statistics answer exactly like freshly built ones) requires one
+    canonical layout at construction time.
+    """
+    if array is None:
+        return None
+    return np.ascontiguousarray(array, dtype=FLOAT_DTYPE)
+
+
+def _pairwise_window_sum(block: np.ndarray) -> np.ndarray:
+    """Sum a ``(count, ...)`` statistics block over its window axis.
+
+    Moves the window axis last (copying into the canonical contiguous
+    layout) so every output element is reduced independently along
+    contiguous memory.  NumPy's deterministic pairwise summation then makes
+    the result a function of *(that pair's values, count)* alone — the same
+    bits whether the block came from a dense ``(count, N, N)`` slice or a
+    ``(count, P)`` pair gather, whatever the subset size, provenance or
+    heap layout.  This is the primitive that keeps serial, sharded and
+    seeded-from-disk executions bit-identical.
+    """
+    return np.ascontiguousarray(np.moveaxis(block, 0, -1)).sum(axis=-1)
+
+
 def ensure_sketch_layout(sketch: "BasicWindowSketch", layout) -> "BasicWindowSketch":
     """Validate that a prebuilt sketch matches the layout an execution plans.
 
@@ -66,10 +97,10 @@ class BasicWindowSketch:
         build_seconds: float = 0.0,
     ) -> None:
         self.layout = layout
-        self.series_sums = series_sums
-        self.series_sumsqs = series_sumsqs
-        self.pair_sumprods = pair_sumprods
-        self.pair_corrs = pair_corrs
+        self.series_sums = _contiguous_array(series_sums)
+        self.series_sumsqs = _contiguous_array(series_sumsqs)
+        self.pair_sumprods = _contiguous_array(pair_sumprods)
+        self.pair_corrs = _contiguous_array(pair_corrs)
         self.build_seconds = build_seconds
 
         self._sum_prefix = np.concatenate(
@@ -275,7 +306,7 @@ class BasicWindowSketch:
         n_points = count * self.layout.size
         sums = self.series_sums[:, first : first + count].sum(axis=1)
         sumsqs = self.series_sumsqs[:, first : first + count].sum(axis=1)
-        sumprods = self.pair_sumprods[first : first + count].sum(axis=0)
+        sumprods = _pairwise_window_sum(self.pair_sumprods[first : first + count])
         corr = correlation_from_sums(
             np.full_like(sumprods, float(n_points)),
             sums[:, None],
@@ -312,8 +343,12 @@ class BasicWindowSketch:
             self.series_sums[:, first : first + count].sum(axis=1),
             self.series_sumsqs[:, first : first + count].sum(axis=1),
         )
-        # Fancy-indexed scan over the range: shape (count, P) summed over axis 0.
-        sumprods = self.pair_sumprods[first : first + count, rows, cols].sum(axis=0)
+        # Fancy-indexed scan over the range: a (count, P) gather reduced with
+        # the same per-pair primitive as the dense scan, so subset results are
+        # bit-identical to gathering them from exact_matrix_scan.
+        sumprods = _pairwise_window_sum(
+            self.pair_sumprods[first : first + count, rows, cols]
+        )
         return correlation_from_sums(
             np.full(len(rows), float(n_points)),
             sums[rows],
@@ -420,7 +455,7 @@ class BasicWindowSketch:
             count = last - first
             sums = self.series_sums[:, first : first + count].sum(axis=1)
             sumsqs = self.series_sumsqs[:, first : first + count].sum(axis=1)
-            sumprods = self.pair_sumprods[first : first + count].sum(axis=0)
+            sumprods = _pairwise_window_sum(self.pair_sumprods[first : first + count])
             core_start = offset + first * size
             core_end = offset + last * size
         else:

@@ -74,6 +74,9 @@ class TopKWindow:
 class TopKResult:
     """Top-k answers for every window of a sliding query."""
 
+    #: Wire-schema discriminator used by :mod:`repro.service.wire`.
+    kind = "topk"
+
     query: SlidingQuery
     k: int
     absolute: bool

@@ -62,6 +62,20 @@ class ExperimentError(ReproError):
     """Raised by the experiment runner when a configuration is unusable."""
 
 
+class ServiceError(ReproError):
+    """Raised by the correlation query service and its client.
+
+    Examples: a request for an unknown dataset or route, a malformed JSON
+    body, a wire payload whose schema or kind is not understood, or (on the
+    client side) a non-2xx HTTP response — the server's error message is
+    preserved and the HTTP status is carried on the ``status`` attribute.
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
 class ParallelError(ReproError):
     """Raised by the sharded parallel executor.
 

@@ -1,0 +1,53 @@
+"""Correlation query service: a long-lived server over the dataset catalog.
+
+The paper frames Dangoron as a data-management system — statistics are
+precomputed, stored and reused by every subsequent query.  This package is
+that deployment shape: a stdlib-only HTTP server that loads datasets from a
+:class:`~repro.storage.catalog.Catalog`, keeps one warm
+:class:`~repro.api.CorrelationSession` + sketch cache per dataset, coalesces
+identical concurrent queries, lazily materializes persisted
+:class:`~repro.storage.stats_index.StatsIndex` artefacts into the cache, and
+feeds appended columns to standing threshold queries through the online
+monitor.
+
+Layers (each importable and testable on its own):
+
+:mod:`repro.service.wire`
+    The versioned JSON schema for query specs and the unified result
+    protocol; ``result_from_wire(result_to_wire(r))`` is bit-identical.
+:mod:`repro.service.service`
+    :class:`CorrelationService` — catalog lookup, warm sessions, request
+    coalescing, appends and standing queries.  No sockets.
+:mod:`repro.service.http`
+    :class:`CorrelationServer` — the ``ThreadingHTTPServer`` front and the
+    route table.
+:mod:`repro.service.client`
+    :class:`ServiceClient` — the typed client returning the same result
+    objects a local session does.
+
+See ``docs/service.md`` for the endpoint reference and a runnable
+walkthrough; ``repro serve --catalog DIR`` starts a server from the CLI.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.http import CorrelationServer
+from repro.service.service import CorrelationService, DatasetRuntime
+from repro.service.wire import (
+    RESULT_SCHEMA,
+    query_from_wire,
+    query_to_wire,
+    result_from_wire,
+    result_to_wire,
+)
+
+__all__ = [
+    "CorrelationServer",
+    "CorrelationService",
+    "DatasetRuntime",
+    "RESULT_SCHEMA",
+    "ServiceClient",
+    "query_from_wire",
+    "query_to_wire",
+    "result_from_wire",
+    "result_to_wire",
+]

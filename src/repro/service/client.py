@@ -1,0 +1,145 @@
+"""`ServiceClient`: the typed Python client of the correlation query service.
+
+A thin stdlib (``urllib``) wrapper that speaks the wire schema of
+:mod:`repro.service.wire` and hands back the same result objects an
+in-process :class:`~repro.api.CorrelationSession` returns — so code written
+against the unified result protocol (``describe``/``iter_windows``/
+``to_edges``) runs unchanged whether its results were computed locally or by
+a remote server, and tests can assert bit-identity between the two paths.
+
+Failures surface as :class:`~repro.exceptions.ServiceError`: server-reported
+errors keep the server's message and HTTP status; transport failures
+(connection refused, timeouts) use status 503.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.query import SlidingQuery
+from repro.exceptions import ServiceError
+from repro.service.wire import AnyResult, query_to_wire, result_from_wire
+
+QuerySpec = Union[SlidingQuery, Dict[str, object]]
+
+
+class ServiceClient:
+    """Client of one :class:`~repro.service.http.CorrelationServer`.
+
+    Parameters
+    ----------
+    base_url:
+        The server's root URL, e.g. ``"http://127.0.0.1:8350"`` (a trailing
+        slash is tolerated).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -------------------------------------------------------------- transport
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            method=method,
+            data=None if body is None else json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raise self._decode_error(error) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {error.reason}", status=503
+            ) from error
+
+    @staticmethod
+    def _decode_error(error: urllib.error.HTTPError) -> ServiceError:
+        """Rehydrate the server's JSON error envelope (or fall back to HTTP text)."""
+        try:
+            document = json.loads(error.read().decode("utf-8"))
+            detail = document["error"]
+            message = f"{detail['type']}: {detail['message']}"
+        except Exception:  # noqa: BLE001 — non-JSON error body
+            message = f"HTTP {error.code}: {error.reason}"
+        return ServiceError(message, status=error.code)
+
+    # ------------------------------------------------------------- operations
+    def health(self) -> Dict[str, object]:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def datasets(self) -> List[Dict[str, object]]:
+        """``GET /datasets``: the catalog inventory."""
+        return self._request("GET", "/datasets")
+
+    def dataset(self, name: str) -> Dict[str, object]:
+        """``GET /datasets/{name}``: one dataset plus runtime statistics."""
+        return self._request("GET", f"/datasets/{name}")
+
+    def query_raw(
+        self,
+        dataset: str,
+        query: QuerySpec,
+        workers: Optional[int] = None,
+        include_edges: bool = False,
+    ) -> Dict[str, object]:
+        """``POST /datasets/{name}/query`` returning the raw wire document."""
+        body = dict(query_to_wire(query) if isinstance(query, SlidingQuery) else query)
+        if workers is not None:
+            body["workers"] = workers
+        if include_edges:
+            body["include_edges"] = True
+        return self._request("POST", f"/datasets/{dataset}/query", body)
+
+    def query(
+        self,
+        dataset: str,
+        query: QuerySpec,
+        workers: Optional[int] = None,
+    ) -> AnyResult:
+        """Run one query and parse the response into the typed result object.
+
+        Accepts either a query spec object (:class:`~repro.api.ThresholdQuery`
+        etc.) or its wire document; returns a
+        :class:`~repro.api.CorrelationSeriesResult`,
+        :class:`~repro.api.TopKResult` or
+        :class:`~repro.api.LaggedSeriesResult` exactly as a local session
+        would.
+        """
+        return result_from_wire(self.query_raw(dataset, query, workers=workers))
+
+    def append(self, dataset: str, columns) -> Dict[str, object]:
+        """``POST /datasets/{name}/append`` with an ``(N, k)`` column block.
+
+        ``columns`` uses the library's matrix orientation (rows are series,
+        like :meth:`StreamIngestor.append <repro.streaming.stream
+        .StreamIngestor.append>`); the client transposes it to the wire's
+        one-list-per-time-step frame format.
+        """
+        block = np.asarray(columns, dtype=float)
+        if block.ndim == 1:
+            block = block.reshape(-1, 1)
+        return self._request(
+            "POST", f"/datasets/{dataset}/append", {"columns": block.T.tolist()}
+        )
+
+    def watch(self, dataset: str, query: QuerySpec) -> Dict[str, object]:
+        """``POST /datasets/{name}/watch``: register a standing threshold query."""
+        body = query_to_wire(query) if isinstance(query, SlidingQuery) else dict(query)
+        return self._request("POST", f"/datasets/{dataset}/watch", body)
+
+    def watch_results(self, dataset: str, watch_id: str) -> Dict[str, object]:
+        """``GET /datasets/{name}/watch/{id}``: windows emitted so far."""
+        return self._request("GET", f"/datasets/{dataset}/watch/{watch_id}")

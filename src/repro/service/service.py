@@ -1,0 +1,477 @@
+"""The correlation query service: warm per-dataset sessions over a catalog.
+
+This is the domain layer of ``repro.service`` — everything the HTTP handler
+does is a thin JSON shim over :class:`CorrelationService`.  The paper frames
+Dangoron as a data-management system whose precomputed statistics are shared
+by every subsequent query; the service is that deployment shape:
+
+* one :class:`~repro.storage.catalog.Catalog` names the datasets,
+* each dataset gets a lazily-created :class:`DatasetRuntime` holding the raw
+  :class:`~repro.storage.chunk_store.ChunkStore` in memory, one warm
+  :class:`~repro.storage.cache.SketchCache`, and per-configuration
+  :class:`~repro.api.CorrelationSession` objects that all share it,
+* persisted :class:`~repro.storage.stats_index.StatsIndex` artefacts are
+  *lazily materialized* into the cache: the first query that plans a layout
+  matching an on-disk index seeds the cache from disk instead of paying the
+  γ·N² build,
+* identical concurrent queries are **coalesced**: the first request executes,
+  the rest wait on it and share the same response document, and
+* appended columns feed each registered standing query's
+  :class:`~repro.streaming.online.OnlineCorrelationMonitor`, so monitors see
+  new windows as soon as their data completes.
+
+Execution is serialized per dataset (sessions and sketch caches are not
+thread-safe); different datasets run concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro import __version__
+from repro.api.queries import ThresholdQuery
+from repro.api.session import CorrelationSession
+from repro.api.planner import QueryPlanner
+from repro.config import DEFAULT_BASIC_WINDOW_SIZE
+from repro.core.sketch import BasicWindowSketch
+from repro.exceptions import ServiceError, StorageError
+from repro.service.wire import query_from_wire, query_to_wire, result_to_wire
+from repro.storage.cache import SketchCache
+from repro.storage.catalog import Catalog
+from repro.streaming.online import OnlineCorrelationMonitor
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+#: Request fields understood by :meth:`CorrelationService.query` beyond the
+#: query spec itself.
+_REQUEST_ONLY_FIELDS = ("workers", "include_edges")
+
+
+class _Flight:
+    """One in-flight query execution that identical requests can join."""
+
+    __slots__ = ("event", "payload", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.payload: Optional[Dict[str, object]] = None
+        self.error: Optional[BaseException] = None
+
+
+#: Window documents a standing query retains for ``GET .../watch/{id}``.
+#: Appends in a long-lived server are unbounded, so the history must not be:
+#: older windows fall off the front (the append response already delivered
+#: them); ``emitted_windows`` keeps counting the full total.
+WATCH_HISTORY_LIMIT = 256
+
+
+class _StandingQuery:
+    """A registered threshold query kept current by the append path."""
+
+    def __init__(self, watch_id: str, query: ThresholdQuery,
+                 monitor: OnlineCorrelationMonitor) -> None:
+        self.watch_id = watch_id
+        self.query = query
+        self.monitor = monitor
+        self.windows: Deque[Dict[str, object]] = deque(maxlen=WATCH_HISTORY_LIMIT)
+        self.emitted_windows = 0
+
+    def feed(self, columns: np.ndarray) -> List[Dict[str, object]]:
+        emitted = []
+        for result in self.monitor.append(columns):
+            document = {
+                "index": result.window_index,
+                "start": result.start,
+                "end": result.end,
+                "rows": result.matrix.rows.tolist(),
+                "cols": result.matrix.cols.tolist(),
+                "values": result.matrix.values.tolist(),
+            }
+            self.windows.append(document)
+            self.emitted_windows += 1
+            emitted.append(document)
+        return emitted
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "id": self.watch_id,
+            "query": query_to_wire(self.query),
+            "emitted_windows": self.emitted_windows,
+            "retained_windows": len(self.windows),
+        }
+
+
+class DatasetRuntime:
+    """Warm in-memory state of one catalog dataset.
+
+    Owns the chunk store, the shared sketch cache, the session-per-worker
+    configuration map, the standing queries and the per-dataset counters.
+    ``lock`` serializes execution and mutation; the service's coalescing map
+    keeps most concurrent duplicates from ever contending on it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        catalog: Catalog,
+        engine: str,
+        engine_options: Optional[Dict[str, object]],
+        basic_window_size: int,
+        workers: Optional[int],
+    ) -> None:
+        self.name = name
+        self.catalog = catalog
+        self.engine = engine
+        self.engine_options = dict(engine_options or {})
+        self.basic_window_size = basic_window_size
+        self.default_workers = workers
+        self.store = catalog.load_dataset(name)
+        if self.store.length == 0:
+            raise StorageError(f"dataset {name!r} contains no columns")
+        self.lock = threading.RLock()
+        self.flights: Dict[str, _Flight] = {}
+        self.watches: Dict[str, _StandingQuery] = {}
+        self.counters: Dict[str, int] = {
+            "queries": 0,
+            "coalesced": 0,
+            "appended_columns": 0,
+            "indexes_seeded": 0,
+        }
+        self._watch_counter = 0
+        self._matrix: Optional[TimeSeriesMatrix] = None
+        self._sessions: Dict[Optional[int], CorrelationSession] = {}
+        # One cache for the dataset's whole lifetime: every session (whatever
+        # its worker count) and every seeded on-disk index shares it.
+        self.sketch_cache = SketchCache()
+        self._seed_labels_tried: set = set()
+
+    # ------------------------------------------------------------------ state
+    @property
+    def matrix(self) -> TimeSeriesMatrix:
+        """The dense view of the stored columns (rebuilt after appends)."""
+        if self._matrix is None:
+            self._matrix = self.store.to_matrix()
+        return self._matrix
+
+    def session_for(self, workers: Optional[int]) -> CorrelationSession:
+        """The warm session answering queries at this worker count."""
+        workers = workers if workers is not None else self.default_workers
+        session = self._sessions.get(workers)
+        if session is None:
+            session = CorrelationSession(
+                self.matrix,
+                planner=QueryPlanner(
+                    engine=self.engine,
+                    engine_options=self.engine_options,
+                    basic_window_size=self.basic_window_size,
+                    sketch_cache=self.sketch_cache,
+                    workers=workers,
+                ),
+            )
+            self._sessions[workers] = session
+        return session
+
+    def seed_sketch_for(self, plan) -> bool:
+        """Materialize a persisted stats index matching a plan's layout.
+
+        Checks the plan's basic-window layout against the dataset's on-disk
+        :class:`~repro.storage.stats_index.StatsIndex` artefacts; the first
+        match is loaded once, **validated against the live data**, and seeded
+        into the shared cache, so the engine recombines from disk statistics
+        instead of rebuilding them.  Validation recomputes the cheap O(N·L)
+        per-series sums and requires bitwise agreement — a stale artefact
+        (data file regenerated, index built from other data) must degrade to
+        a normal build, never silently answer with foreign statistics.
+        Index files are tried at most once per runtime (a corrupt artefact
+        must not re-raise on every query).
+        """
+        if plan.layout is None or self.sketch_cache.contains(self.matrix, plan.layout):
+            return False
+        for label in self.catalog.index_labels(self.name):
+            if label in self._seed_labels_tried:
+                continue
+            self._seed_labels_tried.add(label)
+            try:
+                index = self.catalog.load_index(self.name, label)
+            except StorageError:
+                continue
+            if (
+                index.layout == plan.layout
+                and index.num_series == self.matrix.num_series
+                and self._index_matches_data(index)
+            ):
+                self.sketch_cache.seed(self.matrix, index.sketch)
+                self.counters["indexes_seeded"] += 1
+                return True
+        return False
+
+    def _index_matches_data(self, index) -> bool:
+        """Bitwise-check a persisted index's per-series sums against the data.
+
+        The full pairwise statistics are what seeding avoids recomputing, but
+        the per-series sums/sums-of-squares cost only O(N·L) and pin the
+        index to this exact data: the sketch build is deterministic, so a
+        genuine index agrees bit for bit and anything else is stale.
+        """
+        expected = BasicWindowSketch.build(
+            self.matrix.values, index.layout, pairwise=False
+        )
+        sketch = index.sketch
+        return np.array_equal(
+            expected.series_sums, sketch.series_sums
+        ) and np.array_equal(expected.series_sumsqs, sketch.series_sumsqs)
+
+    # ----------------------------------------------------------------- writes
+    def append_columns(self, columns: np.ndarray) -> Dict[str, object]:
+        """Append new time steps and feed every standing query's monitor."""
+        self.store.append(columns)
+        self.counters["appended_columns"] += columns.shape[1]
+        # The dense view and its sessions describe the old length; drop them
+        # so the next query sees the appended columns.  The sketch cache stays
+        # (it keys on content, so old-range sketches remain valid if the same
+        # prefix is queried again through a rebuilt matrix object only when
+        # fingerprints match; appended data changes the fingerprint).
+        self._matrix = None
+        self._sessions.clear()
+        watches = [
+            {"id": watch.watch_id, "windows": watch.feed(columns)}
+            for watch in self.watches.values()
+        ]
+        return {
+            "appended_columns": int(columns.shape[1]),
+            "length": self.store.length,
+            "watches": watches,
+        }
+
+    def register_watch(self, query: ThresholdQuery) -> _StandingQuery:
+        """Register a standing threshold query, caught up on stored history."""
+        monitor = OnlineCorrelationMonitor.for_query(
+            query,
+            num_series=self.store.num_series,
+            basic_window_size=self.basic_window_size,
+            series_ids=self.store.series_ids,
+        )
+        self._watch_counter += 1
+        watch = _StandingQuery(f"w{self._watch_counter}", query, monitor)
+        if self.store.length:
+            watch.feed(self.store.read_all())
+        self.watches[watch.watch_id] = watch
+        return watch
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> Dict[str, object]:
+        cache = self.sketch_cache
+        return {
+            **self.counters,
+            "sessions": len(self._sessions),
+            "watches": len(self.watches),
+            "sketch_cache": {
+                "hits": cache.stats.hits,
+                "misses": cache.stats.misses,
+                "builds": cache.builds,
+                "seeds": cache.seeds,
+                "entries": len(cache),
+            },
+        }
+
+
+class CorrelationService:
+    """Catalog-backed, multi-dataset correlation query service.
+
+    Parameters
+    ----------
+    catalog:
+        The dataset catalog to serve (a :class:`Catalog` or a directory path).
+    engine, engine_options, basic_window_size, workers:
+        Defaults applied to every dataset session; a query request may
+        override ``workers`` per call (``"workers": N`` in the request body).
+    """
+
+    def __init__(
+        self,
+        catalog,
+        engine: str = "dangoron",
+        engine_options: Optional[Dict[str, object]] = None,
+        basic_window_size: int = DEFAULT_BASIC_WINDOW_SIZE,
+        workers: Optional[int] = None,
+    ) -> None:
+        self.catalog = catalog if isinstance(catalog, Catalog) else Catalog(catalog)
+        self.engine = engine
+        self.engine_options = dict(engine_options or {})
+        self.basic_window_size = basic_window_size
+        self.workers = workers
+        self._runtimes: Dict[str, DatasetRuntime] = {}
+        self._runtimes_lock = threading.Lock()
+
+    # ------------------------------------------------------------- operations
+    def health(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "engine": self.engine,
+            "datasets": len(self.catalog.dataset_names()),
+        }
+
+    def datasets(self) -> List[Dict[str, object]]:
+        """Catalog inventory; loaded datasets also report their shape."""
+        documents = []
+        for name in self.catalog.dataset_names():
+            entry = self.catalog.describe(name)
+            document: Dict[str, object] = {
+                "name": name,
+                "description": entry.description,
+                "index_labels": sorted(entry.index_files),
+                "loaded": name in self._runtimes,
+            }
+            runtime = self._runtimes.get(name)
+            if runtime is not None:
+                document["num_series"] = runtime.store.num_series
+                document["length"] = runtime.store.length
+            documents.append(document)
+        return documents
+
+    def dataset_info(self, name: str) -> Dict[str, object]:
+        """One dataset's catalog entry plus live runtime statistics."""
+        runtime = self._runtime(name)
+        entry = self.catalog.describe(name)
+        return {
+            "name": name,
+            "description": entry.description,
+            "index_labels": sorted(entry.index_files),
+            "num_series": runtime.store.num_series,
+            "length": runtime.store.length,
+            "series_ids": list(runtime.store.series_ids),
+            "stats": runtime.stats(),
+            "watches": [w.describe() for w in runtime.watches.values()],
+        }
+
+    def query(self, name: str, request: Dict[str, object]) -> Dict[str, object]:
+        """Answer one query request, coalescing identical concurrent ones.
+
+        The request document is the query spec (see
+        :func:`~repro.service.wire.query_from_wire`) plus the optional
+        transport fields ``workers`` (sharded execution override) and
+        ``include_edges`` (inline the flattened edge list).  Identical
+        concurrent requests — same dataset, same canonical JSON — share one
+        planner execution: the first becomes the leader, the rest block on its
+        flight and return the same response object.
+        """
+        if not isinstance(request, dict):
+            raise ServiceError(f"request body must be a JSON object, got {type(request).__name__}")
+        runtime = self._runtime(name)
+        key = json.dumps(request, sort_keys=True, separators=(",", ":"))
+        with self._runtimes_lock:
+            flight = runtime.flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                runtime.flights[key] = flight
+            else:
+                runtime.counters["coalesced"] += 1
+        if not leader:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.payload
+        try:
+            flight.payload = self._execute(runtime, request)
+            return flight.payload
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            with self._runtimes_lock:
+                runtime.flights.pop(key, None)
+            flight.event.set()
+
+    def append(self, name: str, request: Dict[str, object]) -> Dict[str, object]:
+        """Append streamed time steps to a dataset.
+
+        The request body is ``{"columns": [[...], ...]}`` where every inner
+        list is **one time step across all series** (the frame shape a live
+        feed produces).  Returns the new length plus, per standing query, the
+        windows that completed because of this append.
+        """
+        if not isinstance(request, dict) or "columns" not in request:
+            raise ServiceError('append body must be {"columns": [[...], ...]}')
+        runtime = self._runtime(name)
+        try:
+            steps = np.asarray(request["columns"], dtype=float)
+        except (TypeError, ValueError) as error:
+            raise ServiceError(f"append columns must be numeric: {error}") from error
+        if steps.ndim == 1:
+            steps = steps.reshape(1, -1)
+        if steps.ndim != 2 or steps.shape[1] != runtime.store.num_series:
+            raise ServiceError(
+                f"each appended time step must list {runtime.store.num_series} "
+                f"values (one per series), got shape {steps.shape}"
+            )
+        with runtime.lock:
+            result = runtime.append_columns(np.ascontiguousarray(steps.T))
+        return {"dataset": name, **result}
+
+    def watch(self, name: str, request: Dict[str, object]) -> Dict[str, object]:
+        """Register a standing threshold query over the dataset's stream."""
+        runtime = self._runtime(name)
+        query = query_from_wire(request)
+        with runtime.lock:
+            watch = runtime.register_watch(query)
+            return {"dataset": name, **watch.describe(), "windows": list(watch.windows)}
+
+    def watch_results(self, name: str, watch_id: str) -> Dict[str, object]:
+        """Every window a standing query has emitted so far."""
+        runtime = self._runtime(name)
+        with runtime.lock:
+            watch = runtime.watches.get(watch_id)
+            if watch is None:
+                raise ServiceError(
+                    f"dataset {name!r} has no standing query {watch_id!r}", status=404
+                )
+            return {"dataset": name, **watch.describe(), "windows": list(watch.windows)}
+
+    # ------------------------------------------------------------------ internal
+    def _runtime(self, name: str) -> DatasetRuntime:
+        with self._runtimes_lock:
+            runtime = self._runtimes.get(name)
+            if runtime is not None:
+                return runtime
+        if name not in self.catalog.dataset_names():
+            raise ServiceError(f"unknown dataset {name!r}", status=404)
+        loaded = DatasetRuntime(
+            name,
+            self.catalog,
+            engine=self.engine,
+            engine_options=self.engine_options,
+            basic_window_size=self.basic_window_size,
+            workers=self.workers,
+        )
+        with self._runtimes_lock:
+            # Two threads may have built the runtime concurrently; first wins
+            # so every request shares one warm cache.
+            return self._runtimes.setdefault(name, loaded)
+
+    def _execute(self, runtime: DatasetRuntime, request: Dict[str, object]) -> Dict[str, object]:
+        spec = {k: v for k, v in request.items() if k not in _REQUEST_ONLY_FIELDS}
+        workers = request.get("workers")
+        if workers is not None and (isinstance(workers, bool) or not isinstance(workers, int)):
+            raise ServiceError(f"request field 'workers' must be an integer, got {workers!r}")
+        include_edges = bool(request.get("include_edges", False))
+        query = query_from_wire(spec)
+        with runtime.lock:
+            session = runtime.session_for(workers)
+            plan = session.plan(query)
+            runtime.seed_sketch_for(plan)
+            # Execute the plan we just seeded for (not session.run, which
+            # would re-plan): the seeded layout and the executed layout can
+            # never diverge, and planning happens once per request.
+            result = session.planner.execute(session.matrix, plan)
+            runtime.counters["queries"] += 1
+        return {
+            "dataset": runtime.name,
+            "plan": plan.describe(),
+            **result_to_wire(result, include_edges=include_edges),
+        }

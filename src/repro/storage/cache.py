@@ -260,6 +260,7 @@ class SketchCache:
         self.scan_memo_entries = scan_memo_entries
         self.stats = CacheStats()
         self.builds = 0
+        self.seeds = 0
         self._entries: "OrderedDict[Tuple[str, int, int, int, bool], BasicWindowSketch]" = (
             OrderedDict()
         )
@@ -302,6 +303,48 @@ class SketchCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
         return sketch
+
+    def contains(
+        self,
+        matrix: TimeSeriesMatrix,
+        layout: BasicWindowLayout,
+        pairwise: bool = True,
+    ) -> bool:
+        """``True`` when a sketch for (data, layout) is cached (no stats side effects)."""
+        return self._key(matrix, layout, pairwise) in self._entries
+
+    def seed(self, matrix: TimeSeriesMatrix, sketch: BasicWindowSketch) -> bool:
+        """Insert a prebuilt sketch (e.g. a persisted :class:`StatsIndex`'s).
+
+        This is how the query service materializes on-disk statistics indexes
+        into the warm cache without paying the γ·N² build: the sketch is keyed
+        under its own layout exactly as :meth:`get_or_build` would key a fresh
+        build, so the next query planning that layout hits it.  Counted under
+        ``seeds`` (neither a hit nor a build); an already-cached layout is left
+        alone (the live sketch may hold a warmer scan memo).  Returns ``True``
+        when the sketch was inserted.
+        """
+        if sketch.num_series != matrix.num_series:
+            raise StorageError(
+                f"seeded sketch covers {sketch.num_series} series but the "
+                f"matrix has {matrix.num_series}"
+            )
+        if sketch.layout.covered_end > matrix.length:
+            raise StorageError(
+                f"seeded sketch covers columns up to {sketch.layout.covered_end} "
+                f"but the matrix has only {matrix.length}"
+            )
+        key = self._key(matrix, sketch.layout, sketch.has_pairwise)
+        if key in self._entries:
+            return False
+        if self.scan_memo_entries:
+            sketch.enable_scan_memo(self.scan_memo_entries)
+        self._entries[key] = sketch
+        self.seeds += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return True
 
     def clear(self) -> None:
         """Drop every cached sketch (statistics are preserved)."""

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Union
 from repro.exceptions import StorageError
 from repro.storage.chunk_store import ChunkStore
 from repro.storage.stats_index import StatsIndex
+from repro.timeseries.matrix import TimeSeriesMatrix
 
 _MANIFEST_NAME = "catalog.json"
 
@@ -101,10 +102,26 @@ class Catalog:
         self._write_manifest()
         return label
 
+    def index_labels(self, name: str) -> List[str]:
+        """Labels of the persisted statistics indexes of one dataset."""
+        return sorted(self.describe(name).index_files)
+
     # ------------------------------------------------------------------ reads
     def load_dataset(self, name: str) -> ChunkStore:
         entry = self.describe(name)
         return ChunkStore.load(self.root / entry.data_file)
+
+    def load_matrix(self, name: str) -> TimeSeriesMatrix:
+        """Materialize a dataset's stored columns as a :class:`TimeSeriesMatrix`.
+
+        Convenience for code that wants the dense on-disk view directly (a
+        notebook, a one-shot analysis) without going through the query
+        service's live runtime.
+        """
+        store = self.load_dataset(name)
+        if store.length == 0:
+            raise StorageError(f"dataset {name!r} contains no columns")
+        return store.to_matrix()
 
     def load_index(self, name: str, label: Optional[str] = None) -> StatsIndex:
         entry = self.describe(name)

@@ -17,6 +17,7 @@ realistic storage substrate with explicit chunk boundaries.
 
 from __future__ import annotations
 
+import zipfile
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
@@ -24,6 +25,7 @@ import numpy as np
 
 from repro.config import FLOAT_DTYPE
 from repro.exceptions import StorageError
+from repro.timeseries.matrix import TimeSeriesMatrix
 
 
 class ChunkStore:
@@ -131,6 +133,17 @@ class ChunkStore:
             return np.empty((self.num_series, 0), dtype=FLOAT_DTYPE)
         return self.read(0, self._length)
 
+    def to_matrix(self) -> "TimeSeriesMatrix":
+        """The stored columns as a :class:`TimeSeriesMatrix`.
+
+        The single construction point shared by the catalog, the query
+        service and the CLI's ``.npz`` input path, so the store→matrix
+        mapping (ids, dtype, validation) cannot drift between them.
+        """
+        if self._length == 0:
+            raise StorageError("chunk store contains no columns")
+        return TimeSeriesMatrix(self.read_all(), series_ids=self.series_ids)
+
     # ------------------------------------------------------------ persistence
     def save(self, path: Union[str, Path]) -> Path:
         """Persist the store to a ``.npz`` file."""
@@ -152,7 +165,13 @@ class ChunkStore:
         path = Path(path)
         if not path.exists():
             raise StorageError(f"chunk store file not found: {path}")
-        with np.load(path, allow_pickle=False) as archive:
+        try:
+            archive_ctx = np.load(path, allow_pickle=False)
+        except (OSError, ValueError, zipfile.BadZipFile) as error:
+            # np.load surfaces truncated/garbage archives as raw zipfile or
+            # interpretation errors; name the file instead.
+            raise StorageError(f"{path} is not a readable .npz archive") from error
+        with archive_ctx as archive:
             try:
                 num_series = int(archive["__meta_num_series"][0])
                 chunk_columns = int(archive["__meta_chunk_columns"][0])

@@ -12,6 +12,7 @@ query range without touching raw data.
 
 from __future__ import annotations
 
+import zipfile
 from pathlib import Path
 from typing import Optional, Union
 
@@ -147,7 +148,13 @@ class StatsIndex:
         path = Path(path)
         if not path.exists():
             raise StorageError(f"stats index file not found: {path}")
-        with np.load(path, allow_pickle=False) as archive:
+        try:
+            archive_ctx = np.load(path, allow_pickle=False)
+        except (OSError, ValueError, zipfile.BadZipFile) as error:
+            # np.load surfaces truncated/garbage archives as raw zipfile or
+            # interpretation errors; name the file instead.
+            raise StorageError(f"{path} is not a readable .npz archive") from error
+        with archive_ctx as archive:
             try:
                 layout = BasicWindowLayout(
                     offset=int(archive["offset"][0]),

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.config import DEFAULT_BASIC_WINDOW_SIZE, INDEX_DTYPE
+from repro.core.basic_window import choose_basic_window_size
 from repro.core.bounds import first_possible_crossing
 from repro.core.query import THRESHOLD_SIGNED, SlidingQuery
 from repro.core.result import ThresholdedMatrix
@@ -97,6 +98,54 @@ class OnlineCorrelationMonitor:
         self._manager = SlidingWindowManager(window=self.window, step=self.step)
         self._rows, self._cols = np.triu_indices(self.num_series, k=1)
         self._next_due = np.zeros(len(self._rows), dtype=INDEX_DTYPE)
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def for_query(
+        cls,
+        query: SlidingQuery,
+        num_series: int,
+        basic_window_size: int = DEFAULT_BASIC_WINDOW_SIZE,
+        series_ids: Optional[Sequence[str]] = None,
+        keep_raw: bool = False,
+    ) -> "OnlineCorrelationMonitor":
+        """Build a monitor answering a threshold query spec over a live stream.
+
+        The push-based twin of ``CorrelationSession.run``: the query supplies
+        window, step and threshold, and the basic-window size is aligned to
+        them with the same rule the offline planner uses — this is how the
+        query service turns a registered standing query into a monitor fed by
+        ``append``.  Only signed-threshold specs stream (the monitor's
+        semantics); top-k, lagged and absolute-mode queries raise
+        :class:`StreamingError`.  The monitor watches the stream from its
+        first column, so a spec with ``start > 0`` is rejected rather than
+        silently shifted.
+        """
+        if getattr(query, "mode", "threshold") != "threshold":
+            raise StreamingError(
+                f"standing queries support threshold specs only, got "
+                f"{type(query).__name__}"
+            )
+        if query.threshold_mode != THRESHOLD_SIGNED:
+            raise StreamingError(
+                "standing queries support signed thresholds only (the online "
+                "monitor's semantics)"
+            )
+        if query.start != 0:
+            raise StreamingError(
+                f"standing queries watch the stream from column 0, got "
+                f"start={query.start}"
+            )
+        basic = choose_basic_window_size(query.window, query.step, basic_window_size)
+        return cls(
+            num_series=num_series,
+            window=query.window,
+            step=query.step,
+            threshold=query.threshold,
+            basic_window_size=basic,
+            series_ids=list(series_ids) if series_ids is not None else None,
+            keep_raw=keep_raw,
+        )
 
     # ------------------------------------------------------------------ ingest
     @property

@@ -1,0 +1,124 @@
+"""Service smoke: the acceptance path of the catalog-backed query server.
+
+Mirrors what the CI service-smoke job runs inside its 60-second budget:
+generate a dataset, register it (data + a persisted stats index) in an
+on-disk catalog, start a real HTTP server on an ephemeral port, and assert
+
+1. a threshold query answered through :class:`ServiceClient` is
+   **bit-identical** to the same query run in-process through
+   :class:`CorrelationSession`,
+2. a second identical request — issued concurrently — is served from the
+   coalesced/warm-cache path (no second sketch build; asserted via the
+   sketch ``CacheStats`` the server exposes), and
+3. the streaming loop closes: appended columns reach a standing query and
+   match the offline engine over the extended stream.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import CorrelationSession, ThresholdQuery
+from repro.service import CorrelationServer, CorrelationService, ServiceClient
+from repro.storage.catalog import Catalog
+from repro.storage.chunk_store import ChunkStore
+from repro.storage.stats_index import StatsIndex
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+NUM_SERIES = 12
+LENGTH = 512
+BASIC = 16
+
+QUERY = ThresholdQuery(start=0, end=LENGTH, window=128, step=32, threshold=0.55)
+
+
+@pytest.fixture(scope="module")
+def values():
+    rng = np.random.default_rng(20230618)
+    base = rng.standard_normal(LENGTH)
+    return np.stack(
+        [base + 0.5 * rng.standard_normal(LENGTH) for _ in range(NUM_SERIES)]
+    )
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory, values):
+    store = ChunkStore(NUM_SERIES, chunk_columns=128)
+    store.append(values)
+    catalog = Catalog(tmp_path_factory.mktemp("smoke-catalog"))
+    catalog.add_dataset("generated", store, description="smoke dataset")
+    catalog.add_index("generated", StatsIndex.build(values, basic_window_size=BASIC))
+    with CorrelationServer(CorrelationService(catalog, basic_window_size=BASIC)) as server:
+        yield server
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(server.url)
+
+
+def test_service_query_bit_identical_and_warm(client, values):
+    local_session = CorrelationSession(
+        TimeSeriesMatrix(values, series_ids=[f"s{i}" for i in range(NUM_SERIES)]),
+        basic_window_size=BASIC,
+    )
+    local = local_session.run(QUERY)
+
+    remote = client.query("generated", QUERY)
+    assert remote.query == local.query
+    assert remote.to_edges() == local.to_edges()  # bit-identical, edge for edge
+    for (_, ours), (_, theirs) in zip(local.iter_windows(), remote.iter_windows()):
+        np.testing.assert_array_equal(ours.rows, theirs.rows)
+        np.testing.assert_array_equal(ours.cols, theirs.cols)
+        np.testing.assert_array_equal(ours.values, theirs.values)
+
+    # Fire the identical query from several clients at once: every response
+    # must stay bit-identical, and the server must not build a second sketch
+    # — requests either coalesce onto the in-flight execution or hit the
+    # warm cache.
+    results = []
+
+    def fire():
+        results.append(client.query("generated", QUERY))
+
+    threads = [threading.Thread(target=fire) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert len(results) == 4
+    assert all(result.to_edges() == local.to_edges() for result in results)
+
+    stats = client.dataset("generated")["stats"]
+    cache = stats["sketch_cache"]
+    # The catalog's persisted index satisfied the first query, so the server
+    # never built a sketch at all; repeats were warm hits or coalesced.
+    assert cache["builds"] == 0 and cache["seeds"] == 1
+    assert cache["hits"] + stats["coalesced"] >= 4
+    assert stats["queries"] + stats["coalesced"] == 5
+
+
+def test_streaming_append_reaches_standing_queries(client, values):
+    watch = client.watch("generated", QUERY)
+    assert watch["emitted_windows"] == QUERY.num_windows
+
+    rng = np.random.default_rng(7)
+    block = rng.standard_normal((NUM_SERIES, 64))
+    response = client.append("generated", block)
+    assert response["length"] == LENGTH + 64
+    (state,) = [w for w in response["watches"] if w["id"] == watch["id"]]
+    assert len(state["windows"]) == 2  # 64 new columns complete two 32-steps
+
+    full = np.concatenate([values, block], axis=1)
+    offline = CorrelationSession(
+        TimeSeriesMatrix(full), basic_window_size=BASIC
+    ).run(
+        ThresholdQuery(start=0, end=LENGTH + 64, window=128, step=32,
+                       threshold=QUERY.threshold)
+    )
+    for emitted in state["windows"]:
+        matrix = offline.matrices[emitted["index"]]
+        assert emitted["rows"] == matrix.rows.tolist()
+        assert emitted["cols"] == matrix.cols.tolist()
+        assert emitted["values"] == pytest.approx(matrix.values.tolist())

@@ -1,0 +1,311 @@
+"""Unit tests for the service domain layer (no sockets involved).
+
+Covers the warm-session/bit-identity contract, in-flight coalescing, lazy
+materialization of persisted stats indexes, the append/standing-query path
+and the error surface.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import CorrelationSession, ThresholdQuery, TopKQuery
+from repro.exceptions import ServiceError
+from repro.service import CorrelationService, result_from_wire
+from repro.service.service import DatasetRuntime
+from repro.storage.catalog import Catalog
+from repro.storage.chunk_store import ChunkStore
+from repro.storage.stats_index import StatsIndex
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+NUM_SERIES = 6
+LENGTH = 256
+BASIC = 16
+
+
+@pytest.fixture
+def values():
+    rng = np.random.default_rng(99)
+    base = rng.standard_normal(LENGTH)
+    return np.stack(
+        [base + 0.3 * rng.standard_normal(LENGTH) for _ in range(NUM_SERIES)]
+    )
+
+
+@pytest.fixture
+def catalog(tmp_path, values):
+    store = ChunkStore(NUM_SERIES, chunk_columns=64)
+    store.append(values)
+    catalog = Catalog(tmp_path)
+    catalog.add_dataset("demo", store, description="unit-test data")
+    return catalog
+
+
+@pytest.fixture
+def service(catalog):
+    return CorrelationService(catalog, basic_window_size=BASIC)
+
+
+THRESHOLD_REQUEST = {
+    "mode": "threshold", "start": 0, "end": LENGTH, "window": 64, "step": 32,
+    "threshold": 0.5,
+}
+
+
+class TestInventory:
+    def test_health(self, service):
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["datasets"] == 1
+
+    def test_datasets_report_load_state(self, service):
+        (before,) = service.datasets()
+        assert before["name"] == "demo" and not before["loaded"]
+        service.query("demo", dict(THRESHOLD_REQUEST))
+        (after,) = service.datasets()
+        assert after["loaded"]
+        assert (after["num_series"], after["length"]) == (NUM_SERIES, LENGTH)
+
+    def test_dataset_info_exposes_stats(self, service):
+        service.query("demo", dict(THRESHOLD_REQUEST))
+        info = service.dataset_info("demo")
+        assert info["stats"]["queries"] == 1
+        assert info["stats"]["sketch_cache"]["builds"] == 1
+        assert info["series_ids"] == [f"s{i}" for i in range(NUM_SERIES)]
+
+    def test_unknown_dataset_is_404(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.query("ghost", dict(THRESHOLD_REQUEST))
+        assert excinfo.value.status == 404
+
+
+class TestQueryExecution:
+    def test_bit_identical_to_in_process_session(self, service, values):
+        document = service.query("demo", dict(THRESHOLD_REQUEST))
+        remote = result_from_wire(document)
+        session = CorrelationSession(
+            TimeSeriesMatrix(values, series_ids=[f"s{i}" for i in range(NUM_SERIES)]),
+            basic_window_size=BASIC,
+        )
+        local = session.run(
+            ThresholdQuery(start=0, end=LENGTH, window=64, step=32, threshold=0.5)
+        )
+        assert remote.to_edges() == local.to_edges()
+        assert remote.query == local.query
+
+    def test_second_identical_query_is_served_warm(self, service):
+        service.query("demo", dict(THRESHOLD_REQUEST))
+        service.query("demo", dict(THRESHOLD_REQUEST))
+        stats = service.dataset_info("demo")["stats"]["sketch_cache"]
+        assert stats["builds"] == 1
+        assert stats["hits"] >= 1
+
+    def test_topk_query_over_wire(self, service):
+        document = service.query(
+            "demo",
+            {"mode": "topk", "start": 0, "end": LENGTH, "window": 64, "step": 32,
+             "k": 3},
+        )
+        result = result_from_wire(document)
+        assert result.num_windows == 7
+        assert all(window.k == 3 for window in result.windows)
+
+    def test_request_only_fields_do_not_leak_into_spec(self, service):
+        document = service.query(
+            "demo", {**THRESHOLD_REQUEST, "workers": 1, "include_edges": True}
+        )
+        assert "edges" in document
+        assert document["query"] == {k: v for k, v in THRESHOLD_REQUEST.items()} | {
+            "threshold_mode": "signed"
+        }
+
+    def test_bad_workers_type_rejected(self, service):
+        with pytest.raises(ServiceError, match="'workers'"):
+            service.query("demo", {**THRESHOLD_REQUEST, "workers": "many"})
+
+    def test_non_object_request_rejected(self, service):
+        with pytest.raises(ServiceError, match="JSON object"):
+            service.query("demo", [1, 2, 3])
+
+
+class TestCoalescing:
+    def test_identical_concurrent_queries_share_one_execution(self, service, monkeypatch):
+        runtime = service._runtime("demo")
+        release = threading.Event()
+        started = threading.Event()
+        original = DatasetRuntime.session_for
+
+        def slow_session_for(self, workers):
+            started.set()
+            release.wait(timeout=10)
+            return original(self, workers)
+
+        monkeypatch.setattr(DatasetRuntime, "session_for", slow_session_for)
+        payloads = []
+
+        def follower():
+            payloads.append(service.query("demo", dict(THRESHOLD_REQUEST)))
+
+        leader = threading.Thread(target=follower)
+        leader.start()
+        assert started.wait(timeout=10)  # leader is inside the execution
+        chaser = threading.Thread(target=follower)
+        chaser.start()
+        # The chaser joined the leader's flight; only after the leader is
+        # released does either finish.
+        chaser.join(timeout=0.3)
+        assert chaser.is_alive()
+        release.set()
+        leader.join(timeout=10)
+        chaser.join(timeout=10)
+        assert len(payloads) == 2
+        assert payloads[0] is payloads[1]  # literally the same response object
+        assert runtime.counters["coalesced"] == 1
+        assert runtime.counters["queries"] == 1
+
+    def test_leader_error_propagates_to_followers(self, service, monkeypatch):
+        release = threading.Event()
+
+        def exploding_session_for(self, workers):
+            release.wait(timeout=10)
+            raise RuntimeError("engine on fire")
+
+        monkeypatch.setattr(DatasetRuntime, "session_for", exploding_session_for)
+        errors = []
+
+        def run():
+            try:
+                service.query("demo", dict(THRESHOLD_REQUEST))
+            except RuntimeError as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=run) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(errors) == 2
+
+
+class TestIndexSeeding:
+    def test_matching_index_is_materialized_lazily(self, catalog, values):
+        catalog.add_index("demo", StatsIndex.build(values, basic_window_size=BASIC))
+        service = CorrelationService(catalog, basic_window_size=BASIC)
+        document = service.query("demo", dict(THRESHOLD_REQUEST))
+        stats = service.dataset_info("demo")["stats"]
+        assert stats["indexes_seeded"] == 1
+        assert stats["sketch_cache"]["builds"] == 0
+        assert stats["sketch_cache"]["seeds"] == 1
+        # Seeded statistics answer with the exact same result.
+        fresh = CorrelationService(catalog.root, basic_window_size=BASIC)
+        rebuilt = fresh.query("demo", dict(THRESHOLD_REQUEST))
+        assert result_from_wire(document).to_edges() == result_from_wire(rebuilt).to_edges()
+
+    def test_mismatched_index_size_is_ignored(self, catalog, values):
+        catalog.add_index("demo", StatsIndex.build(values, basic_window_size=64))
+        service = CorrelationService(catalog, basic_window_size=BASIC)
+        service.query("demo", dict(THRESHOLD_REQUEST))
+        stats = service.dataset_info("demo")["stats"]
+        assert stats["indexes_seeded"] == 0
+        assert stats["sketch_cache"]["builds"] == 1
+
+    def test_stale_index_is_rejected_not_served(self, catalog, values):
+        # An index whose statistics do not match the live data (here: built
+        # from different data, registered under the same label) must degrade
+        # to a normal build — never silently answer with foreign statistics.
+        other = np.random.default_rng(1234).standard_normal(values.shape)
+        catalog.add_index("demo", StatsIndex.build(other, basic_window_size=BASIC))
+        service = CorrelationService(catalog, basic_window_size=BASIC)
+        document = service.query("demo", dict(THRESHOLD_REQUEST))
+        stats = service.dataset_info("demo")["stats"]
+        assert stats["indexes_seeded"] == 0
+        assert stats["sketch_cache"]["builds"] == 1
+        # ... and the answer matches a fresh in-process run over the real data.
+        session = CorrelationSession(
+            TimeSeriesMatrix(values, series_ids=[f"s{i}" for i in range(NUM_SERIES)]),
+            basic_window_size=BASIC,
+        )
+        local = session.run(
+            ThresholdQuery(start=0, end=LENGTH, window=64, step=32, threshold=0.5)
+        )
+        assert result_from_wire(document).to_edges() == local.to_edges()
+
+
+class TestAppendAndWatch:
+    WATCH_REQUEST = {
+        "mode": "threshold", "start": 0, "end": LENGTH, "window": 64, "step": 32,
+        "threshold": 0.5,
+    }
+
+    def test_watch_catches_up_on_stored_history(self, service):
+        response = service.watch("demo", dict(self.WATCH_REQUEST))
+        assert response["emitted_windows"] == 7  # (256 - 64) / 32 + 1
+
+    def test_append_feeds_standing_queries(self, service, values):
+        watch = service.watch("demo", dict(self.WATCH_REQUEST))
+        rng = np.random.default_rng(5)
+        block = rng.standard_normal((32, NUM_SERIES))  # 32 time steps on the wire
+        response = service.append("demo", {"columns": block.tolist()})
+        assert response["length"] == LENGTH + 32
+        (state,) = response["watches"]
+        assert state["id"] == watch["id"]
+        assert len(state["windows"]) == 1  # one more full step completed
+
+        # The emitted window matches the offline engine over the full stream.
+        full = np.concatenate([values, block.T], axis=1)
+        session = CorrelationSession(TimeSeriesMatrix(full), basic_window_size=BASIC)
+        offline = session.run(
+            ThresholdQuery(start=0, end=LENGTH + 32, window=64, step=32,
+                           threshold=0.5)
+        )
+        emitted = state["windows"][0]
+        matrix = offline.matrices[emitted["index"]]
+        assert emitted["rows"] == matrix.rows.tolist()
+        assert emitted["values"] == pytest.approx(matrix.values.tolist())
+
+    def test_appended_columns_are_queryable(self, service):
+        service.append(
+            "demo",
+            {"columns": np.zeros((32, NUM_SERIES)).tolist()},
+        )
+        document = service.query(
+            "demo",
+            {"mode": "threshold", "start": 0, "end": LENGTH + 32, "window": 64,
+             "step": 32, "threshold": 0.5},
+        )
+        assert document["num_windows"] == 8
+
+    def test_append_shape_mismatch_rejected(self, service):
+        with pytest.raises(ServiceError, match="one per series"):
+            service.append("demo", {"columns": [[1.0, 2.0]]})
+
+    def test_append_requires_columns_key(self, service):
+        with pytest.raises(ServiceError, match="columns"):
+            service.append("demo", {"rows": []})
+
+    def test_watch_rejects_topk(self, service):
+        from repro.exceptions import StreamingError
+
+        with pytest.raises(StreamingError, match="threshold specs only"):
+            service.watch(
+                "demo",
+                {"mode": "topk", "start": 0, "end": LENGTH, "window": 64,
+                 "step": 32, "k": 3},
+            )
+
+    def test_unknown_watch_id_is_404(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.watch_results("demo", "w999")
+        assert excinfo.value.status == 404
+
+    def test_watch_history_is_bounded(self, service, monkeypatch):
+        import repro.service.service as service_module
+
+        monkeypatch.setattr(service_module, "WATCH_HISTORY_LIMIT", 3)
+        watch = service.watch("demo", dict(self.WATCH_REQUEST))  # emits 7
+        results = service.watch_results("demo", watch["id"])
+        assert results["emitted_windows"] == 7      # full count survives
+        assert results["retained_windows"] == 3     # history is capped
+        assert [w["index"] for w in results["windows"]] == [4, 5, 6]

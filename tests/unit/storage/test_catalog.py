@@ -89,3 +89,88 @@ class TestCatalog:
 
     def test_repr(self, tmp_path):
         assert "datasets=0" in repr(Catalog(tmp_path))
+
+
+class TestCatalogErrorPaths:
+    """The failure modes a long-lived service meets on real disks."""
+
+    def test_missing_manifest_is_an_empty_catalog(self, tmp_path):
+        # A directory without catalog.json is a valid (fresh) catalog, not an
+        # error — the service must be able to point at a new data directory.
+        catalog = Catalog(tmp_path / "fresh")
+        assert catalog.dataset_names() == []
+        assert not (tmp_path / "fresh" / "catalog.json").exists()
+
+    def test_dangling_data_reference(self, store, tmp_path):
+        catalog = Catalog(tmp_path)
+        catalog.add_dataset("demo", store)
+        (tmp_path / "demo.data.npz").unlink()
+        reopened = Catalog(tmp_path)
+        assert reopened.dataset_names() == ["demo"]  # manifest still lists it
+        with pytest.raises(StorageError, match="demo.data.npz"):
+            reopened.load_dataset("demo")
+        with pytest.raises(StorageError, match="demo.data.npz"):
+            reopened.load_matrix("demo")
+
+    def test_dangling_index_reference(self, store, tmp_path):
+        catalog = Catalog(tmp_path)
+        catalog.add_dataset("demo", store)
+        index = StatsIndex.build(store.read_all(), basic_window_size=16)
+        catalog.add_index("demo", index)
+        (tmp_path / "demo.index.b16.npz").unlink()
+        with pytest.raises(StorageError, match="demo.index.b16.npz"):
+            Catalog(tmp_path).load_index("demo", "b16")
+
+    def test_corrupt_data_artefact(self, store, tmp_path):
+        catalog = Catalog(tmp_path)
+        catalog.add_dataset("demo", store)
+        (tmp_path / "demo.data.npz").write_bytes(b"these are not the bytes of a zip")
+        with pytest.raises(StorageError, match="not a readable .npz archive"):
+            catalog.load_dataset("demo")
+
+    def test_corrupt_index_artefact(self, store, tmp_path):
+        catalog = Catalog(tmp_path)
+        catalog.add_dataset("demo", store)
+        index = StatsIndex.build(store.read_all(), basic_window_size=16)
+        catalog.add_index("demo", index)
+        path = tmp_path / "demo.index.b16.npz"
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])  # truncate
+        with pytest.raises(StorageError):
+            catalog.load_index("demo", "b16")
+
+    def test_wrong_archive_kind_rejected(self, store, tmp_path):
+        # A stats-index archive where a chunk store is expected (and vice
+        # versa) is a well-formed .npz with the wrong keys.
+        catalog = Catalog(tmp_path)
+        catalog.add_dataset("demo", store)
+        index = StatsIndex.build(store.read_all(), basic_window_size=16)
+        index.save(tmp_path / "demo.data.npz")
+        with pytest.raises(StorageError, match="not a chunk-store archive"):
+            catalog.load_dataset("demo")
+
+    def test_duplicate_registration_keeps_existing_entry(self, store, tmp_path):
+        catalog = Catalog(tmp_path)
+        catalog.add_dataset("demo", store, description="original")
+        with pytest.raises(StorageError, match="already exists"):
+            catalog.add_dataset("demo", store, description="usurper")
+        assert catalog.describe("demo").description == "original"
+
+    def test_load_matrix_round_trips_store(self, store, tmp_path):
+        catalog = Catalog(tmp_path)
+        catalog.add_dataset("demo", store)
+        matrix = catalog.load_matrix("demo")
+        assert matrix.series_ids == list("wxyz")
+        np.testing.assert_array_equal(matrix.values, store.read_all())
+
+    def test_index_labels(self, store, tmp_path):
+        catalog = Catalog(tmp_path)
+        catalog.add_dataset("demo", store)
+        assert catalog.index_labels("demo") == []
+        catalog.add_index("demo", StatsIndex.build(store.read_all(), basic_window_size=16))
+        catalog.add_index(
+            "demo", StatsIndex.build(store.read_all(), basic_window_size=32),
+            label="coarse",
+        )
+        assert catalog.index_labels("demo") == ["b16", "coarse"]
+        with pytest.raises(StorageError):
+            catalog.index_labels("ghost")

@@ -121,6 +121,55 @@ class TestEvictionAndLimits:
         assert cache.memory_bytes > 0
 
 
+class TestSeeding:
+    """Prebuilt sketches (persisted stats indexes) entering the cache."""
+
+    def test_seed_then_query_hits_without_build(self, matrix, layout):
+        from repro.core.sketch import BasicWindowSketch
+
+        cache = SketchCache()
+        prebuilt = BasicWindowSketch.build(matrix.values, layout)
+        assert cache.seed(matrix, prebuilt)
+        assert cache.seeds == 1 and cache.builds == 0
+        assert cache.contains(matrix, layout)
+        assert cache.get_or_build(matrix, layout) is prebuilt
+        assert cache.stats.hits == 1 and cache.builds == 0
+
+    def test_seed_does_not_replace_cached_sketch(self, matrix, layout):
+        from repro.core.sketch import BasicWindowSketch
+
+        cache = SketchCache()
+        built = cache.get_or_build(matrix, layout)
+        assert not cache.seed(matrix, BasicWindowSketch.build(matrix.values, layout))
+        assert cache.seeds == 0
+        assert cache.get_or_build(matrix, layout) is built
+
+    def test_seed_enables_scan_memo_like_builds(self, matrix, layout):
+        from repro.core.sketch import BasicWindowSketch
+
+        cache = SketchCache(scan_memo_entries=4)
+        sketch = BasicWindowSketch.build(matrix.values, layout)
+        cache.seed(matrix, sketch)
+        sketch.exact_matrix_scan(0, 4)
+        sketch.exact_matrix_scan(0, 4)
+        assert sketch.scan_memo_hits == 1
+
+    def test_seed_rejects_mismatched_sketch(self, matrix, layout):
+        from repro.core.sketch import BasicWindowSketch
+        from repro.datasets.random_walk import ar1_series
+
+        cache = SketchCache()
+        other = ar1_series(4, 256, coefficient=0.5, seed=1)
+        foreign = BasicWindowSketch.build(other.values, layout)
+        with pytest.raises(StorageError, match="series"):
+            cache.seed(matrix, foreign)
+
+    def test_contains_has_no_stats_side_effects(self, matrix, layout):
+        cache = SketchCache()
+        assert not cache.contains(matrix, layout)
+        assert cache.stats.requests == 0
+
+
 class TestScanMemo:
     def test_cached_sketches_memoize_dense_scans(self, matrix, layout):
         cache = SketchCache(scan_memo_entries=4)

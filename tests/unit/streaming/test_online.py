@@ -76,3 +76,65 @@ class TestOnlineMonitor:
         monitor = self.make_monitor(4)
         monitor.append(rng.normal(size=(4, 40)))
         assert monitor.indexed_columns() == 32
+
+
+class TestMonitorForQuery:
+    """Building a monitor from a threshold query spec (the service's path)."""
+
+    def make_query(self, **overrides):
+        from repro.api.queries import ThresholdQuery
+
+        params = dict(start=0, end=512, window=128, step=32, threshold=0.6)
+        params.update(overrides)
+        return ThresholdQuery(**params)
+
+    def test_spec_fields_carry_over(self):
+        monitor = OnlineCorrelationMonitor.for_query(
+            self.make_query(), num_series=6, basic_window_size=32,
+            series_ids=[f"n{i}" for i in range(6)],
+        )
+        assert (monitor.window, monitor.step, monitor.threshold) == (128, 32, 0.6)
+        assert monitor.basic_window_size == 32
+        assert monitor.series_ids == [f"n{i}" for i in range(6)]
+
+    def test_basic_window_aligned_like_the_planner(self):
+        # window=96, step=48 -> gcd 48; largest divisor <= 32 is 24.
+        monitor = OnlineCorrelationMonitor.for_query(
+            self.make_query(window=96, step=48), num_series=4,
+            basic_window_size=32,
+        )
+        assert monitor.basic_window_size == 24
+
+    def test_emission_matches_offline_engine(self, small_matrix):
+        query = self.make_query(end=small_matrix.length)
+        monitor = OnlineCorrelationMonitor.for_query(
+            query, num_series=small_matrix.num_series, basic_window_size=32
+        )
+        emitted = list(monitor.append(small_matrix.values))
+        offline = DangoronEngine(basic_window_size=32).run(small_matrix, query)
+        assert len(emitted) == query.num_windows
+        for result, reference in zip(emitted, offline.matrices):
+            assert result.matrix.edge_set() == reference.edge_set()
+
+    def test_rejects_non_threshold_specs(self):
+        from repro.api.queries import LaggedQuery, TopKQuery
+
+        with pytest.raises(StreamingError, match="threshold specs only"):
+            OnlineCorrelationMonitor.for_query(
+                TopKQuery(start=0, end=512, window=128, step=32, k=3), num_series=4
+            )
+        with pytest.raises(StreamingError, match="threshold specs only"):
+            OnlineCorrelationMonitor.for_query(
+                LaggedQuery(start=0, end=512, window=128, step=32, max_lag=2),
+                num_series=4,
+            )
+
+    def test_rejects_absolute_mode_and_offsets(self):
+        with pytest.raises(StreamingError, match="signed"):
+            OnlineCorrelationMonitor.for_query(
+                self.make_query(threshold_mode="absolute"), num_series=4
+            )
+        with pytest.raises(StreamingError, match="column 0"):
+            OnlineCorrelationMonitor.for_query(
+                self.make_query(start=32), num_series=4
+            )
