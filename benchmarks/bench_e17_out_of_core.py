@@ -1,0 +1,250 @@
+"""E17 — out-of-core execution: bounded memory, bit-identical answers.
+
+The ROADMAP's "catalog bigger than RAM" scenario, measured: a threshold
+query over an on-disk chunk store is answered twice —
+
+* **dense** — ``ChunkStore.load`` + ``to_matrix`` + a serial session (the
+  pre-tiled pipeline, which materializes the full matrix), and
+* **tiled** — ``ChunkStoreReader`` + ``CorrelationSession.from_chunk_store``
+  with ``memory_budget`` set to **25% of the dense matrix footprint**, so
+  the sketch is built by streaming tiles and the dense matrix is never
+  materialized (asserted via ``session.matrix.materialized``).
+
+Each phase runs in a forked child process whose peak RSS is measured with
+``getrusage`` relative to its start, so the two measurements don't pollute
+each other.  Three claims are asserted:
+
+* **Identity** — the tiled result is bit-identical to the dense serial one
+  (sha256 over every window's rows/cols/values).
+* **Memory** — the tiled phase's peak-RSS growth stays below the dense
+  phase's and within a 0.75x-matrix (+ fixed interpreter slack) allowance,
+  even though its budget is 4x smaller than the matrix.  (At default scale
+  the tiled growth is well under one matrix: budget-sized tile + sketch.)
+* **Time** — tiled wall-clock stays within 1.5x of dense (both phases pay
+  the same decompression; the sketch work is identical element-wise).
+
+``REPRO_BENCH_SCALE`` scales the series length (CI smoke runs 0.1, which
+also exercises a tiny absolute budget).  On platforms without ``fork`` the
+RSS assertions skip; identity is still checked in-process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import resource
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import CorrelationSession, ThresholdQuery
+from repro.storage.chunk_store import ChunkStore, ChunkStoreReader
+
+from _bench_common import BENCH_SCALE, BENCH_THRESHOLD, print_experiment_table
+
+NUM_SERIES = 16
+BASIC_WINDOW = 256
+WINDOW = 4096
+STEP = 2048
+#: Columns per stored chunk (1 MiB of raw data per chunk at 16 series).
+CHUNK_COLUMNS = 8192
+
+#: Series length: ~768k columns (96 MiB dense) at scale 1.0, floored so the
+#: query always has several windows.
+LENGTH = max(4 * WINDOW, int(786432 * BENCH_SCALE)) // STEP * STEP
+DENSE_BYTES = NUM_SERIES * LENGTH * 8
+#: The headline constraint: the budget is 4x smaller than the dense matrix.
+MEMORY_BUDGET = DENSE_BYTES // 4
+
+MIB = 1024 * 1024
+
+
+def _query() -> ThresholdQuery:
+    return ThresholdQuery(
+        start=0, end=LENGTH, window=WINDOW, step=STEP, threshold=BENCH_THRESHOLD
+    )
+
+
+def _result_digest(result) -> str:
+    digest = hashlib.sha256()
+    for matrix in result.matrices:
+        digest.update(matrix.rows.tobytes())
+        digest.update(matrix.cols.tobytes())
+        digest.update(matrix.values.tobytes())
+    return digest.hexdigest()
+
+
+def _peak_rss_bytes() -> int:
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(rss) if sys.platform == "darwin" else int(rss) * 1024
+
+
+def _generate(path: str) -> None:
+    rng = np.random.default_rng(20230611)
+    # One correlated family so the query finds edges.  The generator runs in
+    # its own child process — it is allowed to hold the dense matrix; the
+    # measured phases never inherit it.
+    base = rng.standard_normal(LENGTH)
+    values = base[None, :] * 0.8 + 0.6 * rng.standard_normal((NUM_SERIES, LENGTH))
+    store = ChunkStore(num_series=NUM_SERIES, chunk_columns=CHUNK_COLUMNS)
+    store.append(values)
+    store.save(path)
+
+
+def _phase_dense(path: str, connection) -> None:
+    baseline = _peak_rss_bytes()
+    started = time.perf_counter()
+    store = ChunkStore.load(path)
+    matrix = store.to_matrix()
+    del store
+    session = CorrelationSession(matrix, basic_window_size=BASIC_WINDOW)
+    result = session.run(_query())
+    connection.send(
+        {
+            "digest": _result_digest(result),
+            "seconds": time.perf_counter() - started,
+            "rss_growth": _peak_rss_bytes() - baseline,
+            "plan": session.plan(_query()).describe(),
+        }
+    )
+
+
+def _phase_tiled(path: str, connection) -> None:
+    baseline = _peak_rss_bytes()
+    started = time.perf_counter()
+    reader = ChunkStoreReader(path)
+    session = CorrelationSession.from_chunk_store(
+        reader, basic_window_size=BASIC_WINDOW, memory_budget=MEMORY_BUDGET
+    )
+    plan = session.plan(_query())
+    result = session.run(_query())
+    connection.send(
+        {
+            "digest": _result_digest(result),
+            "seconds": time.perf_counter() - started,
+            "rss_growth": _peak_rss_bytes() - baseline,
+            "plan": plan.describe(),
+            "materialized": session.matrix.materialized,
+        }
+    )
+
+
+def _run_forked(target, *args) -> dict:
+    context = multiprocessing.get_context("fork")
+    parent_end, child_end = context.Pipe(duplex=False)
+    process = context.Process(target=target, args=(*args, child_end))
+    process.start()
+    child_end.close()
+    try:
+        payload = parent_end.recv()
+    finally:
+        process.join()
+    if process.exitcode != 0:
+        raise RuntimeError(f"phase process exited with {process.exitcode}")
+    return payload
+
+
+def _fork_available() -> bool:
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return False
+    return True
+
+
+@pytest.fixture(scope="module")
+def saved_store(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("e17") / "catalog.data.npz")
+    if _fork_available():
+        # Generate in a child so the parent (whose RSS the phase children
+        # inherit as their baseline) never holds the dense matrix.
+        process = multiprocessing.get_context("fork").Process(
+            target=_generate, args=(path,)
+        )
+        process.start()
+        process.join()
+        assert process.exitcode == 0
+    else:  # pragma: no cover - non-POSIX platforms
+        _generate(path)
+    return path
+
+
+def test_e17_out_of_core(saved_store):
+    """Tiled vs dense over one on-disk store: identity, memory, wall-clock."""
+    if not _fork_available():  # pragma: no cover - non-POSIX platforms
+        _assert_identity_in_process(saved_store)
+        pytest.skip("no fork(): peak-RSS phases need process isolation")
+
+    dense = _run_forked(_phase_dense, saved_store)
+    tiled = _run_forked(_phase_tiled, saved_store)
+
+    rows = [
+        ["dense", round(dense["seconds"], 3),
+         round(dense["rss_growth"] / MIB, 1), "-"],
+        ["tiled", round(tiled["seconds"], 3),
+         round(tiled["rss_growth"] / MIB, 1), round(MEMORY_BUDGET / MIB, 1)],
+    ]
+
+    class _Table:
+        experiment_id = "E17"
+        notes = (
+            f"{NUM_SERIES} series x {LENGTH} columns "
+            f"({DENSE_BYTES / MIB:.1f} MiB dense), window {WINDOW}, "
+            f"step {STEP}, b={BASIC_WINDOW}, budget {MEMORY_BUDGET / MIB:.1f} MiB"
+        )
+        headers = ["path", "wall_seconds", "rss_growth_mib", "budget_mib"]
+
+        def table(self):
+            header = " | ".join(self.headers)
+            lines = [header, "-" * len(header)]
+            lines += [" | ".join(str(v) for v in row) for row in rows]
+            return "\n".join(lines)
+
+    print_experiment_table(_Table())
+
+    # The tiled plan actually ran tiled, under the 4x-smaller budget, and
+    # never materialized the dense matrix.
+    assert MEMORY_BUDGET * 4 <= DENSE_BYTES
+    assert f"build=tiled(budget={MEMORY_BUDGET}B)" in tiled["plan"]
+    assert tiled["materialized"] is False
+
+    # Bit-identical to the dense serial result.
+    assert tiled["digest"] == dense["digest"]
+
+    # Peak RSS: the dense phase must grow by at least the matrix (sanity of
+    # the measurement); the tiled phase must stay strictly below one dense
+    # matrix and well below the dense phase.
+    if dense["rss_growth"] < DENSE_BYTES:  # pragma: no cover - odd allocators
+        pytest.skip(
+            f"RSS measurement implausible (dense grew "
+            f"{dense['rss_growth'] / MIB:.1f} MiB < matrix "
+            f"{DENSE_BYTES / MIB:.1f} MiB)"
+        )
+    allowance = DENSE_BYTES * 0.75 + 8 * MIB
+    assert tiled["rss_growth"] <= allowance, (
+        f"tiled peak RSS grew {tiled['rss_growth'] / MIB:.1f} MiB, "
+        f"allowed {allowance / MIB:.1f} MiB "
+        f"(dense matrix is {DENSE_BYTES / MIB:.1f} MiB)"
+    )
+    assert tiled["rss_growth"] < dense["rss_growth"]
+
+    # Wall-clock: within 1.5x of dense (plus sub-second noise slack).
+    assert tiled["seconds"] <= 1.5 * dense["seconds"] + 0.75, (
+        f"tiled took {tiled['seconds']:.2f}s vs dense {dense['seconds']:.2f}s"
+    )
+
+
+def _assert_identity_in_process(path: str) -> None:  # pragma: no cover
+    dense_session = CorrelationSession(
+        ChunkStore.load(path).to_matrix(), basic_window_size=BASIC_WINDOW
+    )
+    tiled_session = CorrelationSession.from_chunk_store(
+        ChunkStoreReader(path),
+        basic_window_size=BASIC_WINDOW,
+        memory_budget=MEMORY_BUDGET,
+    )
+    dense = dense_session.run(_query())
+    tiled = tiled_session.run(_query())
+    assert _result_digest(dense) == _result_digest(tiled)

@@ -33,9 +33,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.api.queries import LaggedQuery, TopKQuery
 from repro.api.results import LaggedSeriesResult
-from repro.config import DEFAULT_BASIC_WINDOW_SIZE, DEFAULT_PARALLEL_MIN_PAIRS
+from repro.config import (
+    DEFAULT_BASIC_WINDOW_SIZE,
+    DEFAULT_PARALLEL_MIN_PAIRS,
+    FLOAT_DTYPE,
+)
 from repro.core.basic_window import BasicWindowLayout
 from repro.core.engine import (
     SlidingCorrelationEngine,
@@ -60,6 +66,10 @@ KIND_LAGGED = "lagged"
 #: Execution strategies (``ExecutionPlan.execution``).
 EXECUTION_SERIAL = "serial"
 EXECUTION_SHARDED = "sharded"
+
+#: Sketch-build strategies (``ExecutionPlan.sketch_build``).
+SKETCH_BUILD_DENSE = "dense"
+SKETCH_BUILD_TILED = "tiled"
 
 
 @dataclass(frozen=True)
@@ -92,6 +102,8 @@ class ExecutionPlan:
     layout: Optional[BasicWindowLayout] = None
     execution: str = EXECUTION_SERIAL
     workers: int = 1
+    sketch_build: str = SKETCH_BUILD_DENSE
+    memory_budget: Optional[int] = None
 
     def describe(self) -> str:
         engine = self.engine.describe() if self.engine is not None else "-"
@@ -103,7 +115,10 @@ class ExecutionPlan:
         execution = self.execution
         if self.execution == EXECUTION_SHARDED:
             execution = f"{self.execution}(workers={self.workers})"
-        return f"plan[{self.kind}] engine={engine} sketch={layout} exec={execution}"
+        summary = f"plan[{self.kind}] engine={engine} sketch={layout} exec={execution}"
+        if self.sketch_build == SKETCH_BUILD_TILED:
+            summary += f" build=tiled(budget={self.memory_budget}B)"
+        return summary
 
 
 class QueryPlanner:
@@ -137,6 +152,15 @@ class QueryPlanner:
         Pool flavour for sharded runs: ``"auto"`` (default; processes for
         large pair-window counts, threads otherwise), ``"process"`` or
         ``"thread"``.
+    memory_budget:
+        When set (bytes), sketch-building queries whose raw data exceeds the
+        budget build their sketch **tiled** (:mod:`repro.core.tiled`):
+        column tiles stream through a bounded buffer instead of reducing the
+        dense matrix in one pass.  Tiled sketches are bit-identical to dense
+        ones and cached under the same key; combined with a lazy
+        chunk-backed matrix (``CorrelationSession.from_chunk_store``) the
+        dense matrix is never materialized for aligned queries.  Unaligned
+        windows and lagged queries need the raw values and stay dense.
 
     Examples
     --------
@@ -162,9 +186,14 @@ class QueryPlanner:
         workers: Optional[int] = None,
         parallel_min_pairs: int = DEFAULT_PARALLEL_MIN_PAIRS,
         parallel_mode: str = MODE_AUTO,
+        memory_budget: Optional[int] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ExperimentError(f"workers must be at least 1, got {workers}")
+        if memory_budget is not None and memory_budget < 1:
+            raise ExperimentError(
+                f"memory_budget must be a positive byte count, got {memory_budget}"
+            )
         self.engine_name = engine
         self.engine_options = dict(engine_options or {})
         self.basic_window_size = basic_window_size
@@ -172,6 +201,7 @@ class QueryPlanner:
         self.workers = workers
         self.parallel_min_pairs = parallel_min_pairs
         self.parallel_mode = parallel_mode
+        self.memory_budget = memory_budget
         self._default_engine: Optional[SlidingCorrelationEngine] = None
 
     # ---------------------------------------------------------------- engines
@@ -210,7 +240,13 @@ class QueryPlanner:
             return ExecutionPlan(query=query, kind=KIND_LAGGED)
         if isinstance(query, TopKQuery):
             layout = BasicWindowLayout.for_query(query, self.basic_window_size)
-            return ExecutionPlan(query=query, kind=KIND_TOPK, layout=layout)
+            return ExecutionPlan(
+                query=query,
+                kind=KIND_TOPK,
+                layout=layout,
+                sketch_build=self._sketch_build_for(matrix, layout, query),
+                memory_budget=self.memory_budget,
+            )
         if engine is None:
             engine = self.resolve_engine()
         layout = engine.plan_layout(query)
@@ -232,7 +268,40 @@ class QueryPlanner:
             layout=layout,
             execution=execution,
             workers=workers,
+            sketch_build=self._sketch_build_for(matrix, layout, query, engine=engine),
+            memory_budget=self.memory_budget,
         )
+
+    def _sketch_build_for(
+        self,
+        matrix: TimeSeriesMatrix,
+        layout: Optional[BasicWindowLayout],
+        query: SlidingQuery,
+        engine: Optional[SlidingCorrelationEngine] = None,
+    ) -> str:
+        """Dense or tiled sketch construction for a planned layout.
+
+        Tiled is chosen only when it pays *and* suffices: a budget is
+        configured, the raw data it would have to hold at once exceeds it,
+        every query window recombines from whole basic windows (an unaligned
+        window needs the raw matrix for edge correction anyway, so tiling
+        the build would not bound the run's memory), and the engine
+        configuration is sketch-only (``engine.needs_raw_values`` — e.g.
+        Dangoron's pivot selection under horizontal pruning would
+        materialize the matrix regardless, so such plans honestly stay
+        dense instead of claiming a bounded build).
+        """
+        if (
+            self.memory_budget is None
+            or layout is None
+            or not self._windows_sketch_aligned(layout, query)
+            or (engine is not None and engine.needs_raw_values(query))
+        ):
+            return SKETCH_BUILD_DENSE
+        dense_bytes = matrix.num_series * matrix.length * np.dtype(FLOAT_DTYPE).itemsize
+        if dense_bytes <= self.memory_budget:
+            return SKETCH_BUILD_DENSE
+        return SKETCH_BUILD_TILED
 
     @staticmethod
     def _windows_sketch_aligned(
@@ -257,7 +326,15 @@ class QueryPlanner:
         cache_hit = False
         if plan.layout is not None:
             hits_before = self.sketch_cache.stats.hits
-            sketch = self.sketch_cache.get_or_build(matrix, plan.layout)
+            if plan.sketch_build == SKETCH_BUILD_TILED:
+                sketch = self.sketch_cache.get_or_build_tiled(
+                    matrix,
+                    plan.layout,
+                    memory_budget=plan.memory_budget,
+                    workers=self.workers or 1,
+                )
+            else:
+                sketch = self.sketch_cache.get_or_build(matrix, plan.layout)
             cache_hit = self.sketch_cache.stats.hits > hits_before
 
         if plan.kind == KIND_LAGGED:

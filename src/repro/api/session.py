@@ -65,6 +65,11 @@ class CorrelationSession:
         sharded across this many pool workers (see
         :class:`repro.parallel.ShardedExecutor`); results are bit-identical
         to serial runs.  Small matrices stay serial automatically.
+    memory_budget:
+        Bytes the sketch build may hold resident at once; data larger than
+        the budget streams through the tiled out-of-core builder
+        (:mod:`repro.core.tiled`) with bit-identical results.  Combine with
+        :meth:`from_chunk_store` so the dense matrix is never materialized.
     planner:
         A preconfigured :class:`QueryPlanner`; overrides the options above.
         Pass planners sharing one :class:`SketchCache` to share sketch
@@ -94,6 +99,7 @@ class CorrelationSession:
         engine_options: Optional[Dict[str, object]] = None,
         basic_window_size: int = DEFAULT_BASIC_WINDOW_SIZE,
         workers: Optional[int] = None,
+        memory_budget: Optional[int] = None,
         planner: Optional[QueryPlanner] = None,
     ) -> None:
         self.matrix = matrix
@@ -105,7 +111,42 @@ class CorrelationSession:
                 engine_options=engine_options,
                 basic_window_size=basic_window_size,
                 workers=workers,
+                memory_budget=memory_budget,
             )
+        )
+
+    @classmethod
+    def from_chunk_store(
+        cls,
+        source,
+        engine: str = "dangoron",
+        engine_options: Optional[Dict[str, object]] = None,
+        basic_window_size: int = DEFAULT_BASIC_WINDOW_SIZE,
+        workers: Optional[int] = None,
+        memory_budget: Optional[int] = None,
+    ) -> "CorrelationSession":
+        """A session over a chunk store (or lazy reader) without loading it.
+
+        ``source`` is anything with the chunk-source surface — an in-memory
+        :class:`~repro.storage.chunk_store.ChunkStore` or, for catalogs
+        bigger than RAM, the lazy
+        :class:`~repro.storage.chunk_store.ChunkStoreReader`.  The session's
+        matrix is a :class:`~repro.core.tiled.ChunkBackedMatrix`: metadata is
+        available immediately, but the dense array is only assembled if a
+        query actually needs raw values.  With ``memory_budget`` set, aligned
+        threshold and top-k queries build their sketch tiled and never
+        materialize it at all (``session.matrix.materialized`` stays
+        ``False``) — see ``docs/scaling.md``.
+        """
+        from repro.core.tiled import ChunkBackedMatrix
+
+        return cls(
+            ChunkBackedMatrix(source),
+            engine=engine,
+            engine_options=engine_options,
+            basic_window_size=basic_window_size,
+            workers=workers,
+            memory_budget=memory_budget,
         )
 
     # ------------------------------------------------------------------ running

@@ -69,6 +69,14 @@ class TsubasaEngine(SlidingCorrelationEngine):
         size = max(size, 2)
         return BasicWindowLayout.for_range(query.start, query.end, size)
 
+    def needs_raw_values(self, query: SlidingQuery) -> bool:
+        """Sketch-only for aligned windows (the only case the planner tiles).
+
+        Unaligned windows read the raw matrix for edge correction, but the
+        planner's tiled gate already requires whole-basic-window alignment.
+        """
+        return False
+
     def supports_pair_subset(self) -> bool:
         """Always shardable: every pair is evaluated independently every window."""
         return True
@@ -81,8 +89,10 @@ class TsubasaEngine(SlidingCorrelationEngine):
         sketch: Optional[BasicWindowSketch] = None,
         pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> CorrelationSeriesResult:
+        # Raw values are read lazily: with a prebuilt sketch and aligned
+        # windows the run is sketch-only, so lazily-backed matrices are never
+        # materialized (unaligned edges still read matrix.values).
         query.validate_against_length(matrix.length)
-        values = matrix.values
         n = matrix.num_series
         pair_rows: Optional[np.ndarray] = None
         pair_cols: Optional[np.ndarray] = None
@@ -95,7 +105,7 @@ class TsubasaEngine(SlidingCorrelationEngine):
             sketch_seconds = sketch.build_seconds
         else:
             build_start = time.perf_counter()
-            sketch = BasicWindowSketch.build(values, layout)
+            sketch = BasicWindowSketch.build(matrix.values, layout)
             sketch_seconds = time.perf_counter() - build_start
 
         matrices: List[ThresholdedMatrix] = []
@@ -106,7 +116,7 @@ class TsubasaEngine(SlidingCorrelationEngine):
                     first, count = layout.covering(begin, end)
                     corr = sketch.exact_matrix_scan(first, count)
                 else:
-                    corr = sketch.exact_matrix_range(begin, end, values=values)
+                    corr = sketch.exact_matrix_range(begin, end, values=matrix.values)
                 matrices.append(ThresholdedMatrix.from_dense(corr, query=query))
                 continue
             # Pair-subset path: the per-window cost is proportional to the
@@ -119,7 +129,7 @@ class TsubasaEngine(SlidingCorrelationEngine):
                     pair_rows, pair_cols, first, count
                 )
             else:
-                corr = sketch.exact_matrix_range(begin, end, values=values)
+                corr = sketch.exact_matrix_range(begin, end, values=matrix.values)
                 window_vals = corr[pair_rows, pair_cols]
             keep = query.keep_mask(window_vals)
             matrices.append(

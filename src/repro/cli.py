@@ -11,9 +11,11 @@ Five subcommands cover the workflow a user of the system actually runs:
     per-window summary (optionally exporting the edge list).  ``--mode``
     selects the query type (``threshold``, ``topk`` or ``lagged``),
     repeatable ``--engine-opt key=value`` flags reach every engine option
-    without writing Python, and ``--workers N`` shards large threshold
-    queries across a worker pool (bit-identical results, see
-    :mod:`repro.parallel`).
+    without writing Python, ``--workers N`` shards large threshold queries
+    across a worker pool, and ``--memory-budget BYTES`` streams ``.npz``
+    inputs through the tiled out-of-core builder without materializing the
+    dense matrix (both bit-identical, see :mod:`repro.parallel` and
+    :mod:`repro.core.tiled`).
 ``repro serve``
     Run the long-lived correlation query service over a dataset catalog
     directory (see :mod:`repro.service` and ``docs/service.md``).
@@ -135,8 +137,47 @@ def parse_engine_option(text: str) -> tuple:
     return key, raw
 
 
-def _load_input_matrix(path: str) -> TimeSeriesMatrix:
+_BYTE_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": 1024, "kb": 1024, "kib": 1024,
+    "m": 1024**2, "mb": 1024**2, "mib": 1024**2,
+    "g": 1024**3, "gb": 1024**3, "gib": 1024**3,
+}
+
+
+def parse_byte_size(text: str) -> int:
+    """Parse a human byte count (``"64MiB"``, ``"2g"``, ``"1048576"``) to bytes.
+
+    Used by ``--memory-budget``; suffixes are binary (``k``/``m``/``g`` =
+    1024-based) and case-insensitive.  Anything unparseable or non-positive
+    raises :class:`ReproError` naming the input.
+    """
+    stripped = text.strip().lower()
+    index = len(stripped)
+    while index > 0 and not (stripped[index - 1].isdigit() or stripped[index - 1] == "."):
+        index -= 1
+    number, suffix = stripped[:index], stripped[index:].strip()
+    try:
+        scale = _BYTE_SUFFIXES[suffix]
+        value = int(float(number) * scale)
+    except (KeyError, ValueError):
+        raise ReproError(
+            f"cannot parse byte size {text!r} (expected e.g. 1048576, 64MB, 2GiB)"
+        ) from None
+    if value < 1:
+        raise ReproError(f"byte size must be positive, got {text!r}")
+    return value
+
+
+def _load_input_matrix(path: str, memory_budget: Optional[int] = None) -> TimeSeriesMatrix:
     """Load a query input: wide CSV, or a ``.npz`` chunk store from a catalog.
+
+    With ``memory_budget`` set, a ``.npz`` input is opened through the lazy
+    :class:`~repro.storage.chunk_store.ChunkStoreReader` and wrapped in a
+    :class:`~repro.core.tiled.ChunkBackedMatrix` — the dense matrix is never
+    materialized for aligned queries, which is the CLI's out-of-core path
+    (see ``docs/scaling.md``).
 
     A missing file or a corrupt/truncated archive used to escape as a raw
     ``FileNotFoundError``/``zipfile``/``numpy`` traceback; every failure mode
@@ -144,10 +185,17 @@ def _load_input_matrix(path: str) -> TimeSeriesMatrix:
     path, matching the planner's error style.
     """
     from repro.exceptions import ExperimentError
-    from repro.storage.chunk_store import ChunkStore
+    from repro.storage.chunk_store import ChunkStore, ChunkStoreReader
 
     try:
         if path.endswith(".npz"):
+            if memory_budget is not None:
+                from repro.core.tiled import ChunkBackedMatrix
+
+                reader = ChunkStoreReader(path)
+                if reader.length == 0:
+                    raise ExperimentError(f"chunk store {path} contains no columns")
+                return ChunkBackedMatrix(reader)
             store = ChunkStore.load(path)
             if store.length == 0:
                 raise ExperimentError(f"chunk store {path} contains no columns")
@@ -191,7 +239,15 @@ def _command_query(args: argparse.Namespace) -> int:
         )
     if args.workers is not None and args.workers < 1:
         raise ReproError(f"--workers must be at least 1, got {args.workers}")
-    matrix = _load_input_matrix(args.input)
+    if args.mode == "lagged" and args.memory_budget is not None:
+        raise ReproError(
+            "--memory-budget applies to threshold and topk queries only "
+            "(lagged queries read the raw values matrix)"
+        )
+    memory_budget = (
+        parse_byte_size(args.memory_budget) if args.memory_budget is not None else None
+    )
+    matrix = _load_input_matrix(args.input, memory_budget=memory_budget)
     end = args.end if args.end is not None else matrix.length
     query = _build_query(args, end)
     session = CorrelationSession(
@@ -200,12 +256,14 @@ def _command_query(args: argparse.Namespace) -> int:
         engine_options=dict(parse_engine_option(opt) for opt in args.engine_opt),
         basic_window_size=args.basic_window,
         workers=args.workers,
+        memory_budget=memory_budget,
     )
     if args.mode == "threshold":
         # Shows whether the planner chose serial or sharded execution — in
         # particular when an explicit --workers request stays serial (pair
         # count under the floor, unaligned windows, or an engine
-        # configuration that cannot shard).
+        # configuration that cannot shard), and whether the sketch builds
+        # dense or tiled under a --memory-budget.
         print(session.plan(query).describe())
     result = session.run(query)
 
@@ -255,12 +313,16 @@ def create_server(args: argparse.Namespace):
 
     if args.workers is not None and args.workers < 1:
         raise ReproError(f"--workers must be at least 1, got {args.workers}")
+    memory_budget = (
+        parse_byte_size(args.memory_budget) if args.memory_budget is not None else None
+    )
     service = CorrelationService(
         Catalog(args.catalog),
         engine=args.engine,
         engine_options=dict(parse_engine_option(opt) for opt in args.engine_opt),
         basic_window_size=args.basic_window,
         workers=args.workers,
+        memory_budget=memory_budget,
     )
     return CorrelationServer(
         service, host=args.host, port=args.port, verbose=args.verbose
@@ -378,6 +440,11 @@ def build_parser() -> argparse.ArgumentParser:
              "(results are bit-identical to serial execution)",
     )
     query.add_argument(
+        "--memory-budget", default=None, metavar="BYTES",
+        help="bound the sketch build's resident data (e.g. 64MB); .npz inputs "
+             "then stream from disk without materializing the dense matrix",
+    )
+    query.add_argument(
         "--absolute", action="store_true", help="threshold on |c| instead of c"
     )
     query.add_argument(
@@ -409,6 +476,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, metavar="N",
         help="default worker count for sharded threshold queries "
              "(requests may override per call)",
+    )
+    serve.add_argument(
+        "--memory-budget", default=None, metavar="BYTES",
+        help="bound each dataset's sketch-build working set (e.g. 256MB); "
+             "larger datasets build their statistics tiled, bit-identically",
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"

@@ -68,6 +68,12 @@ from repro.core.result import (
     ThresholdedMatrix,
 )
 from repro.core.sketch import BasicWindowSketch
+from repro.core.tiled import (
+    ChunkBackedMatrix,
+    TilePlan,
+    build_sketch_tiled,
+    plan_tiles,
+)
 from repro.core.topk import (
     TopKResult,
     TopKWindow,
@@ -79,6 +85,7 @@ from repro.core.topk import (
 __all__ = [
     "BasicWindowLayout",
     "BasicWindowSketch",
+    "ChunkBackedMatrix",
     "CorrelationSeriesResult",
     "DangoronEngine",
     "Edge",
@@ -92,6 +99,7 @@ __all__ = [
     "RunningPairCorrelation",
     "SlidingCorrelationEngine",
     "SlidingQuery",
+    "TilePlan",
     "THRESHOLD_ABSOLUTE",
     "THRESHOLD_SIGNED",
     "ThresholdedMatrix",
@@ -101,6 +109,7 @@ __all__ = [
     "basic_window_correlations",
     "basic_window_statistics",
     "best_lag",
+    "build_sketch_tiled",
     "choose_basic_window_size",
     "combine_pair_eq1",
     "combine_pair_from_series",
@@ -116,6 +125,7 @@ __all__ = [
     "lead_lag_graph_edges",
     "max_skippable_steps_scalar",
     "pearson",
+    "plan_tiles",
     "prunable_pairs",
     "register_engine",
     "select_pivots",

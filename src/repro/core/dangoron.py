@@ -124,6 +124,15 @@ class DangoronEngine(SlidingCorrelationEngine):
         """The layout ``run`` builds its sketch for (see the planner protocol)."""
         return BasicWindowLayout.for_query(query, self.basic_window_size)
 
+    def needs_raw_values(self, query: SlidingQuery) -> bool:
+        """Raw values are only read for pivot selection (horizontal pruning).
+
+        With temporal pruning alone, a planner-supplied sketch makes the run
+        sketch-only, so out-of-core (tiled) execution never materializes the
+        matrix.
+        """
+        return self.use_horizontal_pruning
+
     def supports_pair_subset(self) -> bool:
         """Shardable unless horizontal pruning couples pairs through the gate.
 
@@ -145,8 +154,11 @@ class DangoronEngine(SlidingCorrelationEngine):
         sketch: Optional[BasicWindowSketch] = None,
         pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> CorrelationSeriesResult:
+        # Raw values are read lazily (sketch build, pivot selection): with a
+        # planner-supplied sketch and no horizontal pruning, the whole run is
+        # sketch-only — which is what lets out-of-core sessions answer without
+        # ever materializing a dense matrix (see repro.core.tiled).
         query.validate_against_length(matrix.length)
-        values = matrix.values
         n = matrix.num_series
         if pairs is not None and self.use_horizontal_pruning:
             raise ParallelError(
@@ -164,7 +176,7 @@ class DangoronEngine(SlidingCorrelationEngine):
             sketch_reused = 1.0
         else:
             build_start = time.perf_counter()
-            sketch = BasicWindowSketch.build(values, layout)
+            sketch = BasicWindowSketch.build(matrix.values, layout)
             sketch_seconds = time.perf_counter() - build_start
             sketch_reused = 0.0
 
@@ -181,7 +193,7 @@ class DangoronEngine(SlidingCorrelationEngine):
         pivots: Optional[np.ndarray] = None
         if self.use_horizontal_pruning:
             rng = np.random.default_rng(self.seed)
-            first_window = values[:, query.start : query.start + query.window]
+            first_window = matrix.values[:, query.start : query.start + query.window]
             pivots = select_pivots(
                 first_window, self.num_pivots, self.pivot_strategy, rng
             )

@@ -32,7 +32,11 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.config import FLOAT_DTYPE, VARIANCE_EPSILON, clamp_correlation_array
+from repro.config import (
+    FLOAT_DTYPE,
+    VARIANCE_EPSILON,
+    clamp_correlation_array,
+)
 from repro.core.basic_window import BasicWindowLayout
 from repro.core.correlation import correlation_from_sums
 from repro.exceptions import SketchError
@@ -67,6 +71,43 @@ def _pairwise_window_sum(block: np.ndarray) -> np.ndarray:
     seeded-from-disk executions bit-identical.
     """
     return np.ascontiguousarray(np.moveaxis(block, 0, -1)).sum(axis=-1)
+
+
+def pair_corrs_from_stats(
+    series_sums: np.ndarray,
+    series_sumsqs: np.ndarray,
+    pair_sumprods: np.ndarray,
+    size: int,
+) -> np.ndarray:
+    """Per-basic-window pair correlations from the raw per-window statistics.
+
+    ``series_sums``/``series_sumsqs`` have shape ``(N, count)`` and
+    ``pair_sumprods`` has shape ``(count, N, N)``; the result matches
+    ``pair_sumprods``.  Every operation is element-wise per basic window, so
+    the function is shared by the dense :meth:`BasicWindowSketch.build` and
+    the tiled out-of-core builder (:mod:`repro.core.tiled`) — computing a
+    window's correlations from its statistics gives the same bits whether the
+    window arrived in one dense build or in a tile.
+    """
+    means = series_sums / size
+    variances = series_sumsqs / size - means**2
+    # Flag near-constant basic windows both absolutely and relative to
+    # the uncentred energy (cancellation noise grows with magnitude).
+    degenerate_window = (variances < VARIANCE_EPSILON) | (
+        variances < 1e-10 * np.abs(series_sumsqs / size)
+    )
+    variances = np.maximum(variances, 0.0)
+    stds = np.sqrt(variances)
+    # Covariance per basic window: E[xy] - E[x]E[y].
+    cov = pair_sumprods / size - means.T[:, :, None] * means.T[:, None, :]
+    denom = stds.T[:, :, None] * stds.T[:, None, :]
+    degenerate = (
+        (denom < VARIANCE_EPSILON)
+        | degenerate_window.T[:, :, None]
+        | degenerate_window.T[:, None, :]
+    )
+    pair_corrs = np.where(degenerate, 0.0, cov / np.where(degenerate, 1.0, denom))
+    return clamp_correlation_array(pair_corrs)
 
 
 def ensure_sketch_layout(sketch: "BasicWindowSketch", layout) -> "BasicWindowSketch":
@@ -158,25 +199,9 @@ class BasicWindowSketch:
         if pairwise:
             # (count, N, N) tensor of per-basic-window sums of products.
             pair_sumprods = np.einsum("iws,jws->wij", blocks, blocks)
-            means = series_sums / size
-            variances = series_sumsqs / size - means**2
-            # Flag near-constant basic windows both absolutely and relative to
-            # the uncentred energy (cancellation noise grows with magnitude).
-            degenerate_window = (variances < VARIANCE_EPSILON) | (
-                variances < 1e-10 * np.abs(series_sumsqs / size)
+            pair_corrs = pair_corrs_from_stats(
+                series_sums, series_sumsqs, pair_sumprods, size
             )
-            variances = np.maximum(variances, 0.0)
-            stds = np.sqrt(variances)
-            # Covariance per basic window: E[xy] - E[x]E[y].
-            cov = pair_sumprods / size - means.T[:, :, None] * means.T[:, None, :]
-            denom = stds.T[:, :, None] * stds.T[:, None, :]
-            degenerate = (
-                (denom < VARIANCE_EPSILON)
-                | degenerate_window.T[:, :, None]
-                | degenerate_window.T[:, None, :]
-            )
-            pair_corrs = np.where(degenerate, 0.0, cov / np.where(degenerate, 1.0, denom))
-            pair_corrs = clamp_correlation_array(pair_corrs)
 
         return cls(
             layout=layout,

@@ -122,6 +122,7 @@ class DatasetRuntime:
         engine_options: Optional[Dict[str, object]],
         basic_window_size: int,
         workers: Optional[int],
+        memory_budget: Optional[int] = None,
     ) -> None:
         self.name = name
         self.catalog = catalog
@@ -129,6 +130,7 @@ class DatasetRuntime:
         self.engine_options = dict(engine_options or {})
         self.basic_window_size = basic_window_size
         self.default_workers = workers
+        self.memory_budget = memory_budget
         self.store = catalog.load_dataset(name)
         if self.store.length == 0:
             raise StorageError(f"dataset {name!r} contains no columns")
@@ -152,9 +154,23 @@ class DatasetRuntime:
     # ------------------------------------------------------------------ state
     @property
     def matrix(self) -> TimeSeriesMatrix:
-        """The dense view of the stored columns (rebuilt after appends)."""
+        """The matrix view of the stored columns (rebuilt after appends).
+
+        With a ``memory_budget`` configured this is a lazy
+        :class:`~repro.core.tiled.ChunkBackedMatrix` over the resident
+        chunk store, so budgeted sketch builds stream the chunks directly
+        and the service never holds a *second*, dense copy of the data.
+        (The chunk store itself stays resident — the append/watch paths
+        write to it; fully out-of-core, read-only serving is the
+        ``CorrelationSession.from_chunk_store`` deployment.)
+        """
         if self._matrix is None:
-            self._matrix = self.store.to_matrix()
+            if self.memory_budget is not None:
+                from repro.core.tiled import ChunkBackedMatrix
+
+                self._matrix = ChunkBackedMatrix(self.store)
+            else:
+                self._matrix = self.store.to_matrix()
         return self._matrix
 
     def session_for(self, workers: Optional[int]) -> CorrelationSession:
@@ -170,6 +186,7 @@ class DatasetRuntime:
                     basic_window_size=self.basic_window_size,
                     sketch_cache=self.sketch_cache,
                     workers=workers,
+                    memory_budget=self.memory_budget,
                 ),
             )
             self._sessions[workers] = session
@@ -215,11 +232,20 @@ class DatasetRuntime:
         The full pairwise statistics are what seeding avoids recomputing, but
         the per-series sums/sums-of-squares cost only O(N·L) and pin the
         index to this exact data: the sketch build is deterministic, so a
-        genuine index agrees bit for bit and anything else is stale.
+        genuine index agrees bit for bit and anything else is stale.  Under
+        a memory budget the check builds tiled (bit-identical), so it never
+        materializes the dense matrix either.
         """
-        expected = BasicWindowSketch.build(
-            self.matrix.values, index.layout, pairwise=False
-        )
+        if self.memory_budget is not None:
+            from repro.core.tiled import build_sketch_tiled
+
+            expected = build_sketch_tiled(
+                self.store, index.layout, self.memory_budget, pairwise=False
+            )
+        else:
+            expected = BasicWindowSketch.build(
+                self.matrix.values, index.layout, pairwise=False
+            )
         sketch = index.sketch
         return np.array_equal(
             expected.series_sums, sketch.series_sums
@@ -289,6 +315,11 @@ class CorrelationService:
     engine, engine_options, basic_window_size, workers:
         Defaults applied to every dataset session; a query request may
         override ``workers`` per call (``"workers": N`` in the request body).
+    memory_budget:
+        Bytes a dataset's sketch build may hold resident at once; larger
+        datasets stream through the tiled builder (bit-identical results,
+        invisible to ``repro.result/v1`` clients).  ``None`` keeps every
+        build dense.
     """
 
     def __init__(
@@ -298,12 +329,14 @@ class CorrelationService:
         engine_options: Optional[Dict[str, object]] = None,
         basic_window_size: int = DEFAULT_BASIC_WINDOW_SIZE,
         workers: Optional[int] = None,
+        memory_budget: Optional[int] = None,
     ) -> None:
         self.catalog = catalog if isinstance(catalog, Catalog) else Catalog(catalog)
         self.engine = engine
         self.engine_options = dict(engine_options or {})
         self.basic_window_size = basic_window_size
         self.workers = workers
+        self.memory_budget = memory_budget
         self._runtimes: Dict[str, DatasetRuntime] = {}
         self._runtimes_lock = threading.Lock()
 
@@ -448,6 +481,7 @@ class CorrelationService:
             engine_options=self.engine_options,
             basic_window_size=self.basic_window_size,
             workers=self.workers,
+            memory_budget=self.memory_budget,
         )
         with self._runtimes_lock:
             # Two threads may have built the runtime concurrently; first wins

@@ -16,13 +16,14 @@ from repro.storage.cache import (
     query_fingerprint,
 )
 from repro.storage.catalog import Catalog, DatasetEntry
-from repro.storage.chunk_store import ChunkStore
+from repro.storage.chunk_store import ChunkStore, ChunkStoreReader
 from repro.storage.stats_index import StatsIndex
 
 __all__ = [
     "CacheStats",
     "Catalog",
     "ChunkStore",
+    "ChunkStoreReader",
     "DatasetEntry",
     "QueryCache",
     "SketchCache",

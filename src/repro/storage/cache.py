@@ -33,13 +33,33 @@ from repro.exceptions import StorageError
 from repro.timeseries.matrix import TimeSeriesMatrix
 
 
-def matrix_fingerprint(matrix: TimeSeriesMatrix) -> str:
-    """Stable content hash of a time-series matrix (values, ids, time axis)."""
+#: Column-block width used by :func:`matrix_fingerprint`.  Hashing walks the
+#: canonical column-block stream (``iter_column_blocks``) instead of one
+#: dense ``tobytes()`` so chunk-backed matrices fingerprint without ever
+#: materializing — with the same digest as the dense view, which is what
+#: lets tiled-built sketches share cache keys with dense-built ones.
+FINGERPRINT_BLOCK_COLUMNS = 1024
+
+
+def _fingerprint_header(matrix: TimeSeriesMatrix):
+    """The metadata part of a fingerprint digest (values are streamed after)."""
     digest = hashlib.sha256()
     digest.update(str(matrix.shape).encode())
     digest.update(",".join(matrix.series_ids).encode())
     digest.update(repr((matrix.time_axis.start, matrix.time_axis.resolution)).encode())
-    digest.update(matrix.values.tobytes())
+    return digest
+
+
+def matrix_fingerprint(matrix: TimeSeriesMatrix) -> str:
+    """Stable content hash of a time-series matrix (values, ids, time axis).
+
+    Streams the values in canonical column blocks, so a lazily-backed matrix
+    (:class:`repro.core.tiled.ChunkBackedMatrix`) hashes with bounded memory
+    and produces the exact digest of its dense counterpart.
+    """
+    digest = _fingerprint_header(matrix)
+    for block in matrix.iter_column_blocks(FINGERPRINT_BLOCK_COLUMNS):
+        digest.update(block.tobytes())
     return digest.hexdigest()
 
 
@@ -66,16 +86,70 @@ class _FingerprintMemo:
         self._fingerprints: Dict[int, str] = {}
 
     def __call__(self, matrix: TimeSeriesMatrix) -> str:
-        identity = id(matrix)
-        fingerprint = self._fingerprints.get(identity)
+        fingerprint = self.peek(matrix)
         if fingerprint is None:
             fingerprint = matrix_fingerprint(matrix)
-            self._fingerprints[identity] = fingerprint
-            weakref.finalize(matrix, self._fingerprints.pop, identity, None)
+            self.record(matrix, fingerprint)
         return fingerprint
+
+    def peek(self, matrix: TimeSeriesMatrix) -> Optional[str]:
+        """The memoized fingerprint, or ``None`` if this object was never hashed."""
+        return self._fingerprints.get(id(matrix))
+
+    def record(self, matrix: TimeSeriesMatrix, fingerprint: str) -> None:
+        """Memoize an externally computed fingerprint for this object."""
+        identity = id(matrix)
+        if identity not in self._fingerprints:
+            weakref.finalize(matrix, self._fingerprints.pop, identity, None)
+        self._fingerprints[identity] = fingerprint
 
     def clear(self) -> None:
         self._fingerprints.clear()
+
+
+class _HashingTileSource:
+    """A chunk-source tee: yields the stream unchanged while fingerprinting it.
+
+    Wraps a tile source so one pass through an (possibly on-disk,
+    decompress-on-read) catalog both assembles sketch tiles and computes the
+    canonical content fingerprint — the chunks are re-blocked on the fly to
+    the exact :data:`FINGERPRINT_BLOCK_COLUMNS` boundaries
+    :func:`matrix_fingerprint` hashes, so the digest matches a dense
+    matrix's bit for bit.
+    """
+
+    def __init__(self, source, matrix: TimeSeriesMatrix) -> None:
+        self._source = source
+        self._digest = _fingerprint_header(matrix)
+        self._consumed = False
+
+    @property
+    def num_series(self) -> int:
+        return self._source.num_series
+
+    @property
+    def length(self) -> int:
+        return self._source.length
+
+    def iter_chunks(self):
+        from repro.core.tiled import ColumnReblocker
+
+        reblocker = ColumnReblocker(FINGERPRINT_BLOCK_COLUMNS)
+        for chunk in self._source.iter_chunks():
+            for block in reblocker.feed(chunk):
+                self._digest.update(block.tobytes())
+            yield chunk
+        tail = reblocker.flush()
+        if tail is not None:
+            self._digest.update(tail.tobytes())
+        self._consumed = True
+
+    def hexdigest(self) -> str:
+        if not self._consumed:
+            raise StorageError(
+                "fingerprint requested before the chunk stream was fully consumed"
+            )
+        return self._digest.hexdigest()
 
 
 def _result_bytes(result: CorrelationSeriesResult) -> int:
@@ -274,11 +348,16 @@ class SketchCache:
         """Summed estimated size of all cached sketches."""
         return sum(sketch.memory_bytes() for sketch in self._entries.values())
 
+    @staticmethod
+    def _key_for(
+        fingerprint: str, layout: BasicWindowLayout, pairwise: bool
+    ) -> Tuple[str, int, int, int, bool]:
+        return fingerprint, layout.offset, layout.size, layout.count, pairwise
+
     def _key(
         self, matrix: TimeSeriesMatrix, layout: BasicWindowLayout, pairwise: bool
     ) -> Tuple[str, int, int, int, bool]:
-        fingerprint = self._fingerprint(matrix)
-        return fingerprint, layout.offset, layout.size, layout.count, pairwise
+        return self._key_for(self._fingerprint(matrix), layout, pairwise)
 
     def get_or_build(
         self,
@@ -295,6 +374,74 @@ class SketchCache:
             return sketch
         self.stats.misses += 1
         sketch = BasicWindowSketch.build(matrix.values, layout, pairwise=pairwise)
+        return self._insert_built(key, sketch)
+
+    def get_or_build_tiled(
+        self,
+        matrix: TimeSeriesMatrix,
+        layout: BasicWindowLayout,
+        memory_budget: int,
+        pairwise: bool = True,
+        workers: Optional[int] = None,
+    ) -> BasicWindowSketch:
+        """Like :meth:`get_or_build`, but a miss builds out-of-core.
+
+        The cache key is identical to the dense build's (same content
+        fingerprint, same layout), which is sound because tiled builds are
+        bit-identical to dense ones — so a dense query after a tiled one (or
+        vice versa) hits the same entry.  ``matrix`` may be a lazy
+        :class:`repro.core.tiled.ChunkBackedMatrix`; fingerprinting streams
+        and never materializes it.  For a *cold* source (no memoized
+        fingerprint yet) the content hash is computed **during** the tile
+        pass, so an on-disk catalog is decompressed once, not twice.
+        """
+        from repro.core.tiled import build_sketch_tiled, tile_source_for
+
+        fingerprint = self._fingerprint.peek(matrix)
+        if fingerprint is not None:
+            key = self._key_for(fingerprint, layout, pairwise)
+            sketch = self._entries.get(key)
+            if sketch is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return sketch
+            self.stats.misses += 1
+            sketch = build_sketch_tiled(
+                tile_source_for(matrix),
+                layout,
+                memory_budget=memory_budget,
+                pairwise=pairwise,
+                workers=workers,
+            )
+            return self._insert_built(key, sketch)
+
+        # Cold source: one pass feeds both the tile assembler and the
+        # fingerprint digest (the tee re-blocks the chunk stream to the
+        # canonical fingerprint boundaries as it flows through).
+        source = _HashingTileSource(tile_source_for(matrix), matrix)
+        sketch = build_sketch_tiled(
+            source,
+            layout,
+            memory_budget=memory_budget,
+            pairwise=pairwise,
+            workers=workers,
+        )
+        fingerprint = source.hexdigest()
+        self._fingerprint.record(matrix, fingerprint)
+        key = self._key_for(fingerprint, layout, pairwise)
+        existing = self._entries.get(key)
+        if existing is not None:
+            # The same content was cached through another matrix object; the
+            # duplicate build is discarded (the cached sketch may hold a
+            # warmer scan memo).  Counted as a hit: the caller's answer came
+            # from the shared entry.
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return existing
+        self.stats.misses += 1
+        return self._insert_built(key, sketch)
+
+    def _insert_built(self, key, sketch: BasicWindowSketch) -> BasicWindowSketch:
         self.builds += 1
         if self.scan_memo_entries:
             sketch.enable_scan_memo(self.scan_memo_entries)

@@ -19,13 +19,31 @@ from __future__ import annotations
 
 import zipfile
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.config import FLOAT_DTYPE
 from repro.exceptions import StorageError
 from repro.timeseries.matrix import TimeSeriesMatrix
+
+
+def _require_chunk_dtype(array: np.ndarray, key: str, path: Path) -> np.ndarray:
+    """Reject persisted chunks whose dtype drifted from the store's float64.
+
+    ``np.asarray(..., dtype=FLOAT_DTYPE)`` used to silently upcast whatever a
+    (hand-edited, foreign, or corrupted) archive held — a float32 chunk would
+    load, answer queries, and only disagree with fresh builds in the last
+    bits.  A dtype mismatch now names the chunk and the expectation instead.
+    """
+    expected = np.dtype(FLOAT_DTYPE)
+    if array.dtype != expected:
+        raise StorageError(
+            f"chunk {key!r} in {path} has dtype {array.dtype}, expected "
+            f"{expected} (the chunk-store format stores all values as "
+            f"{expected})"
+        )
+    return array
 
 
 class ChunkStore:
@@ -127,6 +145,22 @@ class ChunkStore:
                 break
         return np.concatenate(pieces, axis=1)
 
+    def iter_chunks(self) -> Iterator[np.ndarray]:
+        """Yield the stored chunks in column order as canonical-layout blocks.
+
+        Every block is the C-contiguous float64 ``(N, k)`` array of one chunk
+        (treat it as read-only).  This is the streaming protocol the tiled
+        out-of-core sketch builder (:mod:`repro.core.tiled`) consumes; the
+        lazy :class:`ChunkStoreReader` yields the same stream straight from
+        disk without holding more than one chunk resident.
+        """
+        for chunk in self._chunks:
+            yield np.ascontiguousarray(chunk, dtype=FLOAT_DTYPE)
+
+    def chunk_byte_sizes(self) -> List[int]:
+        """Bytes of raw data in each chunk, in column order."""
+        return [int(chunk.nbytes) for chunk in self._chunks]
+
     def read_all(self) -> np.ndarray:
         """The full stored matrix."""
         if self._length == 0:
@@ -181,11 +215,156 @@ class ChunkStore:
             store = cls(num_series, chunk_columns, series_ids)
             chunk_keys = sorted(k for k in archive.files if k.startswith("chunk_"))
             for key in chunk_keys:
-                store.append(archive[key])
+                store.append(_require_chunk_dtype(archive[key], key, path))
         return store
 
     def __repr__(self) -> str:
         return (
             f"ChunkStore(num_series={self.num_series}, length={self._length}, "
+            f"chunks={self.num_chunks})"
+        )
+
+
+class ChunkStoreReader:
+    """Lazy, read-only view of a chunk store persisted by :meth:`ChunkStore.save`.
+
+    :meth:`ChunkStore.load` materializes every chunk — correct for small
+    stores, fatal for catalogs bigger than RAM.  The reader keeps the ``.npz``
+    archive open and decompresses **one chunk at a time** on demand, exposing
+    the same metadata surface (``num_series``/``length``/``series_ids``/
+    ``chunk_columns``) and the same streaming protocol (``iter_chunks``/
+    ``chunk_byte_sizes``) as the in-memory store.  It is the source the tiled
+    sketch builder and :class:`~repro.core.tiled.ChunkBackedMatrix` run on.
+
+    The save format guarantees every chunk except the last is exactly
+    ``chunk_columns`` wide (appends fill the open chunk before starting a new
+    one), so the total length is known after reading only the final chunk.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        if not path.exists():
+            raise StorageError(f"chunk store file not found: {path}")
+        self.path = path
+        try:
+            self._archive = np.load(path, allow_pickle=False)
+        except (OSError, ValueError, zipfile.BadZipFile) as error:
+            raise StorageError(f"{path} is not a readable .npz archive") from error
+        try:
+            self.num_series = int(self._archive["__meta_num_series"][0])
+            self.chunk_columns = int(self._archive["__meta_chunk_columns"][0])
+            self.series_ids = [str(s) for s in self._archive["__meta_series_ids"]]
+        except KeyError as error:
+            self._archive.close()
+            raise StorageError(f"{path} is not a chunk-store archive") from error
+        self._chunk_keys = sorted(
+            k for k in self._archive.files if k.startswith("chunk_")
+        )
+        if self._chunk_keys:
+            last_width = self._chunk_width(self._chunk_keys[-1])
+            self._length = (
+                self.chunk_columns * (len(self._chunk_keys) - 1) + last_width
+            )
+        else:
+            self._length = 0
+
+    def _chunk_width(self, key: str) -> int:
+        """Column count of one chunk, from its ``.npy`` header when possible.
+
+        Reading the header costs a few bytes of decompression; the fallback
+        (decompressing the whole chunk just to look at ``shape``) is kept
+        for archives whose format version this numpy does not expose.
+        """
+        try:
+            with self._archive.zip.open(key + ".npy") as stream:
+                version = np.lib.format.read_magic(stream)
+                if version == (1, 0):
+                    shape, _, _ = np.lib.format.read_array_header_1_0(stream)
+                elif version == (2, 0):
+                    shape, _, _ = np.lib.format.read_array_header_2_0(stream)
+                else:
+                    raise ValueError(f"unsupported .npy format version {version}")
+            if len(shape) != 2:
+                raise StorageError(
+                    f"chunk {key!r} in {self.path} has shape {shape}, "
+                    f"expected ({self.num_series}, k)"
+                )
+            return int(shape[1])
+        except StorageError:
+            raise
+        except (AttributeError, KeyError, OSError, ValueError):
+            return int(self._load_chunk(key).shape[1])
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def length(self) -> int:
+        """Total number of stored time steps."""
+        return self._length
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self._chunk_keys)
+
+    # ------------------------------------------------------------------ stream
+    def _load_chunk(self, key: str) -> np.ndarray:
+        array = _require_chunk_dtype(self._archive[key], key, self.path)
+        if array.ndim != 2 or array.shape[0] != self.num_series:
+            raise StorageError(
+                f"chunk {key!r} in {self.path} has shape {array.shape}, "
+                f"expected ({self.num_series}, k)"
+            )
+        return np.ascontiguousarray(array, dtype=FLOAT_DTYPE)
+
+    def iter_chunks(self) -> Iterator[np.ndarray]:
+        """Yield each chunk in column order, decompressed on demand."""
+        for index, key in enumerate(self._chunk_keys):
+            chunk = self._load_chunk(key)
+            if index < len(self._chunk_keys) - 1 and chunk.shape[1] != self.chunk_columns:
+                raise StorageError(
+                    f"chunk {key!r} in {self.path} is {chunk.shape[1]} columns "
+                    f"wide but only the final chunk may be partial "
+                    f"(chunk_columns={self.chunk_columns})"
+                )
+            yield chunk
+
+    def chunk_byte_sizes(self) -> List[int]:
+        """Bytes of raw data in each chunk (from the format invariant)."""
+        sizes = []
+        for index in range(len(self._chunk_keys)):
+            if index < len(self._chunk_keys) - 1:
+                width = self.chunk_columns
+            else:
+                width = self._length - self.chunk_columns * index
+            sizes.append(self.num_series * width * np.dtype(FLOAT_DTYPE).itemsize)
+        return sizes
+
+    # ----------------------------------------------------------- materialize
+    def read_all(self) -> np.ndarray:
+        """Materialize the full matrix (escape hatch; defeats laziness)."""
+        if self._length == 0:
+            return np.empty((self.num_series, 0), dtype=FLOAT_DTYPE)
+        return np.concatenate(list(self.iter_chunks()), axis=1)
+
+    def to_matrix(self) -> "TimeSeriesMatrix":
+        """Materialize the stored columns as a :class:`TimeSeriesMatrix`."""
+        if self._length == 0:
+            raise StorageError("chunk store contains no columns")
+        return TimeSeriesMatrix(self.read_all(), series_ids=self.series_ids)
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Close the underlying archive (iteration afterwards fails)."""
+        self._archive.close()
+
+    def __enter__(self) -> "ChunkStoreReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ChunkStoreReader(path={str(self.path)!r}, "
+            f"num_series={self.num_series}, length={self._length}, "
             f"chunks={self.num_chunks})"
         )

@@ -10,7 +10,7 @@ the sliding-query engines rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -169,6 +169,23 @@ class TimeSeriesMatrix:
                 f"invalid window [{start}, {end}) for series of length {self.length}"
             )
         return self._values[:, start:end]
+
+    def iter_column_blocks(self, block_columns: int = 1024) -> Iterator[np.ndarray]:
+        """Yield the columns as C-contiguous ``(N, <= block_columns)`` blocks.
+
+        The canonical column-block stream of the data: fixed boundaries at
+        multiples of ``block_columns`` and C-contiguous float64 bytes.  Chunk
+        sources (:mod:`repro.core.tiled`) produce byte-identical streams for
+        equal content, which is what lets content fingerprints — and
+        therefore sketch-cache keys — agree between in-RAM matrices and
+        out-of-core readers without materializing the latter.
+        """
+        if block_columns < 1:
+            raise DataValidationError(
+                f"block_columns must be positive, got {block_columns}"
+            )
+        for start in range(0, self.length, block_columns):
+            yield np.ascontiguousarray(self._values[:, start : start + block_columns])
 
     def select(self, keys: Iterable[Union[int, str]]) -> "TimeSeriesMatrix":
         """Return a new matrix containing only the requested series."""

@@ -1,0 +1,173 @@
+"""Planner/session behaviour of the ``memory_budget`` knob."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CorrelationSession,
+    LaggedQuery,
+    QueryPlanner,
+    ThresholdQuery,
+    TopKQuery,
+)
+from repro.api.planner import SKETCH_BUILD_DENSE, SKETCH_BUILD_TILED
+from repro.exceptions import ExperimentError
+from repro.storage.cache import SketchCache
+from repro.storage.chunk_store import ChunkStore
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+N, L, BASIC = 6, 512, 16
+DENSE_BYTES = N * L * 8
+
+
+@pytest.fixture
+def values():
+    rng = np.random.default_rng(23)
+    base = rng.standard_normal(L)
+    return np.stack([base + 0.4 * rng.standard_normal(L) for _ in range(N)])
+
+
+@pytest.fixture
+def matrix(values):
+    return TimeSeriesMatrix(values)
+
+
+@pytest.fixture
+def store(values):
+    store = ChunkStore(num_series=N, chunk_columns=90)
+    store.append(values)
+    return store
+
+
+@pytest.fixture
+def threshold_query():
+    return ThresholdQuery(start=0, end=L, window=128, step=64, threshold=0.5)
+
+
+class TestPlanDecision:
+    def test_no_budget_stays_dense(self, matrix, threshold_query):
+        plan = QueryPlanner(basic_window_size=BASIC).plan(matrix, threshold_query)
+        assert plan.sketch_build == SKETCH_BUILD_DENSE
+        assert "build=tiled" not in plan.describe()
+
+    def test_budget_smaller_than_data_goes_tiled(self, matrix, threshold_query):
+        planner = QueryPlanner(basic_window_size=BASIC, memory_budget=DENSE_BYTES // 4)
+        plan = planner.plan(matrix, threshold_query)
+        assert plan.sketch_build == SKETCH_BUILD_TILED
+        assert plan.memory_budget == DENSE_BYTES // 4
+        assert f"build=tiled(budget={DENSE_BYTES // 4}B)" in plan.describe()
+
+    def test_budget_covering_data_stays_dense(self, matrix, threshold_query):
+        planner = QueryPlanner(basic_window_size=BASIC, memory_budget=DENSE_BYTES * 2)
+        plan = planner.plan(matrix, threshold_query)
+        assert plan.sketch_build == SKETCH_BUILD_DENSE
+
+    def test_topk_goes_tiled_too(self, matrix):
+        planner = QueryPlanner(basic_window_size=BASIC, memory_budget=DENSE_BYTES // 4)
+        plan = planner.plan(matrix, TopKQuery(start=0, end=L, window=128, step=64, k=3))
+        assert plan.sketch_build == SKETCH_BUILD_TILED
+
+    def test_lagged_stays_raw(self, matrix):
+        planner = QueryPlanner(basic_window_size=BASIC, memory_budget=DENSE_BYTES // 4)
+        plan = planner.plan(
+            matrix,
+            LaggedQuery(start=0, end=L, window=128, step=64, threshold=0.5, max_lag=2),
+        )
+        assert plan.layout is None
+        assert plan.sketch_build == SKETCH_BUILD_DENSE
+
+    def test_unaligned_windows_stay_dense(self, matrix):
+        # tsubasa plans a for_range layout; a step that is not a multiple of
+        # the basic window size leaves windows unaligned, which needs the raw
+        # matrix for edge correction — tiling would not bound memory.
+        planner = QueryPlanner(
+            engine="tsubasa", basic_window_size=BASIC, memory_budget=DENSE_BYTES // 4
+        )
+        query = ThresholdQuery(start=0, end=L, window=100, step=50, threshold=0.5)
+        plan = planner.plan(matrix, query)
+        assert plan.sketch_build == SKETCH_BUILD_DENSE
+
+    def test_raw_reading_engine_configuration_stays_dense(self, matrix, threshold_query):
+        # Dangoron's pivot selection (horizontal pruning) reads matrix.values
+        # even with a prebuilt sketch; claiming build=tiled there would
+        # materialize a lazy matrix and blow the budget anyway.
+        planner = QueryPlanner(
+            basic_window_size=BASIC,
+            engine_options={"use_horizontal_pruning": True},
+            memory_budget=DENSE_BYTES // 4,
+        )
+        plan = planner.plan(matrix, threshold_query)
+        assert plan.sketch_build == SKETCH_BUILD_DENSE
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ExperimentError, match="memory_budget"):
+            QueryPlanner(memory_budget=0)
+
+
+class TestExecution:
+    def test_tiled_execution_bit_identical(self, matrix, store, threshold_query):
+        dense = CorrelationSession(matrix, basic_window_size=BASIC).run(threshold_query)
+        session = CorrelationSession.from_chunk_store(
+            store, basic_window_size=BASIC, memory_budget=DENSE_BYTES // 4
+        )
+        tiled = session.run(threshold_query)
+        for a, b in zip(dense.matrices, tiled.matrices):
+            assert np.array_equal(a.rows, b.rows)
+            assert np.array_equal(a.cols, b.cols)
+            assert np.array_equal(a.values, b.values)
+        assert not session.matrix.materialized
+
+    def test_tiled_and_dense_share_cache_entry(self, matrix, store, threshold_query):
+        from repro.core.tiled import ChunkBackedMatrix
+
+        cache = SketchCache()
+        tiled_planner = QueryPlanner(
+            basic_window_size=BASIC,
+            sketch_cache=cache,
+            memory_budget=DENSE_BYTES // 4,
+        )
+        dense_planner = QueryPlanner(basic_window_size=BASIC, sketch_cache=cache)
+        tiled_planner.run(ChunkBackedMatrix(store), threshold_query)
+        assert cache.builds == 1
+        dense_planner.run(matrix, threshold_query)
+        assert cache.builds == 1  # dense run hit the tiled-built sketch
+        assert cache.stats.hits >= 1
+
+    def test_composes_with_sharded_execution(self, matrix, store, threshold_query):
+        session = CorrelationSession.from_chunk_store(
+            store,
+            basic_window_size=BASIC,
+            workers=2,
+            memory_budget=DENSE_BYTES // 4,
+        )
+        # Force sharding despite the tiny pair space so both decisions apply.
+        session.planner.parallel_min_pairs = 1
+        plan = session.plan(threshold_query)
+        assert plan.execution == "sharded"
+        assert plan.sketch_build == SKETCH_BUILD_TILED
+        sharded = session.run(threshold_query)
+        serial = CorrelationSession(matrix, basic_window_size=BASIC).run(threshold_query)
+        for a, b in zip(serial.matrices, sharded.matrices):
+            assert np.array_equal(a.rows, b.rows)
+            assert np.array_equal(a.values, b.values)
+
+    def test_single_pair_catalog_through_tiled_path(self):
+        """A two-series (one-pair) store runs the whole tiled path."""
+        rng = np.random.default_rng(11)
+        base = rng.standard_normal(L)
+        values = np.stack([base, base + 0.3 * rng.standard_normal(L)])
+        store = ChunkStore(num_series=2, chunk_columns=33)
+        store.append(values)
+        query = ThresholdQuery(start=0, end=L, window=128, step=64, threshold=0.3)
+        session = CorrelationSession.from_chunk_store(
+            store, basic_window_size=BASIC, memory_budget=2 * BASIC * 8
+        )
+        assert session.plan(query).sketch_build == SKETCH_BUILD_TILED
+        tiled = session.run(query)
+        dense = CorrelationSession(
+            TimeSeriesMatrix(values), basic_window_size=BASIC
+        ).run(query)
+        for a, b in zip(dense.matrices, tiled.matrices):
+            assert np.array_equal(a.rows, b.rows)
+            assert np.array_equal(a.values, b.values)
+        assert not session.matrix.materialized

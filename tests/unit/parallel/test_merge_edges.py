@@ -1,0 +1,88 @@
+"""Merge edge cases: empty shards and degenerate (single-pair) pair spaces."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tsubasa import TsubasaEngine
+from repro.core.dangoron import DangoronEngine
+from repro.core.query import SlidingQuery
+from repro.exceptions import ParallelError
+from repro.parallel.merge import merge_shard_results
+from repro.parallel.partition import partition_pairs
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+
+@pytest.fixture
+def matrix():
+    rng = np.random.default_rng(17)
+    base = rng.standard_normal(256)
+    values = np.stack([base + 0.3 * rng.standard_normal(256) for _ in range(6)])
+    return TimeSeriesMatrix(values)
+
+
+@pytest.fixture
+def query():
+    return SlidingQuery(start=0, end=256, window=64, step=32, threshold=0.5)
+
+
+def _assert_identical(serial, merged):
+    assert serial.num_windows == merged.num_windows
+    for a, b in zip(serial.matrices, merged.matrices):
+        assert np.array_equal(a.rows, b.rows)
+        assert np.array_equal(a.cols, b.cols)
+        assert np.array_equal(a.values, b.values)
+
+
+@pytest.mark.parametrize("engine_cls", [DangoronEngine, TsubasaEngine])
+def test_merge_with_empty_shard_reproduces_serial(matrix, query, engine_cls):
+    """A shard holding zero pairs contributes nothing and breaks nothing.
+
+    ``partition_pairs`` never produces empty blocks, but a custom partition
+    (or a pair space smaller than the shard count upstream) legitimately
+    can; the merge must treat an all-windows-empty shard as a no-op.
+    """
+    engine = engine_cls(basic_window_size=16)
+    serial = engine.run(matrix, query)
+    rows, cols = np.triu_indices(matrix.num_series, k=1)
+    empty = np.empty(0, dtype=np.int64)
+    shards = [
+        engine.run(matrix, query, pairs=(rows, cols)),
+        engine.run(matrix, query, pairs=(empty, empty)),
+    ]
+    merged = merge_shard_results(query, shards, series_ids=matrix.series_ids)
+    _assert_identical(serial, merged)
+    # The empty shard still answered the query's windows, just with no pairs.
+    assert all(m.num_edges == 0 for m in shards[1].matrices)
+
+
+def test_merge_only_empty_shards_yields_empty_windows(matrix, query):
+    engine = TsubasaEngine(basic_window_size=16)
+    empty = np.empty(0, dtype=np.int64)
+    shard = engine.run(matrix, query, pairs=(empty, empty))
+    merged = merge_shard_results(query, [shard, shard])
+    assert merged.num_windows == query.num_windows
+    assert all(m.num_edges == 0 for m in merged.matrices)
+
+
+def test_single_pair_space_partitions_and_merges(query):
+    """Two series (one pair): partitioning clamps and the merge stays exact."""
+    rng = np.random.default_rng(3)
+    base = rng.standard_normal(256)
+    matrix = TimeSeriesMatrix(
+        np.stack([base, base + 0.2 * rng.standard_normal(256)])
+    )
+    blocks = partition_pairs(2, 4)
+    assert len(blocks) == 1  # clamped to the single pair
+    engine = DangoronEngine(basic_window_size=16)
+    serial = engine.run(matrix, query)
+    shards = [
+        engine.run(matrix, query, pairs=(block.rows, block.cols))
+        for block in blocks
+    ]
+    merged = merge_shard_results(query, shards, series_ids=matrix.series_ids)
+    _assert_identical(serial, merged)
+
+
+def test_merge_rejects_empty_shard_list(query):
+    with pytest.raises(ParallelError, match="empty list"):
+        merge_shard_results(query, [])

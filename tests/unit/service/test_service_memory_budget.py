@@ -1,0 +1,53 @@
+"""Service-level tests: memory-budgeted execution is invisible on the wire."""
+
+import numpy as np
+import pytest
+
+from repro.service.service import CorrelationService
+from repro.storage.catalog import Catalog
+from repro.storage.chunk_store import ChunkStore
+
+N, L = 6, 512
+
+
+@pytest.fixture
+def catalog(tmp_path):
+    rng = np.random.default_rng(77)
+    base = rng.standard_normal(L)
+    values = np.stack([base + 0.4 * rng.standard_normal(L) for _ in range(N)])
+    store = ChunkStore(num_series=N, chunk_columns=128)
+    store.append(values)
+    catalog = Catalog(tmp_path / "catalog")
+    catalog.add_dataset("demo", store)
+    return catalog
+
+
+REQUEST = {
+    "mode": "threshold",
+    "start": 0,
+    "end": L,
+    "window": 128,
+    "step": 64,
+    "threshold": 0.5,
+}
+
+
+def test_budgeted_service_answers_identically(catalog):
+    dense = CorrelationService(catalog, basic_window_size=16)
+    budgeted = CorrelationService(
+        catalog, basic_window_size=16, memory_budget=N * L * 8 // 4
+    )
+    dense_doc = dense.query("demo", dict(REQUEST))
+    tiled_doc = budgeted.query("demo", dict(REQUEST))
+    assert "build=tiled" in tiled_doc["plan"]
+    assert "build=tiled" not in dense_doc["plan"]
+    # Identical wire payload apart from the plan line: tiled execution is
+    # invisible to repro.result/v1 clients.
+    assert tiled_doc["windows"] == dense_doc["windows"]
+    assert tiled_doc["num_windows"] == dense_doc["num_windows"]
+
+
+def test_budget_covering_dataset_stays_dense(catalog):
+    service = CorrelationService(catalog, basic_window_size=16, memory_budget=10**9)
+    document = service.query("demo", dict(REQUEST))
+    assert "build=tiled" not in document["plan"]
