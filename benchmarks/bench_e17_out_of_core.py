@@ -40,6 +40,7 @@ import numpy as np
 import pytest
 
 from repro.api import CorrelationSession, ThresholdQuery
+from repro.exceptions import ExperimentError
 from repro.storage.chunk_store import ChunkStore, ChunkStoreReader
 
 from _bench_common import BENCH_SCALE, BENCH_THRESHOLD, print_experiment_table
@@ -142,7 +143,7 @@ def _run_forked(target, *args) -> dict:
     finally:
         process.join()
     if process.exitcode != 0:
-        raise RuntimeError(f"phase process exited with {process.exitcode}")
+        raise ExperimentError(f"phase process exited with {process.exitcode}")
     return payload
 
 

@@ -39,6 +39,7 @@ REQUIRED_PAGES = (
     "docs/api.md",
     "docs/architecture.md",
     "docs/benchmarks.md",
+    "docs/invariants.md",
     "docs/scaling.md",
     "docs/service.md",
 )

@@ -240,7 +240,9 @@ class CorrelationSession:
             raise QueryValidationError(
                 f"chunk_columns must be positive, got {chunk}"
             )
-        values = self.matrix.values[:, query.start : query.end]
+        values = self.matrix.values[  # repro-lint: disable=RPR002 -- streaming replays raw blocks by design; callers opt in explicitly
+            :, query.start : query.end
+        ]
         for start in range(0, values.shape[1], chunk):
             block = np.ascontiguousarray(values[:, start : start + chunk])
             for emitted in monitor.append(block):

@@ -279,10 +279,12 @@ class CorrelationSeriesResult:
     def to_edges(self) -> List[Edge]:
         """Flatten the result to the protocol's uniform edge list (lag 0)."""
         edges: List[Edge] = []
-        for k, matrix in enumerate(self.matrices):
+        for k, window_edges in enumerate(self.matrices):
             edges.extend(
                 Edge(k, int(i), int(j), float(v))
-                for i, j, v in zip(matrix.rows, matrix.cols, matrix.values)
+                for i, j, v in zip(
+                    window_edges.rows, window_edges.cols, window_edges.values
+                )
             )
         return edges
 

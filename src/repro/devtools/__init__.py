@@ -1,0 +1,49 @@
+"""repro.devtools — the ``repro-lint`` static invariant checker.
+
+A stdlib-:mod:`ast` analysis framework with five codebase-specific rules:
+
+========  ==================================================================
+RPR001    exception discipline — no bare builtin raises in library code
+RPR002    lazy-materialization guard — ``.values`` only on raw-path modules
+RPR003    canonical-accumulation guard — stat reductions only in blessed
+          helpers (bit-identity)
+RPR004    engine-protocol conformance — ``pairs=`` support, signature shapes
+RPR005    service lock discipline — ``# guarded-by:`` attributes mutate only
+          under their lock
+========  ==================================================================
+
+Run it with ``python -m repro.devtools`` or ``python scripts/lint.py``;
+the rule catalogue with rationale lives in ``docs/invariants.md``.
+"""
+
+from __future__ import annotations
+
+from repro.devtools import rules as _rules  # registers RPR001-RPR005
+from repro.devtools.config import DEFAULT_CONFIG, LintConfig
+from repro.devtools.linter import (
+    Baseline,
+    BaselineDiff,
+    Finding,
+    LintRule,
+    ModuleContext,
+    available_rules,
+    lint_paths,
+    lint_source,
+    module_path_for,
+    register_rule,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineDiff",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "LintRule",
+    "ModuleContext",
+    "available_rules",
+    "lint_paths",
+    "lint_source",
+    "module_path_for",
+    "register_rule",
+]

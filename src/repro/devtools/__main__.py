@@ -1,0 +1,9 @@
+"""``python -m repro.devtools`` — run the repro-lint CLI."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.devtools.cli import main
+
+sys.exit(main())

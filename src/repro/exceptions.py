@@ -83,3 +83,12 @@ class ParallelError(ReproError):
     pair subsets, an invalid worker count or execution mode, or a pair
     partition that does not cover the pair space exactly once.
     """
+
+
+class LintError(ReproError):
+    """Raised by the ``repro.devtools`` static-analysis framework.
+
+    Examples: a lint path that does not exist, a baseline file that cannot
+    be parsed, an unknown rule code passed to ``--rules``, or a source file
+    with a syntax error (the linter cannot vouch for code it cannot parse).
+    """

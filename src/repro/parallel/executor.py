@@ -217,7 +217,10 @@ class ShardedExecutor:
             layout = engine.plan_layout(query)
             if layout is not None:
                 # One shared build instead of one per shard.
-                sketch = BasicWindowSketch.build(matrix.values, layout)
+                sketch = BasicWindowSketch.build(
+                    matrix.values,  # repro-lint: disable=RPR002 -- shared dense build is the explicit non-tiled fallback; tiled callers pass a prebuilt sketch
+                    layout,
+                )
 
         if mode == MODE_SERIAL:
             if sketch is not None:

@@ -83,13 +83,14 @@ class _StandingQuery:
     def feed(self, columns: np.ndarray) -> List[Dict[str, object]]:
         emitted = []
         for result in self.monitor.append(columns):
+            window_edges = result.matrix
             document = {
                 "index": result.window_index,
                 "start": result.start,
                 "end": result.end,
-                "rows": result.matrix.rows.tolist(),
-                "cols": result.matrix.cols.tolist(),
-                "values": result.matrix.values.tolist(),
+                "rows": window_edges.rows.tolist(),
+                "cols": window_edges.cols.tolist(),
+                "values": window_edges.values.tolist(),
             }
             self.windows.append(document)
             self.emitted_windows += 1
@@ -135,25 +136,29 @@ class DatasetRuntime:
         if self.store.length == 0:
             raise StorageError(f"dataset {name!r} contains no columns")
         self.lock = threading.RLock()
-        self.flights: Dict[str, _Flight] = {}
-        self.watches: Dict[str, _StandingQuery] = {}
+        # The coalescing map has its own short-hold lock so arriving
+        # duplicates can join a flight without contending on ``lock``,
+        # which the leader holds for the whole execution.
+        self.flights_lock = threading.Lock()
+        self.flights: Dict[str, _Flight] = {}  # guarded-by: flights_lock
+        self.watches: Dict[str, _StandingQuery] = {}  # guarded-by: lock
         self.counters: Dict[str, int] = {
             "queries": 0,
             "coalesced": 0,
             "appended_columns": 0,
             "indexes_seeded": 0,
-        }
-        self._watch_counter = 0
-        self._matrix: Optional[TimeSeriesMatrix] = None
-        self._sessions: Dict[Optional[int], CorrelationSession] = {}
+        }  # guarded-by: lock
+        self._watch_counter = 0  # guarded-by: lock
+        self._matrix: Optional[TimeSeriesMatrix] = None  # guarded-by: lock
+        self._sessions: Dict[Optional[int], CorrelationSession] = {}  # guarded-by: lock
         # One cache for the dataset's whole lifetime: every session (whatever
         # its worker count) and every seeded on-disk index shares it.
         self.sketch_cache = SketchCache()
-        self._seed_labels_tried: set = set()
+        self._seed_labels_tried: set = set()  # guarded-by: lock
 
     # ------------------------------------------------------------------ state
     @property
-    def matrix(self) -> TimeSeriesMatrix:
+    def matrix(self) -> TimeSeriesMatrix:  # requires-lock: lock
         """The matrix view of the stored columns (rebuilt after appends).
 
         With a ``memory_budget`` configured this is a lazy
@@ -173,7 +178,7 @@ class DatasetRuntime:
                 self._matrix = self.store.to_matrix()
         return self._matrix
 
-    def session_for(self, workers: Optional[int]) -> CorrelationSession:
+    def session_for(self, workers: Optional[int]) -> CorrelationSession:  # requires-lock: lock
         """The warm session answering queries at this worker count."""
         workers = workers if workers is not None else self.default_workers
         session = self._sessions.get(workers)
@@ -192,7 +197,7 @@ class DatasetRuntime:
             self._sessions[workers] = session
         return session
 
-    def seed_sketch_for(self, plan) -> bool:
+    def seed_sketch_for(self, plan) -> bool:  # requires-lock: lock
         """Materialize a persisted stats index matching a plan's layout.
 
         Checks the plan's basic-window layout against the dataset's on-disk
@@ -244,7 +249,9 @@ class DatasetRuntime:
             )
         else:
             expected = BasicWindowSketch.build(
-                self.matrix.values, index.layout, pairwise=False
+                self.matrix.values,  # repro-lint: disable=RPR002 -- no-budget runtimes are dense by construction; the tiled branch above handles budgeted ones
+                index.layout,
+                pairwise=False,
             )
         sketch = index.sketch
         return np.array_equal(
@@ -252,7 +259,7 @@ class DatasetRuntime:
         ) and np.array_equal(expected.series_sumsqs, sketch.series_sumsqs)
 
     # ----------------------------------------------------------------- writes
-    def append_columns(self, columns: np.ndarray) -> Dict[str, object]:
+    def append_columns(self, columns: np.ndarray) -> Dict[str, object]:  # requires-lock: lock
         """Append new time steps and feed every standing query's monitor."""
         self.store.append(columns)
         self.counters["appended_columns"] += columns.shape[1]
@@ -273,7 +280,7 @@ class DatasetRuntime:
             "watches": watches,
         }
 
-    def register_watch(self, query: ThresholdQuery) -> _StandingQuery:
+    def register_watch(self, query: ThresholdQuery) -> _StandingQuery:  # requires-lock: lock
         """Register a standing threshold query, caught up on stored history."""
         monitor = OnlineCorrelationMonitor.for_query(
             query,
@@ -337,7 +344,7 @@ class CorrelationService:
         self.basic_window_size = basic_window_size
         self.workers = workers
         self.memory_budget = memory_budget
-        self._runtimes: Dict[str, DatasetRuntime] = {}
+        self._runtimes: Dict[str, DatasetRuntime] = {}  # guarded-by: _runtimes_lock
         self._runtimes_lock = threading.Lock()
 
     # ------------------------------------------------------------- operations
@@ -397,15 +404,21 @@ class CorrelationService:
             raise ServiceError(f"request body must be a JSON object, got {type(request).__name__}")
         runtime = self._runtime(name)
         key = json.dumps(request, sort_keys=True, separators=(",", ":"))
-        with self._runtimes_lock:
+        # Join or create the flight under the dataset's own coalescing lock:
+        # requests for *other* datasets never touch it, and the service-wide
+        # ``_runtimes_lock`` stays reserved for the runtimes map itself.
+        with runtime.flights_lock:
             flight = runtime.flights.get(key)
             leader = flight is None
             if leader:
                 flight = _Flight()
                 runtime.flights[key] = flight
-            else:
-                runtime.counters["coalesced"] += 1
         if not leader:
+            # Count the join under ``runtime.lock`` like every other counter
+            # mutation (previously this increment raced the leader's
+            # ``counters["queries"]`` update, which runs under that lock).
+            with runtime.lock:
+                runtime.counters["coalesced"] += 1
             flight.event.wait()
             if flight.error is not None:
                 raise flight.error
@@ -417,7 +430,7 @@ class CorrelationService:
             flight.error = error
             raise
         finally:
-            with self._runtimes_lock:
+            with runtime.flights_lock:
                 runtime.flights.pop(key, None)
             flight.event.set()
 

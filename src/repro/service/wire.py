@@ -204,11 +204,11 @@ def result_to_wire(result: AnyResult, include_edges: bool = False) -> Dict[str, 
         windows = [
             {
                 "index": k,
-                "rows": matrix.rows.tolist(),
-                "cols": matrix.cols.tolist(),
-                "values": matrix.values.tolist(),
+                "rows": edges.rows.tolist(),
+                "cols": edges.cols.tolist(),
+                "values": edges.values.tolist(),
             }
-            for k, matrix in result.iter_windows()
+            for k, edges in result.iter_windows()
         ]
         extras: Dict[str, object] = {
             "num_series": result.num_series,

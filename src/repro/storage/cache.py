@@ -19,6 +19,7 @@ the E4 experiment — builds the γ·N² statistics once.  This is the cache the
 from __future__ import annotations
 
 import hashlib
+import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -155,8 +156,8 @@ class _HashingTileSource:
 def _result_bytes(result: CorrelationSeriesResult) -> int:
     """Rough memory estimate of a cached result (edge arrays only)."""
     total = 0
-    for matrix in result.matrices:
-        total += matrix.rows.nbytes + matrix.cols.nbytes + matrix.values.nbytes
+    for edges in result.matrices:
+        total += edges.rows.nbytes + edges.cols.nbytes + edges.values.nbytes
     return total
 
 
@@ -206,21 +207,24 @@ class QueryCache:
             raise StorageError(f"max_bytes must be positive, got {max_bytes}")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
-        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self.stats = CacheStats()  # guarded-by: _lock
         self._entries: "OrderedDict[Tuple[str, str, str], CorrelationSeriesResult]" = (
             OrderedDict()
-        )
-        self._sizes: Dict[Tuple[str, str, str], int] = {}
-        self._fingerprint = _FingerprintMemo()
+        )  # guarded-by: _lock
+        self._sizes: Dict[Tuple[str, str, str], int] = {}  # guarded-by: _lock
+        self._fingerprint = _FingerprintMemo()  # guarded-by: _lock
 
     # ------------------------------------------------------------------ sizing
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def current_bytes(self) -> int:
         """Summed estimated size of all cached results."""
-        return sum(self._sizes.values())
+        with self._lock:
+            return sum(self._sizes.values())
 
     # ------------------------------------------------------------------ lookup
     def _key(
@@ -234,14 +238,15 @@ class QueryCache:
         self, matrix: TimeSeriesMatrix, query: SlidingQuery, engine_label: str
     ) -> Optional[CorrelationSeriesResult]:
         """Return the cached result for this (data, query, engine), or ``None``."""
-        key = self._key(matrix, query, engine_label)
-        result = self._entries.get(key)
-        if result is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return result
+        with self._lock:
+            key = self._key(matrix, query, engine_label)
+            result = self._entries.get(key)
+            if result is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return result
 
     def put(
         self,
@@ -251,12 +256,13 @@ class QueryCache:
         result: CorrelationSeriesResult,
     ) -> None:
         """Insert a result, evicting least recently used entries as needed."""
-        key = self._key(matrix, query, engine_label)
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = result
-        self._sizes[key] = _result_bytes(result)
-        self._evict()
+        with self._lock:
+            key = self._key(matrix, query, engine_label)
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = result
+            self._sizes[key] = _result_bytes(result)
+            self._evict()
 
     def get_or_compute(
         self,
@@ -275,19 +281,20 @@ class QueryCache:
 
     def clear(self) -> None:
         """Drop every cached entry (statistics are preserved)."""
-        self._entries.clear()
-        self._sizes.clear()
-        self._fingerprint.clear()
+        with self._lock:
+            self._entries.clear()
+            self._sizes.clear()
+            self._fingerprint.clear()
 
     # ---------------------------------------------------------------- internal
-    def _evict(self) -> None:
+    def _evict(self) -> None:  # requires-lock: _lock
         while len(self._entries) > self.max_entries:
             self._pop_oldest()
         if self.max_bytes is not None:
             while len(self._entries) > 1 and self.current_bytes > self.max_bytes:
                 self._pop_oldest()
 
-    def _pop_oldest(self) -> None:
+    def _pop_oldest(self) -> None:  # requires-lock: _lock
         key, _ = self._entries.popitem(last=False)
         self._sizes.pop(key, None)
         self.stats.evictions += 1
@@ -332,21 +339,24 @@ class SketchCache:
             )
         self.max_entries = max_entries
         self.scan_memo_entries = scan_memo_entries
-        self.stats = CacheStats()
-        self.builds = 0
-        self.seeds = 0
+        self._lock = threading.RLock()
+        self.stats = CacheStats()  # guarded-by: _lock
+        self.builds = 0  # guarded-by: _lock
+        self.seeds = 0  # guarded-by: _lock
         self._entries: "OrderedDict[Tuple[str, int, int, int, bool], BasicWindowSketch]" = (
             OrderedDict()
-        )
-        self._fingerprint = _FingerprintMemo()
+        )  # guarded-by: _lock
+        self._fingerprint = _FingerprintMemo()  # guarded-by: _lock
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def memory_bytes(self) -> int:
         """Summed estimated size of all cached sketches."""
-        return sum(sketch.memory_bytes() for sketch in self._entries.values())
+        with self._lock:
+            return sum(sketch.memory_bytes() for sketch in self._entries.values())
 
     @staticmethod
     def _key_for(
@@ -365,16 +375,25 @@ class SketchCache:
         layout: BasicWindowLayout,
         pairwise: bool = True,
     ) -> BasicWindowSketch:
-        """Return the cached sketch for (data, layout) or build and cache it."""
-        key = self._key(matrix, layout, pairwise)
-        sketch = self._entries.get(key)
-        if sketch is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return sketch
-        self.stats.misses += 1
-        sketch = BasicWindowSketch.build(matrix.values, layout, pairwise=pairwise)
-        return self._insert_built(key, sketch)
+        """Return the cached sketch for (data, layout) or build and cache it.
+
+        Holding the lock across the build doubles as single-flight: two
+        threads racing on a cold (data, layout) run one build, not two.
+        """
+        with self._lock:
+            key = self._key(matrix, layout, pairwise)
+            sketch = self._entries.get(key)
+            if sketch is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return sketch
+            self.stats.misses += 1
+            sketch = BasicWindowSketch.build(
+                matrix.values,  # repro-lint: disable=RPR002 -- get_or_build is the declared dense path; out-of-core callers use get_or_build_tiled
+                layout,
+                pairwise=pairwise,
+            )
+            return self._insert_built(key, sketch)
 
     def get_or_build_tiled(
         self,
@@ -397,51 +416,52 @@ class SketchCache:
         """
         from repro.core.tiled import build_sketch_tiled, tile_source_for
 
-        fingerprint = self._fingerprint.peek(matrix)
-        if fingerprint is not None:
-            key = self._key_for(fingerprint, layout, pairwise)
-            sketch = self._entries.get(key)
-            if sketch is not None:
-                self._entries.move_to_end(key)
-                self.stats.hits += 1
-                return sketch
-            self.stats.misses += 1
+        with self._lock:
+            fingerprint = self._fingerprint.peek(matrix)
+            if fingerprint is not None:
+                key = self._key_for(fingerprint, layout, pairwise)
+                sketch = self._entries.get(key)
+                if sketch is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return sketch
+                self.stats.misses += 1
+                sketch = build_sketch_tiled(
+                    tile_source_for(matrix),
+                    layout,
+                    memory_budget=memory_budget,
+                    pairwise=pairwise,
+                    workers=workers,
+                )
+                return self._insert_built(key, sketch)
+
+            # Cold source: one pass feeds both the tile assembler and the
+            # fingerprint digest (the tee re-blocks the chunk stream to the
+            # canonical fingerprint boundaries as it flows through).
+            source = _HashingTileSource(tile_source_for(matrix), matrix)
             sketch = build_sketch_tiled(
-                tile_source_for(matrix),
+                source,
                 layout,
                 memory_budget=memory_budget,
                 pairwise=pairwise,
                 workers=workers,
             )
+            fingerprint = source.hexdigest()
+            self._fingerprint.record(matrix, fingerprint)
+            key = self._key_for(fingerprint, layout, pairwise)
+            existing = self._entries.get(key)
+            if existing is not None:
+                # The same content was cached through another matrix object; the
+                # duplicate build is discarded (the cached sketch may hold a
+                # warmer scan memo).  Counted as a hit: the caller's answer came
+                # from the shared entry.
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return existing
+            self.stats.misses += 1
             return self._insert_built(key, sketch)
 
-        # Cold source: one pass feeds both the tile assembler and the
-        # fingerprint digest (the tee re-blocks the chunk stream to the
-        # canonical fingerprint boundaries as it flows through).
-        source = _HashingTileSource(tile_source_for(matrix), matrix)
-        sketch = build_sketch_tiled(
-            source,
-            layout,
-            memory_budget=memory_budget,
-            pairwise=pairwise,
-            workers=workers,
-        )
-        fingerprint = source.hexdigest()
-        self._fingerprint.record(matrix, fingerprint)
-        key = self._key_for(fingerprint, layout, pairwise)
-        existing = self._entries.get(key)
-        if existing is not None:
-            # The same content was cached through another matrix object; the
-            # duplicate build is discarded (the cached sketch may hold a
-            # warmer scan memo).  Counted as a hit: the caller's answer came
-            # from the shared entry.
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return existing
-        self.stats.misses += 1
-        return self._insert_built(key, sketch)
-
-    def _insert_built(self, key, sketch: BasicWindowSketch) -> BasicWindowSketch:
+    def _insert_built(self, key, sketch: BasicWindowSketch) -> BasicWindowSketch:  # requires-lock: _lock
         self.builds += 1
         if self.scan_memo_entries:
             sketch.enable_scan_memo(self.scan_memo_entries)
@@ -458,7 +478,8 @@ class SketchCache:
         pairwise: bool = True,
     ) -> bool:
         """``True`` when a sketch for (data, layout) is cached (no stats side effects)."""
-        return self._key(matrix, layout, pairwise) in self._entries
+        with self._lock:
+            return self._key(matrix, layout, pairwise) in self._entries
 
     def seed(self, matrix: TimeSeriesMatrix, sketch: BasicWindowSketch) -> bool:
         """Insert a prebuilt sketch (e.g. a persisted :class:`StatsIndex`'s).
@@ -481,19 +502,21 @@ class SketchCache:
                 f"seeded sketch covers columns up to {sketch.layout.covered_end} "
                 f"but the matrix has only {matrix.length}"
             )
-        key = self._key(matrix, sketch.layout, sketch.has_pairwise)
-        if key in self._entries:
-            return False
-        if self.scan_memo_entries:
-            sketch.enable_scan_memo(self.scan_memo_entries)
-        self._entries[key] = sketch
-        self.seeds += 1
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        return True
+        with self._lock:
+            key = self._key(matrix, sketch.layout, sketch.has_pairwise)
+            if key in self._entries:
+                return False
+            if self.scan_memo_entries:
+                sketch.enable_scan_memo(self.scan_memo_entries)
+            self._entries[key] = sketch
+            self.seeds += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            return True
 
     def clear(self) -> None:
         """Drop every cached sketch (statistics are preserved)."""
-        self._entries.clear()
-        self._fingerprint.clear()
+        with self._lock:
+            self._entries.clear()
+            self._fingerprint.clear()

@@ -283,7 +283,9 @@ class ChunkStoreReader:
                 elif version == (2, 0):
                     shape, _, _ = np.lib.format.read_array_header_2_0(stream)
                 else:
-                    raise ValueError(f"unsupported .npy format version {version}")
+                    raise StorageError(
+                        f"unsupported .npy format version {version}"
+                    )
             if len(shape) != 2:
                 raise StorageError(
                     f"chunk {key!r} in {self.path} has shape {shape}, "

@@ -1,0 +1,201 @@
+"""Framework behavior: pragmas, baselines, module paths, CLI exit codes."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import Baseline, lint_source, module_path_for
+from repro.devtools.cli import main
+from repro.devtools.linter import collect_files
+from repro.exceptions import LintError
+
+
+# ---------------------------------------------------------------------------
+# Pragmas
+# ---------------------------------------------------------------------------
+
+
+class TestPragmas:
+    def test_justified_pragma_suppresses_the_named_code(self):
+        source = (
+            "raise ValueError('x')  "
+            "# repro-lint: disable=RPR001 -- fixture exercises the bad path"
+        )
+        assert lint_source(source, module_path="repro/core/x.py") == []
+
+    def test_pragma_only_covers_its_own_line(self):
+        source = textwrap.dedent(
+            """
+            raise ValueError('a')  # repro-lint: disable=RPR001 -- justified here
+            raise ValueError('b')
+            """
+        )
+        found = lint_source(source, module_path="repro/core/x.py")
+        assert [f.code for f in found] == ["RPR001"]
+        assert found[0].line == 3
+
+    def test_pragma_for_another_code_does_not_suppress(self):
+        source = (
+            "raise ValueError('x')  # repro-lint: disable=RPR002 -- wrong code"
+        )
+        assert [
+            f.code for f in lint_source(source, module_path="repro/core/x.py")
+        ] == ["RPR001"]
+
+    def test_reasonless_pragma_is_itself_a_finding(self):
+        source = "raise ValueError('x')  # repro-lint: disable=RPR001"
+        found = lint_source(source, module_path="repro/core/x.py")
+        assert [f.code for f in found] == ["RPR000"]
+        assert "justification" in found[0].message
+
+    def test_unknown_code_in_pragma_is_a_finding(self):
+        source = "x = 1  # repro-lint: disable=RPR777 -- typo"
+        found = lint_source(source, module_path="repro/core/x.py")
+        assert [f.code for f in found] == ["RPR000"]
+        assert "RPR777" in found[0].message
+
+    def test_multiple_codes_in_one_pragma(self):
+        source = (
+            "x = matrix.values  "
+            "# repro-lint: disable=RPR002,RPR003 -- fixture needs both off"
+        )
+        assert lint_source(source, module_path="repro/api/x.py") == []
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def findings(self):
+        return lint_source(
+            "raise ValueError('a')\nraise TypeError('b')",
+            module_path="repro/core/x.py",
+        )
+
+    def test_roundtrip_and_diff(self, tmp_path):
+        findings = self.findings()
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).write(path)
+        diff = Baseline.load(path).diff(findings)
+        assert diff.new == [] and len(diff.grandfathered) == 2 and diff.stale == []
+
+    def test_new_findings_are_not_grandfathered(self, tmp_path):
+        first, second = self.findings()
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([first]).write(path)
+        diff = Baseline.load(path).diff([first, second])
+        assert diff.new == [second] and diff.grandfathered == [first]
+
+    def test_fixed_findings_surface_as_stale(self):
+        first, second = self.findings()
+        baseline = Baseline.from_findings([first, second])
+        diff = baseline.diff([first])
+        assert diff.new == [] and diff.stale == [second.fingerprint]
+
+    def test_fingerprint_ignores_line_numbers(self):
+        moved = lint_source(
+            "\n\n\nraise ValueError('a')\nraise TypeError('b')",
+            module_path="repro/core/x.py",
+        )
+        assert [f.fingerprint for f in moved] == [
+            f.fingerprint for f in self.findings()
+        ]
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "absent.json").entries == {}
+
+    def test_corrupt_baseline_raises_lint_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(LintError):
+            Baseline.load(path)
+        path.write_text('{"findings": {"fp": -2}}')
+        with pytest.raises(LintError):
+            Baseline.load(path)
+
+
+# ---------------------------------------------------------------------------
+# Module paths and file collection
+# ---------------------------------------------------------------------------
+
+
+class TestModulePaths:
+    def test_src_layout_is_anchored_at_repro(self, tmp_path):
+        path = tmp_path / "checkout" / "src" / "repro" / "core" / "sketch.py"
+        assert module_path_for(path) == "repro/core/sketch.py"
+
+    def test_scripts_anchor(self, tmp_path):
+        assert module_path_for(tmp_path / "scripts" / "lint.py") == "scripts/lint.py"
+
+    def test_unanchored_path_falls_back_to_name(self, tmp_path):
+        assert module_path_for(tmp_path / "stray.py") == "stray.py"
+
+    def test_missing_path_raises_lint_error(self, tmp_path):
+        with pytest.raises(LintError):
+            collect_files([tmp_path / "nope"])
+
+    def test_syntax_error_raises_lint_error(self):
+        with pytest.raises(LintError):
+            lint_source("def broken(:\n", module_path="repro/core/x.py")
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def project(tmp_path, monkeypatch):
+    """A tiny fake checkout with one violation, cwd-pinned for the CLI."""
+    package = tmp_path / "src" / "repro" / "core"
+    package.mkdir(parents=True)
+    (package / "bad.py").write_text("raise ValueError('nope')\n")
+    (package / "good.py").write_text(
+        "from repro.exceptions import StorageError\n"
+        "def f():\n    raise StorageError('typed')\n"
+    )
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestCli:
+    def test_findings_exit_nonzero(self, project, capsys):
+        assert main(["src"]) == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out and "repro/core/bad.py" in out
+
+    def test_clean_tree_exits_zero(self, project):
+        (project / "src" / "repro" / "core" / "bad.py").unlink()
+        assert main(["src"]) == 0
+
+    def test_write_baseline_then_clean(self, project):
+        assert main(["src", "--write-baseline"]) == 0
+        assert main(["src"]) == 0  # baselined finding no longer fails
+        assert main(["src", "--no-baseline"]) == 1
+
+    def test_baselined_finding_is_reported_as_such(self, project, capsys):
+        main(["src", "--write-baseline"])
+        main(["src"])
+        assert "[baselined]" in capsys.readouterr().out
+
+    def test_rule_selection(self, project):
+        assert main(["src", "--rules", "RPR002"]) == 0
+        assert main(["src", "--rules", "RPR001"]) == 1
+
+    def test_unknown_rule_code_is_a_usage_error(self, project, capsys):
+        assert main(["src", "--rules", "RPR999"]) == 2
+        assert "unknown rule codes" in capsys.readouterr().err
+
+    def test_missing_path_is_a_usage_error(self, project, capsys):
+        assert main(["absent_dir"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_list_rules_names_all_five(self, project, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+            assert code in out

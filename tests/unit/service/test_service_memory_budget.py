@@ -51,3 +51,34 @@ def test_budget_covering_dataset_stays_dense(catalog):
     service = CorrelationService(catalog, basic_window_size=16, memory_budget=10**9)
     document = service.query("demo", dict(REQUEST))
     assert "build=tiled" not in document["plan"]
+
+
+def test_budgeted_query_path_never_materializes(catalog):
+    """RPR002 regression: the sketch-only service path must stay lazy.
+
+    A budgeted runtime serves queries off a :class:`ChunkBackedMatrix`;
+    if any planner / stale-guard / session step dereferenced ``.values``,
+    the lazy matrix would silently densify and the memory budget would be
+    fiction.  Covers the initial query, an append (which rebuilds the
+    matrix view), and the re-query over the grown data.
+    """
+    from repro.core.tiled import ChunkBackedMatrix
+
+    service = CorrelationService(
+        catalog, basic_window_size=16, memory_budget=N * L * 8 // 4
+    )
+    service.query("demo", dict(REQUEST))
+    runtime = service._runtime("demo")
+    with runtime.lock:
+        matrix = runtime.matrix
+    assert isinstance(matrix, ChunkBackedMatrix)
+    assert not matrix.materialized
+
+    steps = [[0.1 * i] * N for i in range(16)]
+    service.append("demo", {"columns": steps})
+    service.query("demo", {**REQUEST, "end": L + 16})
+    with runtime.lock:
+        regrown = runtime.matrix
+    assert isinstance(regrown, ChunkBackedMatrix)
+    assert not regrown.materialized
+    assert not matrix.materialized
