@@ -22,19 +22,28 @@ smoke uses 2); ``REPRO_BENCH_SCALE`` scales the workload as everywhere else.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.baselines.tsubasa import TsubasaEngine
 from repro.core.dangoron import DangoronEngine
+from repro.core.lag import sliding_lagged_correlation
 from repro.core.sketch import BasicWindowSketch
+from repro.core.topk import sliding_top_k
 from repro.experiments.workloads import climate_workload
 from repro.parallel import MODE_PROCESS, MODE_THREAD, ShardedExecutor, available_workers
 
 from _bench_common import BENCH_SCALE, BENCH_THRESHOLD, print_experiment_table
+
+#: Machine-readable record of the scenario-matrix scaling phase (wall times,
+#: speedup ratios, environment) — committed at the repo root per ROADMAP.
+BENCH_RECORD = Path(__file__).resolve().parent.parent / "BENCH_7.json"
 
 #: Top of the worker ladder (and the count the speedup floor applies to).
 #: Any value >= 1 works; the ladder always ends exactly at this count.
@@ -49,6 +58,17 @@ if MAX_WORKERS > 1:
 def speedup_floor(workers: int) -> float:
     """Minimum sharded-TSUBASA speedup over serial at a given worker count."""
     return 1.8 if workers >= 4 else 1.3
+
+
+def family_speedup_floor(workers: int) -> float:
+    """Minimum sharded speedup for the lagged/top-k phase.
+
+    Lower than the TSUBASA floor: both paths re-gather per-pair rows in each
+    shard (instead of one dense matmul), so perfect scaling is not on the
+    table — but >= 1.5x at four workers is, and regressing below it means
+    the sharded paths stopped paying for themselves.
+    """
+    return 1.5 if workers >= 4 else 1.2
 
 
 def _identical(serial, sharded) -> bool:
@@ -153,3 +173,140 @@ def test_e16_parallel_scaling(e5_workload):
         f"sharded tsubasa at {MAX_WORKERS} workers reached only "
         f"{speedups[('tsubasa', MAX_WORKERS)]:.2f}x (floor {floor}x)"
     )
+
+
+# ---------------------------------------------------------------------------
+# Scenario-matrix phase: lagged and top-k queries through the sharded
+# executor.  Same two claims as the threshold phase — bit-identity on every
+# machine, a speedup floor (family_speedup_floor) where the cores exist —
+# plus a machine-readable record (BENCH_7.json) of walls, ratios and env.
+# ---------------------------------------------------------------------------
+LAGGED_MAX_LAG = 3
+TOPK_K = 50
+
+
+def _lagged_identical(serial, sharded) -> bool:
+    return len(serial) == len(sharded) and all(
+        a.window_index == b.window_index
+        and np.array_equal(a.best_corr, b.best_corr)
+        and np.array_equal(a.best_lag, b.best_lag)
+        for a, b in zip(serial, sharded)
+    )
+
+
+def _topk_identical(serial, sharded) -> bool:
+    return serial.num_windows == sharded.num_windows and all(
+        a.window_index == b.window_index
+        and np.array_equal(a.rows, b.rows)
+        and np.array_equal(a.cols, b.cols)
+        and np.array_equal(a.values, b.values)
+        for a, b in zip(serial.windows, sharded.windows)
+    )
+
+
+@pytest.fixture(scope="module")
+def topk_workload():
+    """Top-k pair work scales as N² per window: twice the bench scale."""
+    return climate_workload(
+        scale=BENCH_SCALE * 2, threshold=BENCH_THRESHOLD, window_hours=1440
+    )
+
+
+def test_e16_lagged_topk_scaling(small_workload, topk_workload):
+    """Timing ladder for the scenario-matrix families; records BENCH_7.json."""
+    serial_runs = {
+        "lagged": lambda: sliding_lagged_correlation(
+            small_workload.matrix, small_workload.query, LAGGED_MAX_LAG
+        ),
+        "topk": lambda: sliding_top_k(
+            topk_workload.matrix,
+            topk_workload.query,
+            TOPK_K,
+            basic_window_size=topk_workload.basic_window_size,
+        ),
+    }
+    sharded_runs = {
+        "lagged": lambda executor: executor.run_lagged(
+            small_workload.matrix, small_workload.query, LAGGED_MAX_LAG
+        ),
+        "topk": lambda executor: executor.run_topk(
+            topk_workload.matrix,
+            topk_workload.query,
+            TOPK_K,
+            basic_window_size=topk_workload.basic_window_size,
+        ),
+    }
+    identical = {"lagged": _lagged_identical, "topk": _topk_identical}
+
+    rows = []
+    speedups = {}
+    for family in ("lagged", "topk"):
+        started = time.perf_counter()
+        serial = serial_runs[family]()
+        serial_seconds = time.perf_counter() - started
+        rows.append([family, "serial", 1, round(serial_seconds, 4), 1.0])
+        for workers in WORKER_COUNTS:
+            executor = ShardedExecutor(workers=workers, mode=MODE_PROCESS)
+            started = time.perf_counter()
+            sharded = sharded_runs[family](executor)
+            seconds = time.perf_counter() - started
+            assert identical[family](serial, sharded)
+            speedup = serial_seconds / seconds if seconds > 0 else float("inf")
+            speedups[(family, workers)] = speedup
+            rows.append([family, "sharded", workers, round(seconds, 4),
+                         round(speedup, 2)])
+
+    class _Table:
+        experiment_id = "E16-matrix"
+        notes = (
+            f"lagged: {small_workload.describe()} max_lag={LAGGED_MAX_LAG}; "
+            f"topk: {topk_workload.describe()} k={TOPK_K}"
+        )
+        headers = ["family", "execution", "workers", "wall_seconds", "speedup"]
+
+        def table(self):
+            header = " | ".join(self.headers)
+            lines = [header, "-" * len(header)]
+            lines += [" | ".join(str(v) for v in row) for row in rows]
+            return "\n".join(lines)
+
+    print_experiment_table(_Table())
+
+    usable = available_workers()
+    floor = family_speedup_floor(MAX_WORKERS)
+    floor_enforced = MAX_WORKERS >= 2 and usable >= MAX_WORKERS
+    BENCH_RECORD.write_text(json.dumps({
+        "bench": "E16 scenario-matrix scaling (lagged + top-k sharded)",
+        "rows": [dict(zip(_Table.headers, row)) for row in rows],
+        "speedups": {
+            f"{family}@{workers}": round(ratio, 4)
+            for (family, workers), ratio in speedups.items()
+        },
+        "floor": {
+            "workers": MAX_WORKERS,
+            "min_speedup": floor,
+            "enforced": floor_enforced,
+        },
+        "workloads": _Table.notes,
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpus_usable": usable,
+            "REPRO_BENCH_SCALE": BENCH_SCALE,
+            "REPRO_BENCH_WORKERS": MAX_WORKERS,
+        },
+    }, indent=2) + "\n")
+
+    if MAX_WORKERS < 2:
+        pytest.skip("REPRO_BENCH_WORKERS=1: nothing to scale")
+    if not floor_enforced:
+        pytest.skip(
+            f"speedup floor needs {MAX_WORKERS} usable cores, "
+            f"this machine exposes {usable}"
+        )
+    for family in ("lagged", "topk"):
+        assert speedups[(family, MAX_WORKERS)] >= floor, (
+            f"sharded {family} at {MAX_WORKERS} workers reached only "
+            f"{speedups[(family, MAX_WORKERS)]:.2f}x (floor {floor}x)"
+        )

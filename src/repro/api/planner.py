@@ -17,15 +17,21 @@ ThresholdQuery /       registered engine (default ``dangoron``)      shared when
 plain SlidingQuery                                                   the engine
                                                                      plans a layout
 TopKQuery              ``sliding_top_k`` over the sketch             shared
-LaggedQuery            ``sliding_lagged_correlation`` (raw values)   none
+LaggedQuery            ``sliding_lagged_correlation`` (raw or        none
+                       streamed window buffers)
 =====================  ============================================  ==========
 
-Threshold queries additionally carry an *execution* decision: with
+Every family additionally carries an *execution* decision: with
 ``workers=N`` configured, the planner shards the pair space across a worker
-pool (:class:`repro.parallel.ShardedExecutor`) whenever the engine supports
+pool (:class:`repro.parallel.ShardedExecutor`) whenever the path supports
 pair subsets and the pair count clears ``parallel_min_pairs`` — small
 matrices stay serial because the dispatch overhead would dominate.  Sharded
-results are bit-identical to serial ones.
+results are bit-identical to serial ones.  When a requested strategy is
+declined by policy the plan stays serial/dense and records the reason
+(surfaced by ``ExecutionPlan.describe()``); a configuration that cannot be
+honoured at all — e.g. a lagged ``memory_budget`` smaller than one window
+buffer — raises :class:`~repro.exceptions.ExperimentError` naming the query
+family, the requested strategy and the reason.
 """
 
 from __future__ import annotations
@@ -104,6 +110,13 @@ class ExecutionPlan:
     workers: int = 1
     sketch_build: str = SKETCH_BUILD_DENSE
     memory_budget: Optional[int] = None
+    #: Why a *requested* strategy was declined (``None`` when nothing was
+    #: declined): ``execution_reason`` explains a serial plan under
+    #: ``workers > 1``, ``build_reason`` a dense build under a configured
+    #: ``memory_budget``.  Surfaced by :meth:`describe` so no fallback is
+    #: silent.
+    execution_reason: Optional[str] = None
+    build_reason: Optional[str] = None
 
     def describe(self) -> str:
         engine = self.engine.describe() if self.engine is not None else "-"
@@ -115,9 +128,13 @@ class ExecutionPlan:
         execution = self.execution
         if self.execution == EXECUTION_SHARDED:
             execution = f"{self.execution}(workers={self.workers})"
+        if self.execution_reason:
+            execution += f" ({self.execution_reason})"
         summary = f"plan[{self.kind}] engine={engine} sketch={layout} exec={execution}"
         if self.sketch_build == SKETCH_BUILD_TILED:
             summary += f" build=tiled(budget={self.memory_budget}B)"
+        elif self.build_reason:
+            summary += f" build=dense ({self.build_reason})"
         return summary
 
 
@@ -159,8 +176,11 @@ class QueryPlanner:
         dense matrix in one pass.  Tiled sketches are bit-identical to dense
         ones and cached under the same key; combined with a lazy
         chunk-backed matrix (``CorrelationSession.from_chunk_store``) the
-        dense matrix is never materialized for aligned queries.  Unaligned
-        windows and lagged queries need the raw values and stay dense.
+        dense matrix is never materialized for aligned queries.  Lagged
+        queries honour the budget by *streaming window buffers* out of the
+        matrix's column-chunk source instead of building a sketch.
+        Unaligned windows need the raw values and stay dense (the plan
+        records the reason).
 
     Examples
     --------
@@ -237,30 +257,44 @@ class QueryPlanner:
                 f"{type(query).__name__} has a fixed execution path"
             )
         if isinstance(query, LaggedQuery):
-            return ExecutionPlan(query=query, kind=KIND_LAGGED)
+            execution, workers, execution_reason = self._execution_for(matrix, query)
+            sketch_build, build_reason = self._lagged_build_for(matrix, query)
+            return ExecutionPlan(
+                query=query,
+                kind=KIND_LAGGED,
+                execution=execution,
+                workers=workers,
+                sketch_build=sketch_build,
+                memory_budget=self.memory_budget,
+                execution_reason=execution_reason,
+                build_reason=build_reason,
+            )
         if isinstance(query, TopKQuery):
             layout = BasicWindowLayout.for_query(query, self.basic_window_size)
+            execution, workers, execution_reason = self._execution_for(
+                matrix, query, layout=layout
+            )
+            sketch_build, build_reason = self._sketch_build_for(matrix, layout, query)
             return ExecutionPlan(
                 query=query,
                 kind=KIND_TOPK,
                 layout=layout,
-                sketch_build=self._sketch_build_for(matrix, layout, query),
+                execution=execution,
+                workers=workers,
+                sketch_build=sketch_build,
                 memory_budget=self.memory_budget,
+                execution_reason=execution_reason,
+                build_reason=build_reason,
             )
         if engine is None:
             engine = self.resolve_engine()
         layout = engine.plan_layout(query)
-        execution = EXECUTION_SERIAL
-        workers = 1
-        if (
-            self.workers is not None
-            and self.workers > 1
-            and engine.supports_pair_subset()
-            and pair_count(matrix.num_series) >= self.parallel_min_pairs
-            and self._windows_sketch_aligned(layout, query)
-        ):
-            execution = EXECUTION_SHARDED
-            workers = self.workers
+        execution, workers, execution_reason = self._execution_for(
+            matrix, query, layout=layout, engine=engine
+        )
+        sketch_build, build_reason = self._sketch_build_for(
+            matrix, layout, query, engine=engine
+        )
         return ExecutionPlan(
             query=query,
             kind=KIND_THRESHOLD,
@@ -268,9 +302,44 @@ class QueryPlanner:
             layout=layout,
             execution=execution,
             workers=workers,
-            sketch_build=self._sketch_build_for(matrix, layout, query, engine=engine),
+            sketch_build=sketch_build,
             memory_budget=self.memory_budget,
+            execution_reason=execution_reason,
+            build_reason=build_reason,
         )
+
+    def _execution_for(
+        self,
+        matrix: TimeSeriesMatrix,
+        query: SlidingQuery,
+        layout: Optional[BasicWindowLayout] = None,
+        engine: Optional[SlidingCorrelationEngine] = None,
+    ) -> tuple:
+        """The ``(execution, workers, reason)`` decision for any query family.
+
+        Serial is the default; a reason string is recorded only when workers
+        were *requested* (``workers > 1``) and the planner declined, so
+        ``plan.describe()`` names why instead of falling back silently.
+        Declines here are policy (the serial run answers the query exactly);
+        impossible configurations raise from the build decisions instead.
+        """
+        if self.workers is None or self.workers <= 1:
+            return EXECUTION_SERIAL, 1, None
+        if engine is not None and not engine.supports_pair_subset():
+            return (
+                EXECUTION_SERIAL,
+                1,
+                f"engine {engine.describe()} does not support pair subsets",
+            )
+        if pair_count(matrix.num_series) < self.parallel_min_pairs:
+            return (
+                EXECUTION_SERIAL,
+                1,
+                f"pair count below parallel_min_pairs={self.parallel_min_pairs}",
+            )
+        if not self._windows_sketch_aligned(layout, query):
+            return EXECUTION_SERIAL, 1, "windows not basic-window aligned"
+        return EXECUTION_SHARDED, self.workers, None
 
     def _sketch_build_for(
         self,
@@ -278,8 +347,8 @@ class QueryPlanner:
         layout: Optional[BasicWindowLayout],
         query: SlidingQuery,
         engine: Optional[SlidingCorrelationEngine] = None,
-    ) -> str:
-        """Dense or tiled sketch construction for a planned layout.
+    ) -> tuple:
+        """The ``(sketch_build, reason)`` decision for a planned layout.
 
         Tiled is chosen only when it pays *and* suffices: a budget is
         configured, the raw data it would have to hold at once exceeds it,
@@ -289,19 +358,48 @@ class QueryPlanner:
         configuration is sketch-only (``engine.needs_raw_values`` — e.g.
         Dangoron's pivot selection under horizontal pruning would
         materialize the matrix regardless, so such plans honestly stay
-        dense instead of claiming a bounded build).
+        dense instead of claiming a bounded build).  The reason names why a
+        configured budget fell back to dense.
         """
-        if (
-            self.memory_budget is None
-            or layout is None
-            or not self._windows_sketch_aligned(layout, query)
-            or (engine is not None and engine.needs_raw_values(query))
-        ):
-            return SKETCH_BUILD_DENSE
+        if self.memory_budget is None:
+            return SKETCH_BUILD_DENSE, None
+        if layout is None:
+            return SKETCH_BUILD_DENSE, "execution path plans no sketch layout"
+        if not self._windows_sketch_aligned(layout, query):
+            return SKETCH_BUILD_DENSE, "unaligned windows read raw values"
+        if engine is not None and engine.needs_raw_values(query):
+            return SKETCH_BUILD_DENSE, "engine needs raw values (pivot selection)"
         dense_bytes = matrix.num_series * matrix.length * np.dtype(FLOAT_DTYPE).itemsize
         if dense_bytes <= self.memory_budget:
-            return SKETCH_BUILD_DENSE
-        return SKETCH_BUILD_TILED
+            return SKETCH_BUILD_DENSE, "raw data fits the budget"
+        return SKETCH_BUILD_TILED, None
+
+    def _lagged_build_for(self, matrix: TimeSeriesMatrix, query: SlidingQuery) -> tuple:
+        """The ``(sketch_build, reason)`` decision for a lagged query.
+
+        Lagged queries never build a sketch (``layout=None``); ``tiled``
+        here means *streamed window buffers*: windows assemble out of the
+        matrix's column-chunk source into one bounded rolling buffer
+        (:func:`repro.core.lag.iter_query_windows`) instead of slicing a
+        resident array.  A budget that cannot even hold one ``(N, window)``
+        buffer is impossible to honour, not a policy decline, and raises.
+        """
+        if self.memory_budget is None:
+            return SKETCH_BUILD_DENSE, None
+        window_bytes = (
+            matrix.num_series * query.window * np.dtype(FLOAT_DTYPE).itemsize
+        )
+        if window_bytes > self.memory_budget:
+            raise ExperimentError(
+                f"lagged query cannot execute tiled (streamed windows) under "
+                f"memory_budget={self.memory_budget}: one "
+                f"({matrix.num_series}, {query.window}) window buffer needs "
+                f"{window_bytes} bytes; raise the budget or shrink the window"
+            )
+        dense_bytes = matrix.num_series * matrix.length * np.dtype(FLOAT_DTYPE).itemsize
+        if dense_bytes <= self.memory_budget:
+            return SKETCH_BUILD_DENSE, "raw data fits the budget"
+        return SKETCH_BUILD_TILED, None
 
     @staticmethod
     def _windows_sketch_aligned(
@@ -339,13 +437,48 @@ class QueryPlanner:
 
         if plan.kind == KIND_LAGGED:
             query: LaggedQuery = plan.query  # type: ignore[assignment]
-            windows = sliding_lagged_correlation(
-                matrix, query, query.max_lag, absolute=query.effective_absolute
+            # "tiled" on a lagged plan means streamed window buffers; a dense
+            # build slices the resident matrix and needs no budget.
+            budget = (
+                plan.memory_budget
+                if plan.sketch_build == SKETCH_BUILD_TILED
+                else None
             )
+            if plan.execution == EXECUTION_SHARDED:
+                executor = ShardedExecutor(
+                    workers=plan.workers, mode=self.parallel_mode
+                )
+                windows = executor.run_lagged(
+                    matrix,
+                    query,
+                    query.max_lag,
+                    absolute=query.effective_absolute,
+                    memory_budget=budget,
+                )
+            else:
+                windows = sliding_lagged_correlation(
+                    matrix,
+                    query,
+                    query.max_lag,
+                    absolute=query.effective_absolute,
+                    memory_budget=budget,
+                )
             return LaggedSeriesResult(query, windows)
 
         if plan.kind == KIND_TOPK:
             query: TopKQuery = plan.query  # type: ignore[assignment]
+            if plan.execution == EXECUTION_SHARDED:
+                executor = ShardedExecutor(
+                    workers=plan.workers, mode=self.parallel_mode
+                )
+                return executor.run_topk(
+                    matrix,
+                    query,
+                    query.k,
+                    basic_window_size=self.basic_window_size,
+                    absolute=query.effective_absolute,
+                    sketch=sketch,
+                )
             return sliding_top_k(
                 matrix,
                 query,

@@ -11,11 +11,11 @@ Five subcommands cover the workflow a user of the system actually runs:
     per-window summary (optionally exporting the edge list).  ``--mode``
     selects the query type (``threshold``, ``topk`` or ``lagged``),
     repeatable ``--engine-opt key=value`` flags reach every engine option
-    without writing Python, ``--workers N`` shards large threshold queries
-    across a worker pool, and ``--memory-budget BYTES`` streams ``.npz``
-    inputs through the tiled out-of-core builder without materializing the
-    dense matrix (both bit-identical, see :mod:`repro.parallel` and
-    :mod:`repro.core.tiled`).
+    without writing Python, ``--workers N`` shards large queries of any
+    mode across a worker pool, and ``--memory-budget BYTES`` streams
+    ``.npz`` inputs through the tiled out-of-core builder (lagged mode:
+    streamed window buffers) without materializing the dense matrix (both
+    bit-identical, see :mod:`repro.parallel` and :mod:`repro.core.tiled`).
 ``repro serve``
     Run the long-lived correlation query service over a dataset catalog
     directory (see :mod:`repro.service` and ``docs/service.md``).
@@ -228,22 +228,17 @@ def _build_query(args: argparse.Namespace, end: int):
 
 
 def _command_query(args: argparse.Namespace) -> int:
-    if args.mode != "threshold" and (
-        args.engine != "dangoron" or args.engine_opt or args.workers is not None
-    ):
-        # topk/lagged run on fixed serial sketch/raw paths; accepting these
-        # flags would silently ignore them.
+    if args.mode != "threshold" and (args.engine != "dangoron" or args.engine_opt):
+        # Engines answer threshold queries only; accepting these flags for
+        # topk/lagged would silently ignore them.  --workers and
+        # --memory-budget apply to every mode: the planner shards and
+        # streams all query families.
         raise ReproError(
-            f"--engine/--engine-opt/--workers apply to --mode threshold only "
-            f"(mode {args.mode!r} has a fixed execution path)"
+            f"--engine/--engine-opt apply to --mode threshold only "
+            f"(mode {args.mode!r} does not run through an engine)"
         )
     if args.workers is not None and args.workers < 1:
         raise ReproError(f"--workers must be at least 1, got {args.workers}")
-    if args.mode == "lagged" and args.memory_budget is not None:
-        raise ReproError(
-            "--memory-budget applies to threshold and topk queries only "
-            "(lagged queries read the raw values matrix)"
-        )
     memory_budget = (
         parse_byte_size(args.memory_budget) if args.memory_budget is not None else None
     )
@@ -258,13 +253,12 @@ def _command_query(args: argparse.Namespace) -> int:
         workers=args.workers,
         memory_budget=memory_budget,
     )
-    if args.mode == "threshold":
-        # Shows whether the planner chose serial or sharded execution — in
-        # particular when an explicit --workers request stays serial (pair
-        # count under the floor, unaligned windows, or an engine
-        # configuration that cannot shard), and whether the sketch builds
-        # dense or tiled under a --memory-budget.
-        print(session.plan(query).describe())
+    # Shows whether the planner chose serial or sharded execution — in
+    # particular *why* an explicit --workers request stays serial (pair
+    # count under the floor, unaligned windows, or an engine configuration
+    # that cannot shard) — and whether the data path builds dense or
+    # tiled/streamed under a --memory-budget.
+    print(session.plan(query).describe())
     result = session.run(query)
 
     print(result.describe())
@@ -436,13 +430,14 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--basic-window", type=int, default=32)
     query.add_argument(
         "--workers", type=int, default=None, metavar="N",
-        help="shard large threshold queries across N pool workers "
+        help="shard large queries (any mode) across N pool workers "
              "(results are bit-identical to serial execution)",
     )
     query.add_argument(
         "--memory-budget", default=None, metavar="BYTES",
-        help="bound the sketch build's resident data (e.g. 64MB); .npz inputs "
-             "then stream from disk without materializing the dense matrix",
+        help="bound the resident data (e.g. 64MB): sketch builds tile and "
+             "lagged windows stream; .npz inputs then read from disk without "
+             "materializing the dense matrix",
     )
     query.add_argument(
         "--absolute", action="store_true", help="threshold on |c| instead of c"

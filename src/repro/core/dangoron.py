@@ -134,17 +134,25 @@ class DangoronEngine(SlidingCorrelationEngine):
         return self.use_horizontal_pruning
 
     def supports_pair_subset(self) -> bool:
-        """Shardable unless horizontal pruning couples pairs through the gate.
+        """Shardable whenever per-pair decisions are partition-independent.
 
-        With temporal pruning alone every pair's evaluation schedule depends
-        only on its own values and the Eq. 2 bound, so a run restricted to any
-        pair subset reproduces exactly the schedule (and therefore the edges)
-        of the full run.  Horizontal pruning breaks that independence: its
-        activation gate counts the *globally* due pairs (see
-        :meth:`_horizontal_min_due`), so per-shard runs could prune — and
-        schedule — differently than the serial run.
+        With temporal pruning every pair's evaluation schedule depends only
+        on its own values and the Eq. 2 bound.  Horizontal pruning is
+        per-pair too: the pivot bounds are computed from the full pivot
+        rows against *all* series (identically in every shard, from the
+        shared sketch), and each due pair is kept or pruned purely from its
+        own bound entry — so a run restricted to any pair subset reproduces
+        exactly the schedule (and therefore the edges) of the full run.
+
+        The single exception is unseeded random pivot selection: each shard
+        would draw its own pivots and the per-shard bounds — hence schedules
+        — would diverge from the serial run.
         """
-        return not self.use_horizontal_pruning
+        return not (
+            self.use_horizontal_pruning
+            and self.pivot_strategy == "random"
+            and self.seed is None
+        )
 
     def run(
         self,
@@ -160,11 +168,12 @@ class DangoronEngine(SlidingCorrelationEngine):
         # ever materializing a dense matrix (see repro.core.tiled).
         query.validate_against_length(matrix.length)
         n = matrix.num_series
-        if pairs is not None and self.use_horizontal_pruning:
+        if pairs is not None and not self.supports_pair_subset():
             raise ParallelError(
-                "dangoron with horizontal pruning cannot run on a pair subset: "
-                "the pruning gate counts globally due pairs, so sharded "
-                "schedules would diverge from the serial run"
+                "dangoron with horizontal pruning and unseeded random pivots "
+                "cannot run on a pair subset: each shard would draw different "
+                "pivots and diverge from the serial run; pass seed=... or a "
+                "deterministic pivot_strategy"
             )
 
         layout = self.plan_layout(query)
@@ -216,10 +225,11 @@ class DangoronEngine(SlidingCorrelationEngine):
             max_steps = num_windows - 1 - k
 
             # ---------------------------------------------- horizontal pruning
-            if (
-                pivots is not None
-                and len(due) > self._horizontal_min_due(n)
-            ):
+            # Runs whenever any pair is due.  The decision per pair is a pure
+            # function of its own bound entry, so serial and sharded runs
+            # prune — and schedule — identically for any pair partition
+            # (a shard with no due pairs skips only the pivot evaluations).
+            if pivots is not None and len(due) > 0:
                 pivot_rows = np.repeat(pivots, n)
                 pivot_cols = np.tile(np.arange(n), len(pivots))
                 pivot_corrs = sketch.exact_pairs_scan(
@@ -358,12 +368,3 @@ class DangoronEngine(SlidingCorrelationEngine):
         return CorrelationSeriesResult(
             query, matrices, stats, series_ids=matrix.series_ids
         )
-
-    # ---------------------------------------------------------------- internal
-    def _horizontal_min_due(self, num_series: int) -> int:
-        """Only run horizontal pruning when it can pay for its pivot evaluations.
-
-        Analysing pivots costs ``num_pivots * N`` exact pair evaluations; the
-        pass is skipped when fewer than twice that many pairs are due.
-        """
-        return 2 * self.num_pivots * num_series

@@ -10,6 +10,16 @@ and is exercised by the E13 experiment and the ``topk_lag_analysis`` example.
 
 Sign conventions: a *positive* lag ``d`` correlates ``x[t]`` with ``y[t + d]``
 (``x`` leads ``y`` by ``d`` steps); a negative lag means ``y`` leads ``x``.
+
+Execution strategies share one primitive: :func:`lagged_pair_stats` reduces an
+explicit ``(rows, cols)`` pair subset of one window with per-pair ``einsum``
+rows over the same normalized arrays, so the dense matrix path (the full upper
+triangle), a shard's pair block, and the streamed out-of-core path all produce
+bit-identical entries for any partition of the pair space.  Windows themselves
+come from :func:`iter_query_windows`, which either slices the resident matrix
+or — under a ``memory_budget`` — assembles each window from the matrix's
+column-chunk source into a bounded rolling buffer without ever materializing
+the dense matrix.
 """
 
 from __future__ import annotations
@@ -24,6 +34,11 @@ from repro.core.query import THRESHOLD_ABSOLUTE, SlidingQuery
 from repro.core.result import Edge
 from repro.exceptions import DataValidationError, QueryValidationError
 from repro.timeseries.matrix import TimeSeriesMatrix
+
+#: Pairs reduced per chunk by :func:`lagged_pair_stats`.  Bounds the gathered
+#: ``(chunk, l)`` working arrays; per-pair reductions are independent, so the
+#: chunk size never changes the resulting bits.
+_PAIR_CHUNK = 8192
 
 
 def _normalize_rows(rows: np.ndarray) -> np.ndarray:
@@ -152,51 +167,286 @@ class LagMatrices:
         )
 
 
-def lagged_correlation_matrix(
-    window: np.ndarray, max_lag: int, absolute: bool = True, window_index: int = 0
-) -> LagMatrices:
-    """Best lagged correlation and its lag for every pair of rows of a window.
+@dataclass(frozen=True)
+class LagPairs:
+    """Best lagged correlations of an explicit pair subset of one window.
 
-    The cost is ``O((2 * max_lag + 1) * N^2 * l)``: one normalized matrix
-    product per lag.  For ``max_lag = 0`` this reduces to the ordinary
-    correlation matrix.
+    The shard-sized sibling of :class:`LagMatrices`: where that class holds
+    the dense ``(N, N)`` matrices, this one holds only the pairs a shard was
+    asked about.  Both directions of every unordered pair ``(i, j)`` are
+    tracked — ``forward`` is the dense entry ``(i, j)`` (positive lag: ``i``
+    leads ``j``), ``backward`` the mirrored entry ``(j, i)`` — so scattering
+    a partition's blocks into zeroed matrices rebuilds the dense result
+    exactly (:func:`repro.parallel.merge.merge_lagged_results`).
+    """
+
+    window_index: int
+    rows: np.ndarray
+    cols: np.ndarray
+    corr_forward: np.ndarray
+    lag_forward: np.ndarray
+    corr_backward: np.ndarray
+    lag_backward: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows", np.asarray(self.rows, dtype=INDEX_DTYPE))
+        object.__setattr__(self, "cols", np.asarray(self.cols, dtype=INDEX_DTYPE))
+        for field in ("corr_forward", "corr_backward"):
+            object.__setattr__(
+                self, field, np.asarray(getattr(self, field), dtype=FLOAT_DTYPE)
+            )
+        for field in ("lag_forward", "lag_backward"):
+            object.__setattr__(
+                self, field, np.asarray(getattr(self, field), dtype=INDEX_DTYPE)
+            )
+
+    @property
+    def num_pairs(self) -> int:
+        return int(len(self.rows))
+
+    def scatter_into(self, best_corr: np.ndarray, best_lag: np.ndarray) -> None:
+        """Write this block's entries into dense matrices (both directions)."""
+        best_corr[self.rows, self.cols] = self.corr_forward
+        best_lag[self.rows, self.cols] = self.lag_forward
+        best_corr[self.cols, self.rows] = self.corr_backward
+        best_lag[self.cols, self.rows] = self.lag_backward
+
+    def to_matrices(self, num_series: int) -> LagMatrices:
+        """Dense :class:`LagMatrices` with this block's pairs filled in."""
+        best_corr = np.zeros((num_series, num_series), dtype=FLOAT_DTYPE)
+        best_lag_matrix = np.zeros((num_series, num_series), dtype=INDEX_DTYPE)
+        self.scatter_into(best_corr, best_lag_matrix)
+        np.fill_diagonal(best_corr, 1.0)
+        return LagMatrices(
+            window_index=self.window_index,
+            best_corr=best_corr,
+            best_lag=best_lag_matrix,
+        )
+
+
+def lagged_pair_stats(
+    window: np.ndarray,
+    max_lag: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    absolute: bool = True,
+    window_index: int = 0,
+) -> LagPairs:
+    """Best lagged correlation of selected row pairs of one window.
+
+    This is the single reduction behind every lagged execution strategy: the
+    dense path enumerates the full upper triangle through it, shards pass
+    their pair block, and the streamed path calls it per buffered window.
+    Every correlation is one per-pair ``einsum`` row over the same normalized
+    arrays, so any partition of the pair space reproduces the dense entries
+    bit for bit — unlike a matrix product, whose BLAS reduction order would
+    depend on the block shape.
+
+    Candidates are ranked exactly as the dense formulation does: per lag
+    ``d`` from 0 to ``max_lag``, the forward direction sees ``(corr(i→j), +d)``
+    then ``(corr(j→i), -d)``, the backward direction the mirror, and a strict
+    ``>`` keeps the first-seen candidate on rank ties.
     """
     window = np.asarray(window, dtype=FLOAT_DTYPE)
     if window.ndim != 2:
         raise DataValidationError(
-            f"lagged_correlation_matrix() expects an (N, l) array, got {window.shape}"
+            f"lagged_pair_stats() expects an (N, l) array, got {window.shape}"
         )
-    n, length = window.shape
+    length = window.shape[1]
     if max_lag < 0:
         raise QueryValidationError(f"max_lag must be non-negative, got {max_lag}")
     if length - max_lag < 2:
         raise QueryValidationError(
             f"window of length {length} cannot support max_lag={max_lag}"
         )
+    rows = np.asarray(rows, dtype=INDEX_DTYPE)
+    cols = np.asarray(cols, dtype=INDEX_DTYPE)
+    num = len(rows)
 
-    best_corr = np.full((n, n), -np.inf, dtype=FLOAT_DTYPE)
-    best_lag_matrix = np.zeros((n, n), dtype=INDEX_DTYPE)
-    best_rank = np.full((n, n), -np.inf, dtype=FLOAT_DTYPE)
+    corr_fwd = np.zeros(num, dtype=FLOAT_DTYPE)
+    lag_fwd = np.zeros(num, dtype=INDEX_DTYPE)
+    rank_fwd = np.full(num, -np.inf, dtype=FLOAT_DTYPE)
+    corr_bwd = np.zeros(num, dtype=FLOAT_DTYPE)
+    lag_bwd = np.zeros(num, dtype=INDEX_DTYPE)
+    rank_bwd = np.full(num, -np.inf, dtype=FLOAT_DTYPE)
+    directions = (
+        (corr_fwd, lag_fwd, rank_fwd),
+        (corr_bwd, lag_bwd, rank_bwd),
+    )
 
     for lag in range(0, max_lag + 1):
-        # corr[i, j] at lag d >= 0 correlates row i's first (length - d) points
-        # with row j's last (length - d) points.
         leading = _normalize_rows(window[:, : length - lag])
         trailing = _normalize_rows(window[:, lag:])
-        corr = np.clip(leading @ trailing.T, -1.0, 1.0)
+        for start in range(0, num, _PAIR_CHUNK):
+            stop = min(start + _PAIR_CHUNK, num)
+            sl = slice(start, stop)
+            r, c = rows[sl], cols[sl]
+            fwd = np.clip(np.einsum("ij,ij->i", leading[r], trailing[c]), -1.0, 1.0)
+            if lag == 0:
+                # leading == trailing at lag 0 and elementwise products
+                # commute, so the backward value is bitwise the forward one.
+                candidates = (((1, fwd),), ((1, fwd),))
+            else:
+                bwd = np.clip(
+                    np.einsum("ij,ij->i", leading[c], trailing[r]), -1.0, 1.0
+                )
+                candidates = (((1, fwd), (-1, bwd)), ((1, bwd), (-1, fwd)))
+            for (best_corr, best_lag_arr, best_rank), ordered in zip(
+                directions, candidates
+            ):
+                for sign, values in ordered:
+                    rank = np.abs(values) if absolute else values
+                    better = rank > best_rank[sl]
+                    best_rank[sl] = np.where(better, rank, best_rank[sl])
+                    best_corr[sl] = np.where(better, values, best_corr[sl])
+                    best_lag_arr[sl] = np.where(better, sign * lag, best_lag_arr[sl])
 
-        for sign, matrix_at_lag in ((1, corr), (-1, corr.T)) if lag > 0 else ((1, corr),):
-            rank = np.abs(matrix_at_lag) if absolute else matrix_at_lag
-            better = rank > best_rank
-            best_rank = np.where(better, rank, best_rank)
-            best_corr = np.where(better, matrix_at_lag, best_corr)
-            best_lag_matrix = np.where(better, sign * lag, best_lag_matrix)
-
-    np.fill_diagonal(best_corr, 1.0)
-    np.fill_diagonal(best_lag_matrix, 0)
-    return LagMatrices(
-        window_index=window_index, best_corr=best_corr, best_lag=best_lag_matrix
+    return LagPairs(
+        window_index=window_index,
+        rows=rows,
+        cols=cols,
+        corr_forward=corr_fwd,
+        lag_forward=lag_fwd,
+        corr_backward=corr_bwd,
+        lag_backward=lag_bwd,
     )
+
+
+def lagged_correlation_matrix(
+    window: np.ndarray, max_lag: int, absolute: bool = True, window_index: int = 0
+) -> LagMatrices:
+    """Best lagged correlation and its lag for every pair of rows of a window.
+
+    The cost is ``O((2 * max_lag + 1) * P * l)`` over the ``P = N(N-1)/2``
+    upper-triangle pairs.  For ``max_lag = 0`` this reduces to the ordinary
+    correlation matrix.  Implemented as the full-triangle call of
+    :func:`lagged_pair_stats`, which is what makes sharded and streamed
+    lagged runs bit-identical to this dense one.
+    """
+    window = np.asarray(window, dtype=FLOAT_DTYPE)
+    if window.ndim != 2:
+        raise DataValidationError(
+            f"lagged_correlation_matrix() expects an (N, l) array, got {window.shape}"
+        )
+    iu, ju = np.triu_indices(window.shape[0], k=1)
+    pairs = lagged_pair_stats(
+        window, max_lag, iu, ju, absolute=absolute, window_index=window_index
+    )
+    return pairs.to_matrices(window.shape[0])
+
+
+def iter_query_windows(
+    matrix: TimeSeriesMatrix,
+    query: SlidingQuery,
+    memory_budget: Optional[int] = None,
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(window_index, values)`` with a C-contiguous ``(N, window)`` buffer.
+
+    With no ``memory_budget`` each window is copied out of the resident
+    matrix.  With a budget, windows are assembled from the matrix's
+    column-chunk source instead (the same protocol the tiled sketch builder
+    streams from, :func:`repro.core.tiled.tile_source_for`) into one rolling
+    buffer, so a lazy ``ChunkBackedMatrix`` is never materialized.  Both
+    paths yield buffers with identical bytes *and memory layout* — reduction
+    order over a strided view can differ from a contiguous one by an ulp,
+    which would break the bit-identity contract between strategies.
+
+    Streamed buffers are reused between windows: consume each yielded array
+    before advancing the iterator.
+    """
+    query.validate_against_length(matrix.length)
+    if memory_budget is None:
+        for index, begin, end in query.iter_windows():
+            yield index, np.ascontiguousarray(matrix.values[:, begin:end])
+        return
+
+    from repro.core.tiled import VALUE_ITEMSIZE, tile_source_for
+
+    window_bytes = matrix.num_series * query.window * VALUE_ITEMSIZE
+    if window_bytes > memory_budget:
+        raise QueryValidationError(
+            f"lagged query cannot stream under memory_budget={memory_budget}: "
+            f"one ({matrix.num_series}, {query.window}) window buffer needs "
+            f"{window_bytes} bytes; raise the budget or shrink the window"
+        )
+    yield from _stream_query_windows(tile_source_for(matrix), query)
+
+
+def _stream_query_windows(source, query: SlidingQuery) -> Iterator[Tuple[int, np.ndarray]]:
+    """Assemble each query window from a column-chunk source into one buffer.
+
+    The rolling ``(N, window)`` buffer keeps the ``window - step`` overlap
+    between consecutive windows, skips gap columns when ``step > window``,
+    and never holds more than one window of raw data — the bounded-memory
+    core of the streamed lagged path.
+    """
+    width = query.window
+    num_windows = query.num_windows
+    if num_windows == 0:
+        return
+    buffer = np.empty((source.num_series, width), dtype=FLOAT_DTYPE)
+    index = 0
+    begin = query.start  # absolute start column of window `index`
+    filled = 0  # leading columns of the current window already in the buffer
+    position = 0  # absolute column where the next chunk starts
+    for chunk in source.iter_chunks():
+        chunk = np.asarray(chunk, dtype=FLOAT_DTYPE)
+        chunk_stop = position + chunk.shape[1]
+        while True:
+            lo = max(begin + filled, position)
+            hi = min(begin + width, chunk_stop)
+            if lo < hi:
+                buffer[:, lo - begin : hi - begin] = chunk[:, lo - position : hi - position]
+                filled = hi - begin
+            if filled < width:
+                break  # the rest of this window lives in later chunks
+            yield index, buffer
+            index += 1
+            if index == num_windows:
+                return
+            overlap = width - query.step
+            if overlap > 0:
+                # Source and target ranges overlap when step < window / 2;
+                # the contiguous intermediate copy keeps the shift exact.
+                buffer[:, :overlap] = buffer[:, width - overlap :].copy()
+                filled = overlap
+            else:
+                filled = 0  # step > window: the gap columns are skipped below
+            begin += query.step
+        position = chunk_stop
+    raise QueryValidationError(
+        f"column-chunk source ended at column {position} before window "
+        f"{index} ([{begin}, {begin + width})) completed"
+    )
+
+
+def sliding_lagged_pairs(
+    matrix: TimeSeriesMatrix,
+    query: SlidingQuery,
+    max_lag: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    absolute: Optional[bool] = None,
+    memory_budget: Optional[int] = None,
+) -> List[LagPairs]:
+    """Best lagged correlations of a pair subset, one :class:`LagPairs` per window.
+
+    The shard-facing entry point: a sharded lagged run hands each shard a
+    pair block and scatters the per-window blocks back into dense matrices
+    (:func:`repro.parallel.merge.merge_lagged_results`) — bit-identical to
+    the serial dense run, because every path reduces the same normalized
+    arrays pair by pair.
+    """
+    if absolute is None:
+        absolute = query.threshold_mode == THRESHOLD_ABSOLUTE
+    return [
+        lagged_pair_stats(
+            values, max_lag, rows, cols, absolute=absolute, window_index=index
+        )
+        for index, values in iter_query_windows(
+            matrix, query, memory_budget=memory_budget
+        )
+    ]
 
 
 def sliding_lagged_correlation(
@@ -204,6 +454,7 @@ def sliding_lagged_correlation(
     query: SlidingQuery,
     max_lag: int,
     absolute: Optional[bool] = None,
+    memory_budget: Optional[int] = None,
 ) -> List[LagMatrices]:
     """Best lagged correlations for every window of a sliding query.
 
@@ -216,21 +467,21 @@ def sliding_lagged_correlation(
 
     The query's threshold is not applied here (call :meth:`LagMatrices.edges`
     per window); its ``threshold_mode`` provides the default ranking mode.
+    With ``memory_budget`` set (bytes), windows stream out of the matrix's
+    column-chunk source through a bounded rolling buffer instead of slicing a
+    resident array (see :func:`iter_query_windows`) — same bits, bounded
+    memory.
     """
-    query.validate_against_length(matrix.length)
     if absolute is None:
         absolute = query.threshold_mode == THRESHOLD_ABSOLUTE
-    results: List[LagMatrices] = []
-    for index, begin, end in query.iter_windows():
-        results.append(
-            lagged_correlation_matrix(
-                matrix.values[:, begin:end],
-                max_lag,
-                absolute=absolute,
-                window_index=index,
-            )
+    return [
+        lagged_correlation_matrix(
+            values, max_lag, absolute=absolute, window_index=index
         )
-    return results
+        for index, values in iter_query_windows(
+            matrix, query, memory_budget=memory_budget
+        )
+    ]
 
 
 def lead_lag_graph_edges(

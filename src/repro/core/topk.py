@@ -30,6 +30,7 @@ import numpy as np
 from repro.config import DEFAULT_BASIC_WINDOW_SIZE, FLOAT_DTYPE, INDEX_DTYPE
 from repro.core.basic_window import BasicWindowLayout
 from repro.core.correlation import correlation_matrix
+from repro.core.engine import validate_pair_subset
 from repro.core.query import SlidingQuery
 from repro.core.result import Edge
 from repro.core.sketch import BasicWindowSketch, ensure_sketch_layout
@@ -146,21 +147,42 @@ class TopKResult:
         return sorted(pair for pair, count in counts.items() if count >= needed)
 
 
+def select_top_k(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    k: int,
+    absolute: bool,
+    window_index: int,
+) -> TopKWindow:
+    """Canonical top-k selection: rank descending, ties by ascending ``(i, j)``.
+
+    The tie-break makes the selection a *total order* over pairs, so which
+    pairs survive a tie at the k-th value never depends on how the candidates
+    were enumerated.  That partition-independence is what lets per-shard
+    candidate lists merge to the exact serial answer
+    (:func:`repro.parallel.merge.merge_topk_results`): any global top-k
+    member necessarily ranks in its own shard's local top k under the same
+    order, so re-ranking the union of shard candidates reproduces the serial
+    selection bit for bit.
+    """
+    ranking = np.abs(values) if absolute else values
+    k = min(k, len(values))
+    if k == 0:
+        empty = np.zeros(0)
+        return TopKWindow(window_index, empty, empty, empty)
+    # lexsort keys run least- to most-significant: rank first, then (i, j).
+    order = np.lexsort((cols, rows, -ranking))[:k]
+    return TopKWindow(window_index, rows[order], cols[order], values[order])
+
+
 def _top_k_from_dense(
     corr: np.ndarray, k: int, absolute: bool, window_index: int
 ) -> TopKWindow:
     """Select the k largest upper-triangle entries of a dense correlation matrix."""
     n = corr.shape[0]
     iu, ju = np.triu_indices(n, k=1)
-    values = corr[iu, ju]
-    ranking = np.abs(values) if absolute else values
-    k = min(k, len(values))
-    if k == 0:
-        empty = np.zeros(0)
-        return TopKWindow(window_index, empty, empty, empty)
-    top_positions = np.argpartition(-ranking, k - 1)[:k]
-    order = top_positions[np.argsort(-ranking[top_positions], kind="stable")]
-    return TopKWindow(window_index, iu[order], ju[order], values[order])
+    return select_top_k(iu, ju, corr[iu, ju], k, absolute, window_index)
 
 
 def _validate_k(k: int, num_series: int) -> None:
@@ -177,6 +199,7 @@ def sliding_top_k(
     basic_window_size: int = DEFAULT_BASIC_WINDOW_SIZE,
     absolute: Optional[bool] = None,
     sketch: Optional[BasicWindowSketch] = None,
+    pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> TopKResult:
     """The k most correlated pairs of every window, from the basic-window sketch.
 
@@ -203,11 +226,20 @@ def sliding_top_k(
         Prebuilt sketch whose layout matches what this function would build
         (``BasicWindowLayout.for_query(query, basic_window_size)``); supplied
         by the planner for cross-query reuse.
+    pairs:
+        Optional ``(rows, cols)`` pair subset; only these pairs compete for
+        the window's top k.  Used by the sharded executor — per-pair
+        recombination is documented bit-identical to gathering from the
+        dense scan (:meth:`BasicWindowSketch.exact_pairs_scan`), and the
+        canonical selection order is partition-independent, so merged shard
+        candidates reproduce the full run exactly.
     """
     _validate_k(k, matrix.num_series)
     query.validate_against_length(matrix.length)
     if absolute is None:
         absolute = query.threshold_mode == "absolute"
+    if pairs is not None:
+        rows, cols = validate_pair_subset(pairs, matrix.num_series)
 
     layout = BasicWindowLayout.for_query(query, basic_window_size)
     if sketch is not None:
@@ -219,8 +251,12 @@ def sliding_top_k(
     windows: List[TopKWindow] = []
     for index, begin, _ in query.iter_windows():
         first, _ = layout.covering(begin, begin + query.window)
-        corr = sketch.exact_matrix_scan(first, window_bw)
-        windows.append(_top_k_from_dense(corr, k, absolute, index))
+        if pairs is None:
+            corr = sketch.exact_matrix_scan(first, window_bw)
+            windows.append(_top_k_from_dense(corr, k, absolute, index))
+        else:
+            values = sketch.exact_pairs_scan(rows, cols, first, window_bw)
+            windows.append(select_top_k(rows, cols, values, k, absolute, index))
     return TopKResult(query=query, k=k, absolute=absolute, windows=windows)
 
 

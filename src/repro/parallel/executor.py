@@ -32,6 +32,13 @@ Execution modes
 One sketch, many shards: when no prebuilt sketch is passed, the executor
 builds the engine's planned layout once and hands the same sketch to every
 shard — sharding never multiplies the γ·N² sketch-build cost.
+
+The engine-less query families ride the same partition/merge machinery:
+:meth:`ShardedExecutor.run_topk` merges per-shard top-k candidates to the
+exact global answer, and :meth:`ShardedExecutor.run_lagged` scatters
+per-shard lagged pair blocks back into dense matrices — both bit-identical
+to their serial counterparts, including the streamed (``memory_budget``)
+lagged path, which fans each buffered window's pair blocks across threads.
 """
 
 from __future__ import annotations
@@ -45,15 +52,30 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Sequence, Tuple
 
 from repro.config import (
+    DEFAULT_BASIC_WINDOW_SIZE,
     DEFAULT_PROCESS_MIN_PAIR_WINDOWS,
     DEFAULT_SHARDS_PER_WORKER,
 )
+from repro.core.basic_window import BasicWindowLayout
 from repro.core.engine import SlidingCorrelationEngine, accepts_sketch_kwarg
-from repro.core.query import SlidingQuery
+from repro.core.lag import (
+    LagMatrices,
+    LagPairs,
+    iter_query_windows,
+    lagged_pair_stats,
+    sliding_lagged_correlation,
+    sliding_lagged_pairs,
+)
+from repro.core.query import THRESHOLD_ABSOLUTE, SlidingQuery
 from repro.core.result import CorrelationSeriesResult
 from repro.core.sketch import BasicWindowSketch
+from repro.core.topk import TopKResult, sliding_top_k
 from repro.exceptions import ParallelError
-from repro.parallel.merge import merge_shard_results
+from repro.parallel.merge import (
+    merge_lagged_results,
+    merge_shard_results,
+    merge_topk_results,
+)
 from repro.parallel.partition import (
     PairBlock,
     pair_count,
@@ -108,6 +130,42 @@ def _run_shard(bounds: Tuple[int, int]) -> CorrelationSeriesResult:
     if sketch is not None:
         kwargs["sketch"] = sketch
     return engine.run(matrix, query, **kwargs)
+
+
+# The engine-less query families (top-k, lagged) share the same shape of
+# plumbing, but their payloads differ; tasks are dispatched by kind so one
+# initializer/worker pair serves both.
+
+_TASK_CONTEXT: Optional[Tuple[str, tuple]] = None
+
+
+def _init_task_worker(kind: str, payload: tuple) -> None:
+    global _TASK_CONTEXT
+    _TASK_CONTEXT = (kind, payload)
+
+
+def _run_task_for(kind: str, payload: tuple, bounds: Tuple[int, int]):
+    """Run one pair block of an engine-less task (thread and process entry)."""
+    if kind == "topk":
+        matrix, query, k, basic_window_size, absolute, sketch = payload
+        pairs = pair_slice(matrix.num_series, bounds[0], bounds[1])
+        return sliding_top_k(
+            matrix,
+            query,
+            k,
+            basic_window_size=basic_window_size,
+            absolute=absolute,
+            sketch=sketch,
+            pairs=pairs,
+        )
+    matrix, query, max_lag, absolute = payload
+    rows, cols = pair_slice(matrix.num_series, bounds[0], bounds[1])
+    return sliding_lagged_pairs(matrix, query, max_lag, rows, cols, absolute=absolute)
+
+
+def _run_task(bounds: Tuple[int, int]):
+    kind, payload = _TASK_CONTEXT
+    return _run_task_for(kind, payload, bounds)
 
 
 class ShardedExecutor:
@@ -288,6 +346,176 @@ class ShardedExecutor:
         if fallback_from_process:
             merged.stats.extra["parallel_fallback_thread"] = 1.0
         return merged
+
+    # -------------------------------------------------------------- run_topk
+    def run_topk(
+        self,
+        matrix: TimeSeriesMatrix,
+        query: SlidingQuery,
+        k: int,
+        basic_window_size: int = DEFAULT_BASIC_WINDOW_SIZE,
+        absolute: Optional[bool] = None,
+        sketch: Optional[BasicWindowSketch] = None,
+    ) -> TopKResult:
+        """Top-k per window, sharded across the pair space.
+
+        Each shard reports its local top k over its pair block; because the
+        selection order is a total order (rank descending, then canonical
+        pair — :func:`repro.core.topk.select_top_k`), re-ranking the union
+        of shard candidates yields the **exact** global top k, bit-identical
+        to ``sliding_top_k(matrix, query, k)`` for any worker count.
+        """
+        query.validate_against_length(matrix.length)
+        if absolute is None:
+            absolute = query.threshold_mode == THRESHOLD_ABSOLUTE
+        n = matrix.num_series
+        mode = self.resolve_mode(pair_count(n), query.num_windows)
+        num_shards = self.num_shards or self.workers * self.shards_per_worker
+        blocks = partition_pairs(n, num_shards) if mode != MODE_SERIAL else []
+        if mode == MODE_SERIAL or len(blocks) < 2:
+            return sliding_top_k(
+                matrix,
+                query,
+                k,
+                basic_window_size=basic_window_size,
+                absolute=absolute,
+                sketch=sketch,
+            )
+        if sketch is None:
+            layout = BasicWindowLayout.for_query(query, basic_window_size)
+            # One shared build instead of one per shard.
+            sketch = BasicWindowSketch.build(
+                matrix.values,  # repro-lint: disable=RPR002 -- shared dense build is the explicit non-tiled fallback; tiled callers pass a prebuilt sketch
+                layout,
+            )
+        shard_results = self._map_pair_blocks(
+            mode, "topk", (matrix, query, k, basic_window_size, absolute, sketch),
+            blocks,
+        )
+        return merge_topk_results(query, k, absolute, shard_results)
+
+    # ------------------------------------------------------------ run_lagged
+    def run_lagged(
+        self,
+        matrix: TimeSeriesMatrix,
+        query: SlidingQuery,
+        max_lag: int,
+        absolute: Optional[bool] = None,
+        memory_budget: Optional[int] = None,
+    ) -> List[LagMatrices]:
+        """Lagged correlations per window, sharded across the pair space.
+
+        Every strategy reduces through the same per-pair primitive
+        (:func:`repro.core.lag.lagged_pair_stats`), so scattering the
+        shards' pair blocks back into dense matrices is bit-identical to
+        ``sliding_lagged_correlation(matrix, query, max_lag)``.
+
+        With ``memory_budget`` set the run streams: windows are assembled
+        from the matrix's column-chunk source into one shared rolling
+        buffer, and the pair blocks of each window fan out across a
+        *thread* pool (window-major order, with a barrier before the buffer
+        advances) — forked process workers could not share the buffer.
+        """
+        query.validate_against_length(matrix.length)
+        if absolute is None:
+            absolute = query.threshold_mode == THRESHOLD_ABSOLUTE
+        n = matrix.num_series
+        mode = self.resolve_mode(pair_count(n), query.num_windows)
+        num_shards = self.num_shards or self.workers * self.shards_per_worker
+        blocks = partition_pairs(n, num_shards) if mode != MODE_SERIAL else []
+        if mode == MODE_SERIAL or len(blocks) < 2:
+            return sliding_lagged_correlation(
+                matrix, query, max_lag, absolute=absolute,
+                memory_budget=memory_budget,
+            )
+        if memory_budget is not None:
+            shard_windows = self._run_lagged_streamed(
+                matrix, query, max_lag, absolute, memory_budget, blocks
+            )
+        else:
+            shard_windows = self._map_pair_blocks(
+                mode, "lagged", (matrix, query, max_lag, absolute), blocks
+            )
+        return merge_lagged_results(query, n, shard_windows)
+
+    def _run_lagged_streamed(
+        self,
+        matrix: TimeSeriesMatrix,
+        query: SlidingQuery,
+        max_lag: int,
+        absolute: bool,
+        memory_budget: int,
+        blocks: Sequence[PairBlock],
+    ) -> List[List[LagPairs]]:
+        """One streaming pass, pair blocks fanned out per window (threads).
+
+        The per-window barrier (collecting every block's future before the
+        iterator advances) is required for correctness: the rolling buffer
+        is reused between windows, so no task may straddle the shift.
+        """
+        shard_windows: List[List[LagPairs]] = [[] for _ in blocks]
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            for index, values in iter_query_windows(
+                matrix, query, memory_budget=memory_budget
+            ):
+                futures = [
+                    pool.submit(
+                        lagged_pair_stats,
+                        values,
+                        max_lag,
+                        block.rows,
+                        block.cols,
+                        absolute,
+                        index,
+                    )
+                    for block in blocks
+                ]
+                for per_shard, future in zip(shard_windows, futures):
+                    per_shard.append(future.result())
+        return shard_windows
+
+    def _map_pair_blocks(
+        self, mode: str, kind: str, payload: tuple, blocks: Sequence[PairBlock]
+    ) -> list:
+        """Fan an engine-less task out over pair blocks (pool per ``mode``).
+
+        Mirrors :meth:`run`'s degradation contract: infrastructure failures
+        of the process pool fall back to threads, errors raised by the task
+        itself propagate.
+        """
+        if mode == MODE_PROCESS:
+            try:
+                return self._run_task_process_pool(kind, payload, blocks)
+            except (_ProcessPoolUnavailable, BrokenProcessPool):
+                pass
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [
+                pool.submit(_run_task_for, kind, payload, (block.start, block.stop))
+                for block in blocks
+            ]
+            return [future.result() for future in futures]
+
+    def _run_task_process_pool(
+        self, kind: str, payload: tuple, blocks: Sequence[PairBlock]
+    ) -> list:
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._process_context(),
+                initializer=_init_task_worker,
+                initargs=(kind, payload),
+            )
+        except (OSError, ValueError, ImportError) as error:
+            raise _ProcessPoolUnavailable(str(error)) from error
+        with pool:
+            try:
+                futures = [
+                    pool.submit(_run_task, (block.start, block.stop))
+                    for block in blocks
+                ]
+            except (OSError, pickle.PicklingError, TypeError) as error:
+                raise _ProcessPoolUnavailable(str(error)) from error
+            return [future.result() for future in futures]
 
     # ------------------------------------------------------------- internals
     def _run_thread_pool(

@@ -15,6 +15,12 @@ Work counters (exact evaluations, skips, candidate pairs) are additive across
 shards and summed; ``extra`` entries are kept only when every shard agrees on
 them (per-shard diagnostics like mean jump length are dropped rather than
 misreported).
+
+The same disjointness argument covers the other query families:
+:func:`merge_topk_results` re-ranks the union of per-shard top-k candidates
+under the canonical total order, and :func:`merge_lagged_results` scatters
+per-shard lagged pair blocks back into dense matrices — both bit-identical
+to the corresponding serial run for any partition.
 """
 
 from __future__ import annotations
@@ -23,12 +29,15 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.config import FLOAT_DTYPE, INDEX_DTYPE
+from repro.core.lag import LagMatrices, LagPairs
 from repro.core.query import SlidingQuery
 from repro.core.result import (
     CorrelationSeriesResult,
     EngineStats,
     ThresholdedMatrix,
 )
+from repro.core.topk import TopKResult, select_top_k
 from repro.exceptions import ParallelError
 
 #: ``EngineStats.extra`` keys that are per-shard work counters (summed on
@@ -114,3 +123,89 @@ def merge_shard_results(
     if series_ids is None:
         series_ids = shard_results[0].series_ids
     return CorrelationSeriesResult(query, matrices, stats, series_ids=series_ids)
+
+
+def _check_window_counts(query: SlidingQuery, counts: Sequence[int], what: str) -> int:
+    num_windows = query.num_windows
+    if set(counts) != {num_windows}:
+        raise ParallelError(
+            f"{what} disagree with the query's window count "
+            f"{num_windows}: got {sorted(set(counts))}"
+        )
+    return num_windows
+
+
+def _single_window_index(indices: Sequence[int], position: int) -> int:
+    unique = set(int(i) for i in indices)
+    if len(unique) != 1:
+        raise ParallelError(
+            f"shards disagree on the index of window #{position}: {sorted(unique)}"
+        )
+    return unique.pop()
+
+
+def merge_topk_results(
+    query: SlidingQuery,
+    k: int,
+    absolute: bool,
+    shard_results: Sequence[TopKResult],
+) -> TopKResult:
+    """Exact global top-k per window from per-shard local top-k candidates.
+
+    Correct because :func:`repro.core.topk.select_top_k` is a *total* order
+    (rank descending, then ascending canonical pair): every member of the
+    global top k necessarily ranks within its own shard's local top k, so
+    re-ranking the union of the shards' candidates reproduces the serial
+    selection exactly — including duplicate values at the k boundary, shards
+    holding fewer than k pairs, and shards holding none at all.
+    """
+    if not shard_results:
+        raise ParallelError("cannot merge an empty list of top-k shard results")
+    num_windows = _check_window_counts(
+        query, [r.num_windows for r in shard_results], "top-k shard results"
+    )
+    windows = []
+    for position in range(num_windows):
+        shard_windows = [r.windows[position] for r in shard_results]
+        index = _single_window_index(
+            [w.window_index for w in shard_windows], position
+        )
+        rows = np.concatenate([w.rows for w in shard_windows])
+        cols = np.concatenate([w.cols for w in shard_windows])
+        values = np.concatenate([w.values for w in shard_windows])
+        windows.append(select_top_k(rows, cols, values, k, absolute, index))
+    return TopKResult(query=query, k=k, absolute=absolute, windows=windows)
+
+
+def merge_lagged_results(
+    query: SlidingQuery,
+    num_series: int,
+    shard_windows: Sequence[Sequence[LagPairs]],
+) -> List[LagMatrices]:
+    """Scatter per-shard lagged pair blocks into dense per-window matrices.
+
+    Each shard contributes one :class:`~repro.core.lag.LagPairs` per window
+    over its disjoint pair block; both directions of every pair are carried
+    in the block, so scattering all blocks into zeroed matrices (then
+    setting the diagonal, exactly as :meth:`LagPairs.to_matrices` does for
+    the full triangle) is bit-identical to the serial dense run for any
+    partition.
+    """
+    if not shard_windows:
+        raise ParallelError("cannot merge an empty list of lagged shard results")
+    num_windows = _check_window_counts(
+        query, [len(shard) for shard in shard_windows], "lagged shard results"
+    )
+    merged: List[LagMatrices] = []
+    for position in range(num_windows):
+        blocks = [shard[position] for shard in shard_windows]
+        index = _single_window_index([b.window_index for b in blocks], position)
+        best_corr = np.zeros((num_series, num_series), dtype=FLOAT_DTYPE)
+        best_lag = np.zeros((num_series, num_series), dtype=INDEX_DTYPE)
+        for block in blocks:
+            block.scatter_into(best_corr, best_lag)
+        np.fill_diagonal(best_corr, 1.0)
+        merged.append(
+            LagMatrices(window_index=index, best_corr=best_corr, best_lag=best_lag)
+        )
+    return merged

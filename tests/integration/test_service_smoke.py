@@ -19,8 +19,9 @@ import threading
 import numpy as np
 import pytest
 
-from repro.api import CorrelationSession, ThresholdQuery
+from repro.api import CorrelationSession, LaggedQuery, ThresholdQuery, TopKQuery
 from repro.service import CorrelationServer, CorrelationService, ServiceClient
+from repro.service.wire import result_from_wire
 from repro.storage.catalog import Catalog
 from repro.storage.chunk_store import ChunkStore
 from repro.storage.stats_index import StatsIndex
@@ -122,3 +123,113 @@ def test_streaming_append_reaches_standing_queries(client, values):
         assert emitted["rows"] == matrix.rows.tolist()
         assert emitted["cols"] == matrix.cols.tolist()
         assert emitted["values"] == pytest.approx(matrix.values.tolist())
+
+
+# --------------------------------------------------------------------------
+# Scenario-matrix smoke: the newly-supported execution cells served over
+# ``repro.result/v1``.  A second server is sized so ``workers=2`` requests
+# clear the parallel pair floor (96 series = 4560 pairs) and configured with
+# a memory budget below the dense matrix, so top-k sketches build tiled and
+# lagged queries stream their window buffers — while a pruned (deterministic
+# kcenter) Dangoron answers threshold queries.  Every response must be
+# bit-identical to a plain serial/dense in-process run, and each response's
+# ``plan`` string must prove the cell actually executed (no silent serial
+# or dense fallback passing as coverage).
+# --------------------------------------------------------------------------
+MATRIX_NUM = 96
+#: Below the 96 x 512 x 8B = 384 KiB dense matrix, above one 96 x 128-column
+#: window buffer (96 KiB): sketch builds tile and lagged windows stream.
+MATRIX_BUDGET = 128 * 1024
+PRUNED_OPTIONS = {
+    "use_horizontal_pruning": True,
+    "pivot_strategy": "kcenter",
+    "num_pivots": 3,
+}
+
+
+@pytest.fixture(scope="module")
+def matrix_values():
+    rng = np.random.default_rng(20230807)
+    base = rng.standard_normal(LENGTH)
+    return np.stack(
+        [base + 0.6 * rng.standard_normal(LENGTH) for _ in range(MATRIX_NUM)]
+    )
+
+
+@pytest.fixture(scope="module")
+def matrix_client(tmp_path_factory, matrix_values):
+    store = ChunkStore(MATRIX_NUM, chunk_columns=128)
+    store.append(matrix_values)
+    catalog = Catalog(tmp_path_factory.mktemp("matrix-catalog"))
+    catalog.add_dataset("cells", store, description="scenario-matrix dataset")
+    service = CorrelationService(
+        catalog,
+        engine_options=dict(PRUNED_OPTIONS),
+        basic_window_size=BASIC,
+        memory_budget=MATRIX_BUDGET,
+    )
+    with CorrelationServer(service) as server:
+        yield ServiceClient(server.url)
+
+
+@pytest.fixture(scope="module")
+def matrix_reference(matrix_values):
+    """Serial, dense, in-process: the bit-identity baseline for every cell."""
+    return CorrelationSession(
+        TimeSeriesMatrix(matrix_values),
+        engine_options=dict(PRUNED_OPTIONS),
+        basic_window_size=BASIC,
+    )
+
+
+def _served(client, query, workers=None):
+    document = client.query_raw("cells", query, workers=workers)
+    return document["plan"], result_from_wire(document)
+
+
+def test_matrix_smoke_pruned_threshold_sharded(matrix_client, matrix_reference):
+    query = ThresholdQuery(start=0, end=LENGTH, window=128, step=32, threshold=0.55)
+    local = matrix_reference.run(query)
+    plan, remote = _served(matrix_client, query, workers=2)
+    assert "exec=sharded(workers=2)" in plan
+    # Pruning reads raw values for pivot selection; the plan says so instead
+    # of pretending the budget bounded the build.
+    assert "build=dense (engine needs raw values" in plan
+    for (_, ours), (_, theirs) in zip(local.iter_windows(), remote.iter_windows()):
+        np.testing.assert_array_equal(ours.rows, theirs.rows)
+        np.testing.assert_array_equal(ours.cols, theirs.cols)
+        np.testing.assert_array_equal(ours.values, theirs.values)
+
+
+def test_matrix_smoke_topk_sharded_tiled(matrix_client, matrix_reference):
+    query = TopKQuery(start=0, end=LENGTH, window=128, step=32, k=25)
+    local = matrix_reference.run(query)
+    plan, remote = _served(matrix_client, query, workers=2)
+    assert "exec=sharded(workers=2)" in plan
+    assert f"build=tiled(budget={MATRIX_BUDGET}B)" in plan
+    assert remote.k == local.k and remote.num_windows == local.num_windows
+    for ours, theirs in zip(local.windows, remote.windows):
+        assert ours.window_index == theirs.window_index
+        np.testing.assert_array_equal(ours.rows, theirs.rows)
+        np.testing.assert_array_equal(ours.cols, theirs.cols)
+        np.testing.assert_array_equal(ours.values, theirs.values)
+
+
+@pytest.mark.parametrize("workers,expected_exec", [
+    (None, "exec=serial"),                 # lagged x tiled: streamed windows
+    (2, "exec=sharded(workers=2)"),        # lagged x sharded x tiled
+])
+def test_matrix_smoke_lagged_streamed(
+    matrix_client, matrix_reference, workers, expected_exec
+):
+    query = LaggedQuery(start=0, end=LENGTH, window=128, step=32,
+                        max_lag=4, threshold=0.6)
+    local = matrix_reference.run(query)
+    plan, remote = _served(matrix_client, query, workers=workers)
+    assert expected_exec in plan
+    assert f"build=tiled(budget={MATRIX_BUDGET}B)" in plan
+    assert remote.num_windows == local.num_windows
+    for ours, theirs in zip(local.windows, remote.windows):
+        assert ours.window_index == theirs.window_index
+        np.testing.assert_array_equal(ours.best_corr, theirs.best_corr)
+        np.testing.assert_array_equal(ours.best_lag, theirs.best_lag)

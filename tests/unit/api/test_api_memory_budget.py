@@ -67,14 +67,37 @@ class TestPlanDecision:
         plan = planner.plan(matrix, TopKQuery(start=0, end=L, window=128, step=64, k=3))
         assert plan.sketch_build == SKETCH_BUILD_TILED
 
-    def test_lagged_stays_raw(self, matrix):
+    def test_lagged_streams_window_buffers(self, matrix):
+        # Lagged plans build no sketch (layout=None); under a budget they go
+        # "tiled" in the streamed-window sense: one (N, window) rolling
+        # buffer instead of the resident matrix.
         planner = QueryPlanner(basic_window_size=BASIC, memory_budget=DENSE_BYTES // 4)
         plan = planner.plan(
             matrix,
             LaggedQuery(start=0, end=L, window=128, step=64, threshold=0.5, max_lag=2),
         )
         assert plan.layout is None
+        assert plan.sketch_build == SKETCH_BUILD_TILED
+        assert f"build=tiled(budget={DENSE_BYTES // 4}B)" in plan.describe()
+
+    def test_lagged_budget_covering_data_stays_dense(self, matrix):
+        planner = QueryPlanner(basic_window_size=BASIC, memory_budget=DENSE_BYTES * 2)
+        plan = planner.plan(
+            matrix,
+            LaggedQuery(start=0, end=L, window=128, step=64, threshold=0.5, max_lag=2),
+        )
         assert plan.sketch_build == SKETCH_BUILD_DENSE
+        assert plan.build_reason == "raw data fits the budget"
+
+    def test_lagged_budget_below_one_window_buffer_raises(self, matrix):
+        window_bytes = N * 128 * 8
+        planner = QueryPlanner(basic_window_size=BASIC, memory_budget=window_bytes - 1)
+        with pytest.raises(ExperimentError, match="window buffer"):
+            planner.plan(
+                matrix,
+                LaggedQuery(start=0, end=L, window=128, step=64,
+                            threshold=0.5, max_lag=2),
+            )
 
     def test_unaligned_windows_stay_dense(self, matrix):
         # tsubasa plans a for_range layout; a step that is not a multiple of

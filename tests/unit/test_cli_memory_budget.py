@@ -68,11 +68,28 @@ class TestQueryMemoryBudget:
                      "--step", "64", "--basic-window", "16", "--k", "3",
                      "--memory-budget", "3k"]) == 0
 
-    def test_lagged_rejects_budget(self, npz_dataset, capsys):
+    def test_lagged_accepts_budget_and_matches_dense(self, npz_dataset, capsys):
+        lagged = ["query", npz_dataset, "--mode", "lagged", "--window", "128",
+                  "--step", "64", "--max-lag", "4"]
+        assert main(lagged) == 0
+        dense_out = capsys.readouterr().out
+        # 6 series x 128-column window = 6144 bytes per buffer; 8k streams
+        # (the full 6 x 512 matrix would need 24576 bytes).
+        assert main([*lagged, "--memory-budget", "8k"]) == 0
+        streamed_out = capsys.readouterr().out
+        assert "build=tiled(budget=8192B)" in streamed_out
+
+        def rows(text):
+            return [line for line in text.splitlines()
+                    if "|" in line and "seconds" not in line]
+        assert rows(dense_out) == rows(streamed_out)
+
+    def test_lagged_budget_below_one_window_fails_cleanly(self, npz_dataset, capsys):
         code = main(["query", npz_dataset, "--mode", "lagged", "--window", "128",
                      "--step", "64", "--memory-budget", "3k"])
         assert code == 1
-        assert "--memory-budget" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "lagged" in err and "tiled" in err and "window buffer" in err
 
     def test_unparseable_budget_fails_cleanly(self, npz_dataset, capsys):
         assert main(_query(npz_dataset, "--memory-budget", "lots")) == 1

@@ -34,11 +34,21 @@ def test_workers_flag_accepted_and_output_matches_serial(csv_dataset, capsys):
     assert serial_rows == workers_rows
 
 
-def test_workers_rejected_for_fixed_path_modes(csv_dataset, capsys):
-    code = main(_query(csv_dataset, "--mode", "topk", "--k", "3",
-                       "--workers", "2"))
-    assert code == 1
-    assert "--workers" in capsys.readouterr().err
+@pytest.mark.parametrize("mode_args", [
+    ("--mode", "topk", "--k", "3"),
+    ("--mode", "lagged", "--max-lag", "4"),
+])
+def test_workers_accepted_for_all_modes(csv_dataset, capsys, mode_args):
+    """topk/lagged queries shard too; output must match the serial run."""
+    assert main(_query(csv_dataset, *mode_args)) == 0
+    serial_output = capsys.readouterr().out
+    assert main(_query(csv_dataset, *mode_args, "--workers", "2")) == 0
+    workers_output = capsys.readouterr().out
+    # Drop the plan line (it names the execution decision) and compare the
+    # result summaries: sharded execution is bit-identical to serial.
+    def summary(text):
+        return [line for line in text.splitlines() if not line.startswith("plan[")]
+    assert summary(serial_output) == summary(workers_output)
 
 
 def test_workers_must_be_positive(csv_dataset, capsys):
