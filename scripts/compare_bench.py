@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Compare the newest BENCH_<n>.json against its predecessor.
+
+Every benchmark run in this repo records a ``BENCH_<n>.json`` in the repo
+root (one per PR).  This script pairs the newest recording with the one
+before it, matches rows by their non-numeric identity fields, and flags any
+metric that moved more than ``--tolerance`` (default 10%) in the *bad*
+direction:
+
+* metrics whose key mentions time (``seconds``, ``wall``, ``latency``)
+  regress by going **up**;
+* metrics whose key mentions rate or gain (``per_sec``, ``throughput``,
+  ``speedup``, ``ratio``) regress by going **down**;
+* other numeric fields are informational and never flagged.
+
+Benchmarks measure different things PR to PR, so only rows present in BOTH
+recordings (same identity) are compared — a brand-new benchmark family has
+no baseline and passes vacuously, but the comparison output says so instead
+of silently reporting a clean slate.
+
+Exits 0 and prints a JSON report when nothing regressed; exits 1 with the
+offending rows otherwise, so CI fails loudly.
+
+Usage::
+
+    python scripts/compare_bench.py [--tolerance 0.10] [--root DIR]
+    python scripts/compare_bench.py --baseline BENCH_7.json --candidate BENCH_8.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: Substrings classifying a numeric metric's good direction.  Checked in
+#: order: a key matching a lower-is-better marker is never also classified
+#: higher-is-better.
+LOWER_IS_BETTER = ("seconds", "wall", "latency", "elapsed")
+HIGHER_IS_BETTER = ("per_sec", "throughput", "speedup", "ratio", "rate")
+
+
+def find_recordings(root: Path) -> List[Tuple[int, Path]]:
+    """Every ``BENCH_<n>.json`` under ``root``, sorted by ``n``."""
+    found = []
+    for path in root.glob("BENCH_*.json"):
+        match = _BENCH_NAME.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def metric_direction(key: str) -> Optional[str]:
+    lowered = key.lower()
+    if any(marker in lowered for marker in LOWER_IS_BETTER):
+        return "lower"
+    if any(marker in lowered for marker in HIGHER_IS_BETTER):
+        return "higher"
+    return None
+
+
+def row_identity(row: Dict[str, object]) -> str:
+    """A row's stable identity: its non-numeric fields, canonically encoded."""
+    identity = {
+        key: value
+        for key, value in row.items()
+        if not isinstance(value, (int, float)) or isinstance(value, bool)
+    }
+    return json.dumps(identity, sort_keys=True, separators=(",", ":"))
+
+
+def iter_rows(document: Dict[str, object]) -> List[Dict[str, object]]:
+    rows = document.get("rows")
+    if isinstance(rows, list):
+        return [row for row in rows if isinstance(row, dict)]
+    return []
+
+
+def compare_rows(
+    baseline: Dict[str, object],
+    candidate: Dict[str, object],
+    tolerance: float,
+) -> Tuple[int, List[Dict[str, object]]]:
+    """Match rows by identity and flag out-of-tolerance moves.
+
+    Returns ``(compared_metric_count, regressions)``.
+    """
+    base_rows = {row_identity(row): row for row in iter_rows(baseline)}
+    compared = 0
+    regressions: List[Dict[str, object]] = []
+    for row in iter_rows(candidate):
+        base = base_rows.get(row_identity(row))
+        if base is None:
+            continue
+        for key, value in row.items():
+            direction = metric_direction(key)
+            if direction is None:
+                continue
+            before = base.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            if not isinstance(before, (int, float)) or isinstance(before, bool):
+                continue
+            if before == 0:
+                continue
+            compared += 1
+            change = (value - before) / abs(before)
+            worse = change > tolerance if direction == "lower" else change < -tolerance
+            if worse:
+                regressions.append(
+                    {
+                        "row": row_identity(row),
+                        "metric": key,
+                        "direction": direction,
+                        "baseline": before,
+                        "candidate": value,
+                        "change": round(change, 4),
+                    }
+                )
+    return compared, regressions
+
+
+def build_report(
+    baseline_path: Path, candidate_path: Path, tolerance: float
+) -> Dict[str, object]:
+    baseline = json.loads(baseline_path.read_text())
+    candidate = json.loads(candidate_path.read_text())
+    compared, regressions = compare_rows(baseline, candidate, tolerance)
+    return {
+        "baseline": baseline_path.name,
+        "candidate": candidate_path.name,
+        "tolerance": tolerance,
+        "compared_metrics": compared,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=".", help="directory holding the BENCH_<n>.json files"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="fractional change tolerated before a metric counts as a "
+             "regression (default 0.10 = 10%%)",
+    )
+    parser.add_argument("--baseline", default=None, help="explicit baseline file")
+    parser.add_argument("--candidate", default=None, help="explicit candidate file")
+    args = parser.parse_args(argv)
+
+    if args.tolerance < 0:
+        print(f"--tolerance must be non-negative, got {args.tolerance}", file=sys.stderr)
+        return 2
+    if (args.baseline is None) != (args.candidate is None):
+        print("--baseline and --candidate must be given together", file=sys.stderr)
+        return 2
+
+    if args.baseline is not None:
+        baseline_path, candidate_path = Path(args.baseline), Path(args.candidate)
+    else:
+        recordings = find_recordings(Path(args.root))
+        if len(recordings) < 2:
+            print(
+                json.dumps(
+                    {
+                        "ok": True,
+                        "compared_metrics": 0,
+                        "regressions": [],
+                        "note": "fewer than two BENCH_<n>.json recordings; "
+                                "nothing to compare",
+                    },
+                    indent=2,
+                )
+            )
+            return 0
+        (_, baseline_path), (_, candidate_path) = recordings[-2], recordings[-1]
+
+    for path in (baseline_path, candidate_path):
+        if not path.is_file():
+            print(f"no such recording: {path}", file=sys.stderr)
+            return 2
+
+    report = build_report(baseline_path, candidate_path, args.tolerance)
+    print(json.dumps(report, indent=2))
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

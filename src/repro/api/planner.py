@@ -76,6 +76,7 @@ EXECUTION_SHARDED = "sharded"
 #: Sketch-build strategies (``ExecutionPlan.sketch_build``).
 SKETCH_BUILD_DENSE = "dense"
 SKETCH_BUILD_TILED = "tiled"
+SKETCH_BUILD_INCREMENTAL = "incremental"
 
 
 @dataclass(frozen=True)
@@ -113,8 +114,10 @@ class ExecutionPlan:
     #: Why a *requested* strategy was declined (``None`` when nothing was
     #: declined): ``execution_reason`` explains a serial plan under
     #: ``workers > 1``, ``build_reason`` a dense build under a configured
-    #: ``memory_budget``.  Surfaced by :meth:`describe` so no fallback is
-    #: silent.
+    #: ``memory_budget`` or under an available append chain.  On an
+    #: ``incremental`` plan ``build_reason`` is instead the *positive*
+    #: justification (which chained prefix will be extended).  Surfaced by
+    #: :meth:`describe` so no fallback is silent.
     execution_reason: Optional[str] = None
     build_reason: Optional[str] = None
 
@@ -131,8 +134,12 @@ class ExecutionPlan:
         if self.execution_reason:
             execution += f" ({self.execution_reason})"
         summary = f"plan[{self.kind}] engine={engine} sketch={layout} exec={execution}"
-        if self.sketch_build == SKETCH_BUILD_TILED:
+        if self.sketch_build == SKETCH_BUILD_INCREMENTAL:
+            summary += f" build=incremental({self.build_reason})"
+        elif self.sketch_build == SKETCH_BUILD_TILED:
             summary += f" build=tiled(budget={self.memory_budget}B)"
+            if self.build_reason:
+                summary += f" ({self.build_reason})"
         elif self.build_reason:
             summary += f" build=dense ({self.build_reason})"
         return summary
@@ -232,6 +239,15 @@ class QueryPlanner:
             accepted = engine_options(self.engine_name)
             if "basic_window_size" in accepted and "basic_window_size" not in options:
                 options["basic_window_size"] = self.basic_window_size
+            if (
+                "memory_budget" in accepted
+                and "memory_budget" not in options
+                and self.memory_budget is not None
+            ):
+                # Engines that can bound their own working set (e.g. the
+                # rolling-sums engine streaming window buffers) inherit the
+                # planner's budget, like ``basic_window_size`` above.
+                options["memory_budget"] = self.memory_budget
             self._default_engine = create_engine(self.engine_name, **options)
         return self._default_engine
 
@@ -350,6 +366,17 @@ class QueryPlanner:
     ) -> tuple:
         """The ``(sketch_build, reason)`` decision for a planned layout.
 
+        Incremental is preferred whenever it applies: the matrix heads an
+        append chain (``SketchCache.extend_chain`` ran on it) and a chained
+        cache entry covers a prefix of the planned layout, so the sketch
+        refreshes in O(Δ) — bit-identical to a rebuild — instead of
+        recomputing O(history) statistics.  The plan's ``build_reason`` then
+        states *which* prefix is extended; when a chain exists but cannot
+        serve the query (unaligned windows, raw-values engine, no chained
+        entry for this layout) the decline is named instead of silently
+        rebuilding.  Cold matrices (never appended) skip the incremental
+        question entirely and keep their historic plan strings.
+
         Tiled is chosen only when it pays *and* suffices: a budget is
         configured, the raw data it would have to hold at once exceeds it,
         every query window recombines from whole basic windows (an unaligned
@@ -361,18 +388,51 @@ class QueryPlanner:
         dense instead of claiming a bounded build).  The reason names why a
         configured budget fell back to dense.
         """
+        declined = None
+        if layout is not None and self.sketch_cache.has_chain(matrix):
+            if not self._windows_sketch_aligned(layout, query):
+                declined = "incremental declined: unaligned windows read raw values"
+            elif engine is not None and engine.needs_raw_values(query):
+                declined = (
+                    "incremental declined: engine needs raw values (pivot selection)"
+                )
+            else:
+                coverage = self.sketch_cache.extension_coverage(matrix, layout)
+                if coverage is None:
+                    declined = (
+                        "incremental declined: no chained sketch entry covers "
+                        "a prefix of this layout"
+                    )
+                else:
+                    return SKETCH_BUILD_INCREMENTAL, (
+                        f"chained sketch covers {coverage}/{layout.count} "
+                        f"basic windows"
+                    )
         if self.memory_budget is None:
-            return SKETCH_BUILD_DENSE, None
+            return SKETCH_BUILD_DENSE, declined
         if layout is None:
             return SKETCH_BUILD_DENSE, "execution path plans no sketch layout"
         if not self._windows_sketch_aligned(layout, query):
-            return SKETCH_BUILD_DENSE, "unaligned windows read raw values"
+            return SKETCH_BUILD_DENSE, self._joined(
+                declined, "unaligned windows read raw values"
+            )
         if engine is not None and engine.needs_raw_values(query):
-            return SKETCH_BUILD_DENSE, "engine needs raw values (pivot selection)"
+            return SKETCH_BUILD_DENSE, self._joined(
+                declined, "engine needs raw values (pivot selection)"
+            )
         dense_bytes = matrix.num_series * matrix.length * np.dtype(FLOAT_DTYPE).itemsize
         if dense_bytes <= self.memory_budget:
-            return SKETCH_BUILD_DENSE, "raw data fits the budget"
-        return SKETCH_BUILD_TILED, None
+            return SKETCH_BUILD_DENSE, self._joined(
+                declined, "raw data fits the budget"
+            )
+        return SKETCH_BUILD_TILED, declined
+
+    @staticmethod
+    def _joined(declined: Optional[str], reason: str) -> str:
+        """Stack an incremental decline on top of the dense-build reason."""
+        if declined is None or declined.endswith(reason):
+            return declined or reason
+        return f"{declined}; {reason}"
 
     def _lagged_build_for(self, matrix: TimeSeriesMatrix, query: SlidingQuery) -> tuple:
         """The ``(sketch_build, reason)`` decision for a lagged query.
@@ -424,7 +484,14 @@ class QueryPlanner:
         cache_hit = False
         if plan.layout is not None:
             hits_before = self.sketch_cache.stats.hits
-            if plan.sketch_build == SKETCH_BUILD_TILED:
+            if plan.sketch_build == SKETCH_BUILD_INCREMENTAL:
+                sketch = self.sketch_cache.get_or_extend(
+                    matrix,
+                    plan.layout,
+                    memory_budget=plan.memory_budget,
+                    workers=self.workers or 1,
+                )
+            elif plan.sketch_build == SKETCH_BUILD_TILED:
                 sketch = self.sketch_cache.get_or_build_tiled(
                     matrix,
                     plan.layout,

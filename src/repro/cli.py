@@ -317,6 +317,8 @@ def create_server(args: argparse.Namespace):
         basic_window_size=args.basic_window,
         workers=args.workers,
         memory_budget=memory_budget,
+        write_buffer_columns=args.write_buffer_columns,
+        write_buffer_seconds=args.write_buffer_seconds,
     )
     return CorrelationServer(
         service, host=args.host, port=args.port, verbose=args.verbose
@@ -476,6 +478,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--memory-budget", default=None, metavar="BYTES",
         help="bound each dataset's sketch-build working set (e.g. 256MB); "
              "larger datasets build their statistics tiled, bit-identically",
+    )
+    serve.add_argument(
+        "--write-buffer-columns", type=int, default=None, metavar="N",
+        help="batch appended time steps and flush once N columns are "
+             "buffered (default: write-through, no buffering)",
+    )
+    serve.add_argument(
+        "--write-buffer-seconds", type=float, default=None, metavar="SECONDS",
+        help="flush buffered appends once the oldest buffered column is this "
+             "old; reads always flush first, so queries see every append",
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"

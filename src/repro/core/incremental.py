@@ -22,13 +22,14 @@ keep the values bit-comparable with the exact answer.
 from __future__ import annotations
 
 import time
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.config import FLOAT_DTYPE
 from repro.core.correlation import correlation_from_sums
 from repro.core.engine import SlidingCorrelationEngine, register_engine
+from repro.core.lag import iter_query_windows
 from repro.core.query import SlidingQuery
 from repro.core.result import (
     CorrelationSeriesResult,
@@ -50,17 +51,31 @@ class IncrementalEngine(SlidingCorrelationEngine):
         windows to bound floating point drift.  ``0`` disables refreshing
         (the drift over a few thousand slides of well-scaled data stays far
         below :data:`repro.config.CORRELATION_ATOL`).
+    memory_budget:
+        When set (bytes), windows stream out of the matrix's column-chunk
+        source through one rolling buffer
+        (:func:`repro.core.lag.iter_query_windows`) instead of slicing a
+        resident array, so the engine runs out-of-core over a lazy
+        ``ChunkBackedMatrix``.  The planner injects its own budget here
+        automatically.  Results are identical to the resident mode.
     """
 
     name = "incremental"
     exact = True
 
-    def __init__(self, refresh_every: int = 256) -> None:
+    def __init__(
+        self, refresh_every: int = 256, memory_budget: Optional[int] = None
+    ) -> None:
         if refresh_every < 0:
             raise QueryValidationError(
                 f"refresh_every must be non-negative, got {refresh_every}"
             )
+        if memory_budget is not None and memory_budget < 1:
+            raise QueryValidationError(
+                f"memory_budget must be a positive byte count, got {memory_budget}"
+            )
         self.refresh_every = refresh_every
+        self.memory_budget = memory_budget
 
     def describe(self) -> str:
         suffix = f"refresh={self.refresh_every}" if self.refresh_every else "no-refresh"
@@ -71,7 +86,6 @@ class IncrementalEngine(SlidingCorrelationEngine):
         self, matrix: TimeSeriesMatrix, query: SlidingQuery
     ) -> CorrelationSeriesResult:
         query.validate_against_length(matrix.length)
-        values = matrix.values
         n = matrix.num_series
         pairs = n * (n - 1) // 2
         overlapping = query.step < query.window
@@ -85,22 +99,29 @@ class IncrementalEngine(SlidingCorrelationEngine):
         sumprods = np.zeros((n, n), dtype=FLOAT_DTYPE)
 
         started = time.perf_counter()
-        for k, begin, end in query.iter_windows():
+        # Windows stream through ``iter_query_windows`` in both modes: with a
+        # ``memory_budget`` they assemble out of the matrix's column-chunk
+        # source (a lazy ``ChunkBackedMatrix`` is never materialized), without
+        # one they are copied out of the resident array — either way every
+        # yielded buffer carries identical bytes and layout, so the two modes
+        # compute identical statistics.  Streamed buffers are *reused*
+        # between windows, hence the ``outgoing`` copy below.
+        outgoing: np.ndarray = np.zeros((n, 0), dtype=FLOAT_DTYPE)
+        for k, window in iter_query_windows(
+            matrix, query, memory_budget=self.memory_budget
+        ):
             refresh = (
                 k == 0
                 or not overlapping
                 or (self.refresh_every and k % self.refresh_every == 0)
             )
             if refresh:
-                window = values[:, begin:end]
                 sums = window.sum(axis=1)
                 sumprods = window @ window.T
                 sumsqs = np.einsum("ij,ij->i", window, window)
                 columns_added += query.window
             else:
-                prev_begin = begin - query.step
-                outgoing = values[:, prev_begin:begin]
-                incoming = values[:, end - query.step : end]
+                incoming = window[:, query.window - query.step :]
                 sums = sums - outgoing.sum(axis=1) + incoming.sum(axis=1)
                 sumsqs = (
                     sumsqs
@@ -110,6 +131,10 @@ class IncrementalEngine(SlidingCorrelationEngine):
                 sumprods = sumprods - outgoing @ outgoing.T + incoming @ incoming.T
                 columns_added += query.step
                 columns_removed += query.step
+            if overlapping:
+                # The columns that leave when the window next slides; copied
+                # because the streamed buffer is overwritten in place.
+                outgoing = np.ascontiguousarray(window[:, : query.step])
 
             corr = correlation_from_sums(
                 np.full((n, n), float(query.window), dtype=FLOAT_DTYPE),

@@ -212,6 +212,75 @@ class BasicWindowSketch:
             build_seconds=time.perf_counter() - started,
         )
 
+    # ----------------------------------------------------------------- extend
+    def extend(self, columns: np.ndarray) -> "BasicWindowSketch":
+        """Absorb appended columns as new basic windows (O(Δ), bit-identical).
+
+        ``columns`` are the raw values of the columns immediately following
+        this sketch's coverage (``[covered_end, covered_end + k)``) and must
+        form whole basic windows (``k`` a positive multiple of
+        ``layout.size``); callers buffer sub-window residuals until a window
+        completes (see ``SketchCache.extend_chain``).  Appends never change
+        *existing* basic windows, so extension computes the delta windows'
+        statistics with the dense build's exact element-wise operations and
+        concatenates — splitting the basic-window axis is the same
+        reduction-safe cut the tiled builder makes at every tile boundary, so
+        the returned sketch is **bit-identical** to
+        ``BasicWindowSketch.build`` over the grown matrix (property-tested in
+        ``tests/property/test_incremental_maintenance_property.py``).
+
+        Returns a *new* sketch; the receiver stays valid for its own range
+        (cached sketches are treated as immutable after publication).
+        """
+        started = time.perf_counter()
+        columns = np.ascontiguousarray(columns, dtype=FLOAT_DTYPE)
+        if columns.ndim != 2:
+            raise SketchError(
+                f"extension columns must be 2-D, got shape {columns.shape}"
+            )
+        if columns.shape[0] != self.num_series:
+            raise SketchError(
+                f"extension columns cover {columns.shape[0]} series but the "
+                f"sketch has {self.num_series}"
+            )
+        size = self.layout.size
+        if columns.shape[1] == 0 or columns.shape[1] % size:
+            raise SketchError(
+                f"extension must supply whole basic windows: got "
+                f"{columns.shape[1]} columns for basic windows of size {size} "
+                f"(buffer sub-window residuals until a window completes)"
+            )
+        delta_count = columns.shape[1] // size
+        blocks = columns.reshape(self.num_series, delta_count, size)
+
+        delta_sums = blocks.sum(axis=2)
+        delta_sumsqs = np.einsum("nws,nws->nw", blocks, blocks)
+        series_sums = np.concatenate([self.series_sums, delta_sums], axis=1)
+        series_sumsqs = np.concatenate([self.series_sumsqs, delta_sumsqs], axis=1)
+
+        pair_sumprods = None
+        pair_corrs = None
+        if self.has_pairwise:
+            delta_sumprods = np.einsum("iws,jws->wij", blocks, blocks)
+            delta_corrs = pair_corrs_from_stats(
+                delta_sums, delta_sumsqs, delta_sumprods, size
+            )
+            pair_sumprods = np.concatenate([self.pair_sumprods, delta_sumprods])
+            pair_corrs = np.concatenate([self.pair_corrs, delta_corrs])
+
+        return BasicWindowSketch(
+            layout=BasicWindowLayout(
+                offset=self.layout.offset,
+                size=size,
+                count=self.layout.count + delta_count,
+            ),
+            series_sums=series_sums,
+            series_sumsqs=series_sumsqs,
+            pair_sumprods=pair_sumprods,
+            pair_corrs=pair_corrs,
+            build_seconds=time.perf_counter() - started,
+        )
+
     # ------------------------------------------------------------------ shape
     @property
     def num_series(self) -> int:

@@ -472,6 +472,18 @@ class ColumnReblocker:
         self._pending_columns = 0
         return block
 
+    def peek(self) -> Optional[np.ndarray]:
+        """The buffered partial block *without* consuming it (or ``None``).
+
+        Fingerprint chaining (:mod:`repro.storage.cache`) finalizes a running
+        digest after every append: the complete blocks are already hashed, and
+        the pending tail must be hashed as the stream's final partial block —
+        while staying buffered so the *next* append keeps extending it.
+        """
+        if not self._pending_columns:
+            return None
+        return np.ascontiguousarray(self._stitched())
+
 
 def reblock_columns(
     chunks: Iterable[np.ndarray], block_columns: int

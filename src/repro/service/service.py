@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
@@ -124,6 +125,8 @@ class DatasetRuntime:
         basic_window_size: int,
         workers: Optional[int],
         memory_budget: Optional[int] = None,
+        write_buffer_columns: Optional[int] = None,
+        write_buffer_seconds: Optional[float] = None,
     ) -> None:
         self.name = name
         self.catalog = catalog
@@ -132,6 +135,8 @@ class DatasetRuntime:
         self.basic_window_size = basic_window_size
         self.default_workers = workers
         self.memory_budget = memory_budget
+        self.write_buffer_columns = write_buffer_columns
+        self.write_buffer_seconds = write_buffer_seconds
         self.store = catalog.load_dataset(name)
         if self.store.length == 0:
             raise StorageError(f"dataset {name!r} contains no columns")
@@ -147,8 +152,12 @@ class DatasetRuntime:
             "coalesced": 0,
             "appended_columns": 0,
             "indexes_seeded": 0,
+            "flushes": 0,
         }  # guarded-by: lock
         self._watch_counter = 0  # guarded-by: lock
+        self._write_buffer: List[np.ndarray] = []  # guarded-by: lock
+        self._write_buffer_columns = 0  # guarded-by: lock
+        self._write_buffer_started: Optional[float] = None  # guarded-by: lock
         self._matrix: Optional[TimeSeriesMatrix] = None  # guarded-by: lock
         self._sessions: Dict[Optional[int], CorrelationSession] = {}  # guarded-by: lock
         # One cache for the dataset's whole lifetime: every session (whatever
@@ -260,16 +269,25 @@ class DatasetRuntime:
 
     # ----------------------------------------------------------------- writes
     def append_columns(self, columns: np.ndarray) -> Dict[str, object]:  # requires-lock: lock
-        """Append new time steps and feed every standing query's monitor."""
+        """Append new time steps and feed every standing query's monitor.
+
+        Before the store grows, the append advances the sketch cache's
+        fingerprint *chain* (``SketchCache.extend_chain``): cached sketches
+        move to the grown matrix's digest instead of being orphaned, and the
+        appended columns join the chain's tail buffer, so the next query
+        refreshes its sketch in O(Δ) (``sketch_build=incremental``) instead
+        of rebuilding O(history) statistics.
+        """
+        fingerprint = self.sketch_cache.extend_chain(self.matrix, columns)
         self.store.append(columns)
         self.counters["appended_columns"] += columns.shape[1]
-        # The dense view and its sessions describe the old length; drop them
-        # so the next query sees the appended columns.  The sketch cache stays
-        # (it keys on content, so old-range sketches remain valid if the same
-        # prefix is queried again through a rebuilt matrix object only when
-        # fingerprints match; appended data changes the fingerprint).
+        # The matrix view and its sessions describe the old length; drop them
+        # so the next query sees the appended columns, and memoize the
+        # chained fingerprint onto the rebuilt view so that query never
+        # re-hashes the history the chain already accounted for.
         self._matrix = None
         self._sessions.clear()
+        self.sketch_cache.adopt_fingerprint(self.matrix, fingerprint)
         watches = [
             {"id": watch.watch_id, "windows": watch.feed(columns)}
             for watch in self.watches.values()
@@ -279,6 +297,76 @@ class DatasetRuntime:
             "length": self.store.length,
             "watches": watches,
         }
+
+    def ingest_columns(self, columns: np.ndarray) -> Dict[str, object]:  # requires-lock: lock
+        """Accept appended time steps, batching them when a write buffer is on.
+
+        With no write buffer configured this is :meth:`append_columns` write-
+        through.  Otherwise the columns are buffered and only flushed into
+        the chunk store (and the standing-query monitors, and the sketch
+        chain) once the buffered column count or the buffer's age crosses its
+        threshold — sustained ingestion then amortizes storage writes and
+        sketch extension over whole batches.  The response always reports the
+        *logical* length (stored plus buffered) and whether this call
+        flushed; buffered appends return no watch windows (they are delivered
+        by the flushing call).
+        """
+        if self.write_buffer_columns is None and self.write_buffer_seconds is None:
+            return {**self.append_columns(columns), "buffered_columns": 0,
+                    "flushed": True}
+        self._write_buffer.append(columns)
+        self._write_buffer_columns += int(columns.shape[1])
+        if self._write_buffer_started is None:
+            self._write_buffer_started = time.monotonic()
+        if self._write_buffer_due():
+            result = self.flush_writes()
+            return {**result, "buffered_columns": 0, "flushed": True}
+        self.sketch_cache.set_buffered_columns(self._write_buffer_columns)
+        return {
+            "appended_columns": int(columns.shape[1]),
+            "length": self.store.length + self._write_buffer_columns,
+            "watches": [],
+            "buffered_columns": self._write_buffer_columns,
+            "flushed": False,
+        }
+
+    def _write_buffer_due(self) -> bool:  # requires-lock: lock
+        if (
+            self.write_buffer_columns is not None
+            and self._write_buffer_columns >= self.write_buffer_columns
+        ):
+            return True
+        return (
+            self.write_buffer_seconds is not None
+            and self._write_buffer_started is not None
+            and time.monotonic() - self._write_buffer_started
+            >= self.write_buffer_seconds
+        )
+
+    def flush_writes(self) -> Dict[str, object]:  # requires-lock: lock
+        """Write buffered appends through to the store and standing queries.
+
+        Query and watch paths call this first, so reads always observe every
+        accepted append (read-your-writes); the age threshold is also
+        enforced here, lazily, instead of by a background timer.
+        """
+        if not self._write_buffer:
+            return {
+                "appended_columns": 0,
+                "length": self.store.length,
+                "watches": [],
+            }
+        if len(self._write_buffer) == 1:
+            columns = self._write_buffer[0]
+        else:
+            columns = np.concatenate(self._write_buffer, axis=1)
+        self._write_buffer = []
+        self._write_buffer_columns = 0
+        self._write_buffer_started = None
+        self.sketch_cache.set_buffered_columns(0)
+        result = self.append_columns(columns)
+        self.counters["flushes"] += 1
+        return result
 
     def register_watch(self, query: ThresholdQuery) -> _StandingQuery:  # requires-lock: lock
         """Register a standing threshold query, caught up on stored history."""
@@ -308,6 +396,9 @@ class DatasetRuntime:
                 "builds": cache.builds,
                 "seeds": cache.seeds,
                 "entries": len(cache),
+                "extensions": cache.stats.sketch_extensions,
+                "extended_windows": cache.stats.extended_windows,
+                "buffered_columns": cache.stats.buffered_columns,
             },
         }
 
@@ -327,6 +418,14 @@ class CorrelationService:
         datasets stream through the tiled builder (bit-identical results,
         invisible to ``repro.result/v1`` clients).  ``None`` keeps every
         build dense.
+    write_buffer_columns, write_buffer_seconds:
+        Bounded write buffer for sustained append streams: accepted columns
+        batch in memory and flush into the chunk store (and the standing
+        query monitors, and the sketch fingerprint chain) once either the
+        buffered column count or the buffer's age crosses its threshold.
+        Query and watch reads flush first, so they always observe every
+        accepted append.  Both ``None`` (the default) keeps appends
+        write-through, exactly as before the buffer existed.
     """
 
     def __init__(
@@ -337,13 +436,27 @@ class CorrelationService:
         basic_window_size: int = DEFAULT_BASIC_WINDOW_SIZE,
         workers: Optional[int] = None,
         memory_budget: Optional[int] = None,
+        write_buffer_columns: Optional[int] = None,
+        write_buffer_seconds: Optional[float] = None,
     ) -> None:
+        if write_buffer_columns is not None and write_buffer_columns < 1:
+            raise ServiceError(
+                f"write_buffer_columns must be a positive column count, "
+                f"got {write_buffer_columns}"
+            )
+        if write_buffer_seconds is not None and write_buffer_seconds <= 0:
+            raise ServiceError(
+                f"write_buffer_seconds must be a positive age in seconds, "
+                f"got {write_buffer_seconds}"
+            )
         self.catalog = catalog if isinstance(catalog, Catalog) else Catalog(catalog)
         self.engine = engine
         self.engine_options = dict(engine_options or {})
         self.basic_window_size = basic_window_size
         self.workers = workers
         self.memory_budget = memory_budget
+        self.write_buffer_columns = write_buffer_columns
+        self.write_buffer_seconds = write_buffer_seconds
         self._runtimes: Dict[str, DatasetRuntime] = {}  # guarded-by: _runtimes_lock
         self._runtimes_lock = threading.Lock()
 
@@ -457,7 +570,7 @@ class CorrelationService:
                 f"values (one per series), got shape {steps.shape}"
             )
         with runtime.lock:
-            result = runtime.append_columns(np.ascontiguousarray(steps.T))
+            result = runtime.ingest_columns(np.ascontiguousarray(steps.T))
         return {"dataset": name, **result}
 
     def watch(self, name: str, request: Dict[str, object]) -> Dict[str, object]:
@@ -465,6 +578,7 @@ class CorrelationService:
         runtime = self._runtime(name)
         query = query_from_wire(request)
         with runtime.lock:
+            runtime.flush_writes()
             watch = runtime.register_watch(query)
             return {"dataset": name, **watch.describe(), "windows": list(watch.windows)}
 
@@ -472,6 +586,7 @@ class CorrelationService:
         """Every window a standing query has emitted so far."""
         runtime = self._runtime(name)
         with runtime.lock:
+            runtime.flush_writes()
             watch = runtime.watches.get(watch_id)
             if watch is None:
                 raise ServiceError(
@@ -495,6 +610,8 @@ class CorrelationService:
             basic_window_size=self.basic_window_size,
             workers=self.workers,
             memory_budget=self.memory_budget,
+            write_buffer_columns=self.write_buffer_columns,
+            write_buffer_seconds=self.write_buffer_seconds,
         )
         with self._runtimes_lock:
             # Two threads may have built the runtime concurrently; first wins
@@ -509,6 +626,7 @@ class CorrelationService:
         include_edges = bool(request.get("include_edges", False))
         query = query_from_wire(spec)
         with runtime.lock:
+            runtime.flush_writes()
             session = runtime.session_for(workers)
             plan = session.plan(query)
             runtime.seed_sketch_for(plan)

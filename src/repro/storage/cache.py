@@ -23,8 +23,11 @@ import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro.config import FLOAT_DTYPE
 from repro.core.basic_window import BasicWindowLayout
 from repro.core.engine import SlidingCorrelationEngine
 from repro.core.query import SlidingQuery
@@ -42,13 +45,25 @@ from repro.timeseries.matrix import TimeSeriesMatrix
 FINGERPRINT_BLOCK_COLUMNS = 1024
 
 
-def _fingerprint_header(matrix: TimeSeriesMatrix):
-    """The metadata part of a fingerprint digest (values are streamed after)."""
-    digest = hashlib.sha256()
-    digest.update(str(matrix.shape).encode())
-    digest.update(",".join(matrix.series_ids).encode())
-    digest.update(repr((matrix.time_axis.start, matrix.time_axis.resolution)).encode())
-    return digest
+def _update_header(
+    digest, num_series: int, length: int, series_ids, axis_key
+) -> None:
+    """Hash the metadata half of a fingerprint (after the value blocks).
+
+    The digest layout is *values first, header last* deliberately: an
+    append-only stream can then keep one running hasher over the complete
+    column blocks and finalize a ``copy()`` of it with the pending tail plus
+    the grown header — O(Δ) per append instead of re-hashing history.  This
+    is what :class:`_FingerprintChain` does.  Fingerprints are in-memory
+    cache keys only (never persisted), so the layout is free to choose.
+    """
+    digest.update(str((num_series, length)).encode())
+    digest.update(",".join(series_ids).encode())
+    digest.update(repr(axis_key).encode())
+
+
+def _matrix_axis_key(matrix: TimeSeriesMatrix):
+    return (matrix.time_axis.start, matrix.time_axis.resolution)
 
 
 def matrix_fingerprint(matrix: TimeSeriesMatrix) -> str:
@@ -58,9 +73,13 @@ def matrix_fingerprint(matrix: TimeSeriesMatrix) -> str:
     (:class:`repro.core.tiled.ChunkBackedMatrix`) hashes with bounded memory
     and produces the exact digest of its dense counterpart.
     """
-    digest = _fingerprint_header(matrix)
+    digest = hashlib.sha256()
     for block in matrix.iter_column_blocks(FINGERPRINT_BLOCK_COLUMNS):
         digest.update(block.tobytes())
+    _update_header(
+        digest, matrix.num_series, matrix.length, matrix.series_ids,
+        _matrix_axis_key(matrix),
+    )
     return digest.hexdigest()
 
 
@@ -121,7 +140,11 @@ class _HashingTileSource:
 
     def __init__(self, source, matrix: TimeSeriesMatrix) -> None:
         self._source = source
-        self._digest = _fingerprint_header(matrix)
+        self._digest = hashlib.sha256()
+        self._header = (
+            matrix.num_series, matrix.length, list(matrix.series_ids),
+            _matrix_axis_key(matrix),
+        )
         self._consumed = False
 
     @property
@@ -143,6 +166,7 @@ class _HashingTileSource:
         tail = reblocker.flush()
         if tail is not None:
             self._digest.update(tail.tobytes())
+        _update_header(self._digest, *self._header)
         self._consumed = True
 
     def hexdigest(self) -> str:
@@ -151,6 +175,144 @@ class _HashingTileSource:
                 "fingerprint requested before the chunk stream was fully consumed"
             )
         return self._digest.hexdigest()
+
+
+#: Trailing columns a fingerprint chain always keeps buffered beyond what its
+#: live cache entries demand.  A sketch built *after* an append covers at most
+#: ``size - 1`` fewer columns than the matrix, so retaining one canonical
+#: block's worth lets the *next* append extend entries that do not exist yet
+#: (any basic-window size up to this bound), while bounding the residual at
+#: ``N x 1024 x 8`` bytes.
+CHAIN_RESIDUAL_COLUMNS = FINGERPRINT_BLOCK_COLUMNS
+
+
+class _FingerprintChain:
+    """Running fingerprint and tail-residual state of an append-only matrix.
+
+    One chain follows one dataset through its appends: a sha256 hasher over
+    the complete canonical column blocks plus a :class:`ColumnReblocker`
+    holding the partial tail block, so the fingerprint of the grown matrix
+    finalizes in O(Δ) per append (hash the new bytes, ``copy()`` the hasher,
+    absorb the pending tail and the grown header) instead of re-hashing
+    history.  Alongside the hasher it buffers the *tail-residual* raw columns
+    — everything past the oldest covered column of the cache entries keyed
+    under its fingerprint — which is exactly what
+    :meth:`BasicWindowSketch.extend` needs to absorb the delta windows.
+
+    Not thread-safe on its own; the owning :class:`SketchCache` serializes
+    all access under its lock.
+    """
+
+    def __init__(self, num_series: int, series_ids, axis_key) -> None:
+        self._hasher = hashlib.sha256()
+        from repro.core.tiled import ColumnReblocker
+
+        self._reblocker = ColumnReblocker(FINGERPRINT_BLOCK_COLUMNS)
+        self.num_series = num_series
+        self._series_ids = list(series_ids)
+        self._axis_key = axis_key
+        self.length = 0
+        #: First column still buffered; the tail covers [tail_start, length).
+        self.tail_start = 0
+        self._tail: List[np.ndarray] = []
+
+    @classmethod
+    def bootstrap(cls, matrix: TimeSeriesMatrix, keep_from: int) -> "_FingerprintChain":
+        """Capture the mid-stream hasher state of an existing matrix.
+
+        The one-time O(history) pass of a chain's life: every later append
+        is O(Δ).  ``keep_from`` is the oldest column the tail-residual must
+        retain (the minimum ``covered_end`` of the cache entries the chain
+        will extend); only columns at or past it are buffered, so the pass
+        streams with bounded memory.
+        """
+        chain = cls(matrix.num_series, matrix.series_ids, _matrix_axis_key(matrix))
+        keep_from = min(
+            max(0, keep_from), max(0, matrix.length - CHAIN_RESIDUAL_COLUMNS)
+        )
+        chain.tail_start = keep_from
+        for block in matrix.iter_column_blocks(FINGERPRINT_BLOCK_COLUMNS):
+            start = chain.length
+            for complete in chain._reblocker.feed(block):
+                chain._hasher.update(complete.tobytes())
+            end = start + block.shape[1]
+            if end > keep_from:
+                chain._tail.append(
+                    np.ascontiguousarray(block[:, max(0, keep_from - start):])
+                )
+            chain.length = end
+        return chain
+
+    def append(self, columns: np.ndarray) -> None:
+        """Advance the chain by freshly appended columns (O(Δ))."""
+        columns = np.array(columns, dtype=FLOAT_DTYPE, order="C", copy=True)
+        if columns.ndim != 2 or columns.shape[0] != self.num_series:
+            raise StorageError(
+                f"chained append must supply ({self.num_series}, k) columns, "
+                f"got shape {columns.shape}"
+            )
+        if columns.shape[1] == 0:
+            raise StorageError("chained append must supply at least one column")
+        for complete in self._reblocker.feed(columns):
+            self._hasher.update(complete.tobytes())
+        self._tail.append(columns)
+        self.length += columns.shape[1]
+
+    def fingerprint(self) -> str:
+        """The matrix fingerprint at the chain's current length (O(tail))."""
+        digest = self._hasher.copy()
+        pending = self._reblocker.peek()
+        if pending is not None:
+            digest.update(pending.tobytes())
+        _update_header(
+            digest, self.num_series, self.length, self._series_ids, self._axis_key
+        )
+        return digest.hexdigest()
+
+    def covers(self, start: int, end: int) -> bool:
+        """``True`` when the tail buffer holds columns ``[start, end)``."""
+        return self.tail_start <= start and end <= self.length
+
+    def tail_columns(self, start: int, end: int) -> np.ndarray:
+        """The buffered raw columns ``[start, end)`` as one contiguous array."""
+        if start >= end or not self.covers(start, end):
+            raise StorageError(
+                f"chain tail covers [{self.tail_start}, {self.length}) but "
+                f"columns [{start}, {end}) were requested"
+            )
+        pieces = []
+        position = self.tail_start
+        for piece in self._tail:
+            width = piece.shape[1]
+            low, high = max(start, position), min(end, position + width)
+            if low < high:
+                pieces.append(piece[:, low - position : high - position])
+            position += width
+        if len(pieces) == 1:
+            return np.ascontiguousarray(pieces[0])
+        return np.ascontiguousarray(np.concatenate(pieces, axis=1))
+
+    def trim(self, keep_from: int) -> None:
+        """Drop tail columns before ``keep_from`` (safety residual retained).
+
+        The residual floor keeps the most recent
+        :data:`CHAIN_RESIDUAL_COLUMNS` columns buffered even when no live
+        entry needs them, so entries built (or seeded) *after* this append
+        remain extendable on the next one.
+        """
+        keep_from = min(keep_from, max(0, self.length - CHAIN_RESIDUAL_COLUMNS))
+        while self._tail and self.tail_start + self._tail[0].shape[1] <= keep_from:
+            self.tail_start += self._tail[0].shape[1]
+            self._tail.pop(0)
+        if self._tail and self.tail_start < keep_from:
+            self._tail[0] = np.ascontiguousarray(
+                self._tail[0][:, keep_from - self.tail_start :]
+            )
+            self.tail_start = keep_from
+
+    def tail_bytes(self) -> int:
+        """Resident bytes of the tail-residual buffer (observability)."""
+        return int(sum(piece.nbytes for piece in self._tail))
 
 
 def _result_bytes(result: CorrelationSeriesResult) -> int:
@@ -163,11 +325,21 @@ def _result_bytes(result: CorrelationSeriesResult) -> int:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of a :class:`QueryCache`."""
+    """Hit/miss counters of a :class:`QueryCache` / :class:`SketchCache`.
+
+    The maintenance counters are written by the incremental paths only:
+    ``sketch_extensions`` counts O(Δ) extensions of a chained entry,
+    ``extended_windows`` the basic windows those extensions absorbed, and
+    ``buffered_columns`` is a gauge of the service write buffer's current
+    depth (see :meth:`SketchCache.set_buffered_columns`).
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    sketch_extensions: int = 0
+    extended_windows: int = 0
+    buffered_columns: int = 0
 
     @property
     def requests(self) -> int:
@@ -185,6 +357,9 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
+            "sketch_extensions": self.sketch_extensions,
+            "extended_windows": self.extended_windows,
+            "buffered_columns": self.buffered_columns,
         }
 
 
@@ -347,6 +522,10 @@ class SketchCache:
             OrderedDict()
         )  # guarded-by: _lock
         self._fingerprint = _FingerprintMemo()  # guarded-by: _lock
+        # Append chains keyed by their *current* fingerprint; an append pops
+        # the chain under the old digest and re-files it under the new one,
+        # moving every cache entry along with it.
+        self._chains: Dict[str, _FingerprintChain] = {}  # guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:
@@ -461,8 +640,7 @@ class SketchCache:
             self.stats.misses += 1
             return self._insert_built(key, sketch)
 
-    def _insert_built(self, key, sketch: BasicWindowSketch) -> BasicWindowSketch:  # requires-lock: _lock
-        self.builds += 1
+    def _publish(self, key, sketch: BasicWindowSketch) -> BasicWindowSketch:  # requires-lock: _lock
         if self.scan_memo_entries:
             sketch.enable_scan_memo(self.scan_memo_entries)
         self._entries[key] = sketch
@@ -470,6 +648,197 @@ class SketchCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
         return sketch
+
+    def _insert_built(self, key, sketch: BasicWindowSketch) -> BasicWindowSketch:  # requires-lock: _lock
+        self.builds += 1
+        return self._publish(key, sketch)
+
+    # ------------------------------------------------------------- maintenance
+    def extend_chain(self, matrix: TimeSeriesMatrix, columns: np.ndarray) -> str:
+        """Advance ``matrix``'s append chain by ``columns``; re-key its entries.
+
+        Called with the **pre-append** matrix and the columns about to be
+        appended to it.  The first call of a chain's life streams history once
+        to capture the running hasher state (O(history)); every later call is
+        O(Δ): hash the new bytes, finalize the grown fingerprint from a copy
+        of the hasher, and *move* every cache entry keyed under the old
+        fingerprint to the new one — the entries' sketches cover an unchanged
+        prefix of the grown matrix, so re-keying them at the same layout is
+        sound and instant.  Appended columns join the chain's tail-residual
+        buffer until :meth:`get_or_extend` absorbs them into a sketch.
+
+        Returns the grown matrix's fingerprint; callers should
+        :meth:`adopt_fingerprint` it onto the rebuilt matrix object so later
+        lookups skip the O(history) hash.
+        """
+        with self._lock:
+            fingerprint = self._fingerprint.peek(matrix)
+            chain = self._chains.pop(fingerprint, None) if fingerprint else None
+            if chain is None:
+                chain = _FingerprintChain.bootstrap(
+                    matrix, self._min_covered_end(fingerprint, matrix.length)
+                )
+                bootstrapped = chain.fingerprint()
+                if fingerprint is None:
+                    fingerprint = bootstrapped
+                    self._fingerprint.record(matrix, fingerprint)
+                elif bootstrapped != fingerprint:
+                    raise StorageError(
+                        "matrix content changed under its memoized fingerprint; "
+                        "refusing to chain cache entries onto different data"
+                    )
+            if chain.length != matrix.length or chain.num_series != matrix.num_series:
+                raise StorageError(
+                    f"append chain is out of sync with the matrix: chain covers "
+                    f"({chain.num_series}, {chain.length}), matrix is "
+                    f"({matrix.num_series}, {matrix.length})"
+                )
+            chain.append(columns)
+            grown = chain.fingerprint()
+            moved_ends = []
+            for key in [k for k in self._entries if k[0] == fingerprint]:
+                sketch = self._entries.pop(key)
+                self._entries[(grown,) + key[1:]] = sketch
+                moved_ends.append(sketch.layout.covered_end)
+            chain.trim(min(moved_ends) if moved_ends else chain.length)
+            self._chains[grown] = chain
+            return grown
+
+    def adopt_fingerprint(self, matrix: TimeSeriesMatrix, fingerprint: str) -> None:
+        """Memoize a chained fingerprint onto a rebuilt matrix object.
+
+        After an append the service rebuilds its matrix view; without this,
+        the first lookup through the new object would re-hash the entire
+        history that :meth:`extend_chain` already accounted for.
+        """
+        with self._lock:
+            self._fingerprint.record(matrix, fingerprint)
+
+    def has_chain(self, matrix: TimeSeriesMatrix) -> bool:
+        """``True`` when this matrix heads an append chain (no hashing done)."""
+        with self._lock:
+            fingerprint = self._fingerprint.peek(matrix)
+            return fingerprint is not None and fingerprint in self._chains
+
+    def extension_coverage(
+        self,
+        matrix: TimeSeriesMatrix,
+        layout: BasicWindowLayout,
+        pairwise: bool = True,
+    ) -> Optional[int]:
+        """Basic windows of ``layout`` already covered by a chained entry.
+
+        Returns ``layout.count`` when the exact sketch is cached,
+        the prefix entry's window count when :meth:`get_or_extend` could
+        extend it from the chain's buffered tail, and ``None`` when
+        incremental maintenance cannot serve this layout (no usable prefix
+        entry, or the tail no longer holds the needed columns).  No side
+        effects — this is the planner's decision input.
+        """
+        with self._lock:
+            fingerprint = self._fingerprint.peek(matrix)
+            if fingerprint is None:
+                return None
+            if self._key_for(fingerprint, layout, pairwise) in self._entries:
+                return layout.count
+            chain = self._chains.get(fingerprint)
+            if chain is None or layout.covered_end > chain.length:
+                return None
+            prefix = self._prefix_entry_key(fingerprint, layout, pairwise)
+            if prefix is None:
+                return None
+            covered_end = layout.offset + layout.size * prefix[3]
+            if not chain.covers(covered_end, layout.covered_end):
+                return None
+            return prefix[3]
+
+    def _prefix_entry_key(
+        self, fingerprint: str, layout: BasicWindowLayout, pairwise: bool
+    ) -> Optional[Tuple[str, int, int, int, bool]]:  # requires-lock: _lock
+        """The widest cached entry covering a strict prefix of ``layout``."""
+        best = None
+        for key in self._entries:
+            if (
+                key[0] == fingerprint
+                and key[1] == layout.offset
+                and key[2] == layout.size
+                and key[4] == pairwise
+                and key[3] < layout.count
+                and (best is None or key[3] > best[3])
+            ):
+                best = key
+        return best
+
+    def _min_covered_end(self, fingerprint: Optional[str], default: int) -> int:  # requires-lock: _lock
+        ends = [
+            sketch.layout.covered_end
+            for key, sketch in self._entries.items()
+            if key[0] == fingerprint
+        ]
+        return min(ends) if ends else default
+
+    def get_or_extend(
+        self,
+        matrix: TimeSeriesMatrix,
+        layout: BasicWindowLayout,
+        pairwise: bool = True,
+        memory_budget: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> BasicWindowSketch:
+        """Return the sketch for (data, layout), extending a chained prefix.
+
+        The O(Δ) read-side half of incremental maintenance: when an append
+        chain holds the columns between a cached prefix entry's coverage and
+        ``layout``'s, the entry is *extended* (delta basic windows only,
+        bit-identical to a rebuild — see :meth:`BasicWindowSketch.extend`)
+        and republished under the full layout; the superseded prefix entry
+        is dropped.  Counted under ``stats.sketch_extensions`` (not
+        ``builds``).  Without a usable chain this degrades to
+        :meth:`get_or_build_tiled` when ``memory_budget`` is set, else
+        :meth:`get_or_build` — the planner's decline reasons make that path
+        visible before execution.
+        """
+        with self._lock:
+            fingerprint = self._fingerprint.peek(matrix)
+            if fingerprint is not None:
+                key = self._key_for(fingerprint, layout, pairwise)
+                sketch = self._entries.get(key)
+                if sketch is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return sketch
+                chain = self._chains.get(fingerprint)
+                prefix = (
+                    self._prefix_entry_key(fingerprint, layout, pairwise)
+                    if chain is not None and layout.covered_end <= chain.length
+                    else None
+                )
+                if prefix is not None:
+                    base = self._entries[prefix]
+                    start = base.layout.covered_end
+                    if chain.covers(start, layout.covered_end):
+                        self.stats.misses += 1
+                        sketch = base.extend(
+                            chain.tail_columns(start, layout.covered_end)
+                        )
+                        self.stats.sketch_extensions += 1
+                        self.stats.extended_windows += (
+                            layout.count - base.layout.count
+                        )
+                        self._entries.pop(prefix)
+                        self._publish(key, sketch)
+                        chain.trim(self._min_covered_end(fingerprint, chain.length))
+                        return sketch
+        if memory_budget is not None:
+            return self.get_or_build_tiled(
+                matrix, layout, memory_budget, pairwise=pairwise, workers=workers
+            )
+        return self.get_or_build(matrix, layout, pairwise=pairwise)
+
+    def set_buffered_columns(self, count: int) -> None:
+        """Record the service write buffer's current depth (a gauge)."""
+        with self._lock:
+            self.stats.buffered_columns = int(count)
 
     def contains(
         self,
@@ -516,7 +885,8 @@ class SketchCache:
             return True
 
     def clear(self) -> None:
-        """Drop every cached sketch (statistics are preserved)."""
+        """Drop every cached sketch and append chain (statistics are preserved)."""
         with self._lock:
             self._entries.clear()
             self._fingerprint.clear()
+            self._chains.clear()

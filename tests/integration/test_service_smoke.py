@@ -125,6 +125,36 @@ def test_streaming_append_reaches_standing_queries(client, values):
         assert emitted["values"] == pytest.approx(matrix.values.tolist())
 
 
+def test_appended_stream_refreshes_sketch_incrementally(client, values):
+    """Runs after the append test: the 64 appended columns advanced the
+    fingerprint chain, so querying the grown range refreshes the seeded
+    sketch in O(Δ) — the plan says so, the extension counters move, and the
+    ``builds`` counter stays at zero (an extension is not a rebuild)."""
+    stats = client.dataset("generated")["stats"]["sketch_cache"]
+    assert {"extensions", "extended_windows", "buffered_columns"} <= set(stats)
+    assert stats["extensions"] == 0  # nothing has queried the grown range yet
+
+    grown_query = ThresholdQuery(start=0, end=LENGTH + 64, window=128, step=32,
+                                 threshold=QUERY.threshold)
+    document = client.query_raw("generated", grown_query)
+    assert "build=incremental(" in document["plan"]
+
+    rng = np.random.default_rng(7)  # the block the append test streamed in
+    block = rng.standard_normal((NUM_SERIES, 64))
+    offline = CorrelationSession(
+        TimeSeriesMatrix(np.concatenate([values, block], axis=1)),
+        basic_window_size=BASIC,
+    ).run(grown_query)
+    remote = result_from_wire(document)
+    assert remote.to_edges() == offline.to_edges()
+
+    stats = client.dataset("generated")["stats"]["sketch_cache"]
+    assert stats["extensions"] == 1
+    assert stats["extended_windows"] == 64 // BASIC
+    assert stats["builds"] == 0  # the seeded sketch was extended, not rebuilt
+    assert stats["buffered_columns"] == 0  # write-through server: no buffer
+
+
 # --------------------------------------------------------------------------
 # Scenario-matrix smoke: the newly-supported execution cells served over
 # ``repro.result/v1``.  A second server is sized so ``workers=2`` requests

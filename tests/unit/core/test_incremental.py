@@ -105,3 +105,35 @@ class TestBookkeeping:
         rolled = IncrementalEngine().run(small_matrix, query)
         for ours, theirs in zip(rolled, exact):
             assert ours.edge_set() == theirs.edge_set()
+
+
+class TestStreamedWindows:
+    def test_memory_budget_is_bit_identical_to_resident(self, small_matrix, standard_query):
+        """With a budget the engine streams windows out of the matrix's chunk
+        source instead of slicing a resident array; the rolling statistics
+        must not change by a single bit."""
+        resident = IncrementalEngine(refresh_every=4).run(small_matrix, standard_query)
+        window_bytes = small_matrix.num_series * standard_query.window * 8
+        streamed = IncrementalEngine(
+            refresh_every=4, memory_budget=2 * window_bytes
+        ).run(small_matrix, standard_query)
+        for ours, theirs in zip(resident, streamed):
+            assert ours.edge_dict() == theirs.edge_dict()
+
+    def test_streamed_overlapping_windows_copy_outgoing_columns(self, small_matrix):
+        """Overlapping slides reuse the stream buffer; the outgoing-column
+        copy keeps the subtracted statistics correct."""
+        query = SlidingQuery(
+            start=0, end=small_matrix.length, window=64, step=16, threshold=0.5
+        )
+        exact = BruteForceEngine().run(small_matrix, query)
+        window_bytes = small_matrix.num_series * query.window * 8
+        streamed = IncrementalEngine(memory_budget=window_bytes).run(
+            small_matrix, query
+        )
+        for ours, theirs in zip(streamed, exact):
+            assert ours.edge_set() == theirs.edge_set()
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(QueryValidationError):
+            IncrementalEngine(memory_budget=0)

@@ -1,0 +1,132 @@
+"""Unit tests for the benchmark regression gate (scripts/compare_bench.py)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "compare_bench", ROOT / "scripts" / "compare_bench.py"
+)
+compare_bench = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("compare_bench", compare_bench)
+_spec.loader.exec_module(compare_bench)
+
+
+def recording(path: Path, rows):
+    path.write_text(json.dumps({"bench": "t", "rows": rows}))
+    return path
+
+
+ROW = {"family": "threshold", "execution": "serial"}
+
+
+class TestRowMatching:
+    def test_identical_recordings_pass(self, tmp_path):
+        rows = [{**ROW, "wall_seconds": 1.0, "speedup": 2.0}]
+        base = recording(tmp_path / "BENCH_1.json", rows)
+        cand = recording(tmp_path / "BENCH_2.json", rows)
+        report = compare_bench.build_report(base, cand, 0.10)
+        assert report["ok"] and report["compared_metrics"] == 2
+
+    def test_rows_match_on_non_numeric_identity(self, tmp_path):
+        base = recording(
+            tmp_path / "BENCH_1.json",
+            [{**ROW, "wall_seconds": 1.0},
+             {"family": "topk", "execution": "serial", "wall_seconds": 9.0}],
+        )
+        cand = recording(
+            tmp_path / "BENCH_2.json", [{**ROW, "wall_seconds": 1.05}]
+        )
+        report = compare_bench.build_report(base, cand, 0.10)
+        # The top-k row vanished from the candidate: nothing to compare it
+        # against, and the surviving row is within tolerance.
+        assert report["ok"] and report["compared_metrics"] == 1
+
+    def test_new_rows_pass_vacuously(self, tmp_path):
+        base = recording(tmp_path / "BENCH_1.json", [])
+        cand = recording(tmp_path / "BENCH_2.json", [{**ROW, "wall_seconds": 5.0}])
+        report = compare_bench.build_report(base, cand, 0.10)
+        assert report["ok"] and report["compared_metrics"] == 0
+
+
+class TestDirections:
+    def test_wall_time_regression_flagged(self, tmp_path):
+        base = recording(tmp_path / "BENCH_1.json", [{**ROW, "wall_seconds": 1.0}])
+        cand = recording(tmp_path / "BENCH_2.json", [{**ROW, "wall_seconds": 1.2}])
+        report = compare_bench.build_report(base, cand, 0.10)
+        assert not report["ok"]
+        (flagged,) = report["regressions"]
+        assert flagged["metric"] == "wall_seconds"
+        assert flagged["change"] == pytest.approx(0.2)
+
+    def test_wall_time_improvement_passes(self, tmp_path):
+        base = recording(tmp_path / "BENCH_1.json", [{**ROW, "wall_seconds": 1.0}])
+        cand = recording(tmp_path / "BENCH_2.json", [{**ROW, "wall_seconds": 0.5}])
+        assert compare_bench.build_report(base, cand, 0.10)["ok"]
+
+    def test_throughput_regression_flagged(self, tmp_path):
+        base = recording(
+            tmp_path / "BENCH_1.json", [{**ROW, "appends_per_sec": 100.0}]
+        )
+        cand = recording(
+            tmp_path / "BENCH_2.json", [{**ROW, "appends_per_sec": 80.0}]
+        )
+        report = compare_bench.build_report(base, cand, 0.10)
+        assert not report["ok"]
+        assert report["regressions"][0]["direction"] == "higher"
+
+    def test_within_tolerance_passes(self, tmp_path):
+        base = recording(tmp_path / "BENCH_1.json", [{**ROW, "wall_seconds": 1.0}])
+        cand = recording(tmp_path / "BENCH_2.json", [{**ROW, "wall_seconds": 1.09}])
+        assert compare_bench.build_report(base, cand, 0.10)["ok"]
+
+    def test_unclassified_numbers_are_informational(self, tmp_path):
+        base = recording(tmp_path / "BENCH_1.json", [{**ROW, "workers": 1}])
+        cand = recording(tmp_path / "BENCH_2.json", [{**ROW, "workers": 4}])
+        report = compare_bench.build_report(base, cand, 0.10)
+        assert report["ok"] and report["compared_metrics"] == 0
+
+
+class TestCommandLine:
+    def test_picks_the_two_newest_recordings(self, tmp_path, capsys):
+        recording(tmp_path / "BENCH_2.json", [{**ROW, "wall_seconds": 1.0}])
+        recording(tmp_path / "BENCH_10.json", [{**ROW, "wall_seconds": 0.9}])
+        recording(tmp_path / "BENCH_9.json", [{**ROW, "wall_seconds": 5.0}])
+        assert compare_bench.main(["--root", str(tmp_path)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        # Numeric sort: 9 then 10 — not the lexicographic 10-before-2.
+        assert report["baseline"] == "BENCH_9.json"
+        assert report["candidate"] == "BENCH_10.json"
+
+    def test_single_recording_passes_with_a_note(self, tmp_path, capsys):
+        recording(tmp_path / "BENCH_1.json", [{**ROW, "wall_seconds": 1.0}])
+        assert compare_bench.main(["--root", str(tmp_path)]) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        recording(tmp_path / "BENCH_1.json", [{**ROW, "wall_seconds": 1.0}])
+        recording(tmp_path / "BENCH_2.json", [{**ROW, "wall_seconds": 2.0}])
+        assert compare_bench.main(["--root", str(tmp_path)]) == 1
+
+    def test_explicit_pair_overrides_discovery(self, tmp_path, capsys):
+        a = recording(tmp_path / "a.json", [{**ROW, "wall_seconds": 1.0}])
+        b = recording(tmp_path / "b.json", [{**ROW, "wall_seconds": 1.0}])
+        assert (
+            compare_bench.main(["--baseline", str(a), "--candidate", str(b)]) == 0
+        )
+
+    def test_bad_arguments_exit_2(self, tmp_path):
+        assert compare_bench.main(["--tolerance", "-1"]) == 2
+        assert compare_bench.main(["--baseline", "only-one.json"]) == 2
+        assert (
+            compare_bench.main(
+                ["--baseline", str(tmp_path / "nope.json"),
+                 "--candidate", str(tmp_path / "nope2.json")]
+            )
+            == 2
+        )
