@@ -1,0 +1,201 @@
+"""E19 — planner decision quality: chosen plan vs best-of-all-plans oracle.
+
+The cost-based planner's end-to-end contract: after its feedback loop has
+observed every candidate of a decision, the plan it *chooses* must be
+near-optimal against an oracle that simply runs every candidate and keeps
+the best.  Per workload in the grid:
+
+1. **Warm** the shared sketch cache (the decision under test is the
+   execution/build choice, not the one-time build).
+2. **Explore** — enumerate ``candidate_plans`` and execute each candidate
+   ``TRIALS`` times through ``QueryPlanner.execute``, which records every
+   observed wall in the cache's :class:`~repro.api.cost.FeedbackStore`.
+3. **Choose** — ``planner.plan`` now ranks by observed runtimes
+   (``cost_source`` must say ``feedback(n=...)``) and the chosen
+   candidate's mean wall must be within ``REGRET_CEILING`` (1.3x) of the
+   oracle's best mean, plus a small absolute epsilon so micro-workloads
+   whose candidates differ by microseconds cannot flake the ratio.
+
+Results are recorded in ``BENCH_9.json`` (the ``oracle_over_chosen_ratio``
+column is <= 1.0 and higher-is-better for ``scripts/compare_bench.py``).
+``REPRO_BENCH_SCALE`` scales the matrix; the regret ceiling is enforced at
+every scale.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import QueryPlanner, ThresholdQuery, TopKQuery
+from repro.config import FLOAT_DTYPE
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+from _bench_common import BENCH_SCALE, print_experiment_table
+
+BENCH_RECORD = Path(__file__).resolve().parent.parent / "BENCH_9.json"
+
+NUM_SERIES = max(24, int(48 * BENCH_SCALE))
+LENGTH = max(2048, int(4096 * BENCH_SCALE))
+WINDOW = 256
+STEP = 128
+BASIC = 32
+
+#: The asserted ceiling: chosen mean wall <= 1.3x the oracle's best mean.
+REGRET_CEILING = 1.3
+#: Absolute slack for micro-workloads where candidates differ by less than
+#: timer noise; 20ms is far below any real mis-decision at these sizes.
+REGRET_EPSILON = 0.02
+
+#: Explore executions per candidate — at least MIN_FEEDBACK_SAMPLES (3) so
+#: the choose phase is guaranteed to rank by feedback, plus one discarded
+#: warm-up run.
+TRIALS = 3
+
+
+def _matrix(seed: int = 20260808) -> TimeSeriesMatrix:
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal(LENGTH)
+    values = 0.5 * base + rng.standard_normal((NUM_SERIES, LENGTH))
+    return TimeSeriesMatrix(values)
+
+
+def _workloads(matrix: TimeSeriesMatrix):
+    """(name, planner, query) triples, each with a real multi-candidate choice."""
+    dense_bytes = NUM_SERIES * LENGTH * np.dtype(FLOAT_DTYPE).itemsize
+    bounds = dict(start=0, end=LENGTH, window=WINDOW, step=STEP)
+    return [
+        (
+            "threshold-workers",
+            QueryPlanner(
+                basic_window_size=BASIC,
+                workers=4,
+                parallel_min_pairs=1,
+                parallel_mode="thread",
+            ),
+            ThresholdQuery(threshold=0.5, **bounds),
+        ),
+        (
+            "threshold-tile-size",
+            QueryPlanner(basic_window_size=BASIC, memory_budget=dense_bytes // 2),
+            ThresholdQuery(threshold=0.5, **bounds),
+        ),
+        (
+            "topk-workers",
+            QueryPlanner(
+                basic_window_size=BASIC,
+                workers=2,
+                parallel_min_pairs=1,
+                parallel_mode="thread",
+            ),
+            TopKQuery(k=10, **bounds),
+        ),
+    ]
+
+
+def _candidate_label(plan) -> str:
+    execution = (
+        f"sharded({plan.workers}w)" if plan.execution == "sharded" else "serial"
+    )
+    build = plan.sketch_build
+    if plan.sketch_build == "tiled" and plan.memory_budget is not None:
+        build = f"tiled@{plan.memory_budget}B"
+    return f"{execution}+{build}"
+
+
+def test_e19_learned_choice_tracks_the_oracle():
+    """Explore every candidate, then assert the learned choice is near-best."""
+    matrix = _matrix()
+    rows = []
+    for name, planner, query in _workloads(matrix):
+        candidates = planner.candidate_plans(matrix, query)
+        assert len(candidates) > 1, f"{name} offers no real choice"
+        if candidates[0].layout is not None:
+            # Warm the sketch so every explore run measures the decision
+            # (scan/merge/stream), not the shared one-time build, and
+            # re-enumerate so the candidate keys carry the warm state.
+            planner.execute(matrix, candidates[0])
+            planner.sketch_cache.feedback.clear()
+            candidates = planner.candidate_plans(matrix, query)
+
+        walls = {}
+        for plan in candidates:
+            label = _candidate_label(plan)
+            planner.execute(matrix, plan)  # discarded warm-up (still recorded)
+            observed = []
+            for _ in range(TRIALS):
+                started = time.perf_counter()
+                planner.execute(matrix, plan)
+                observed.append(time.perf_counter() - started)
+            walls[label] = sum(observed) / len(observed)
+
+        chosen = planner.plan(matrix, query)
+        assert chosen.cost_source.startswith("feedback("), (
+            f"{name}: choose phase still on {chosen.cost_source} after "
+            f"{TRIALS + 1} observations per candidate"
+        )
+        chosen_label = _candidate_label(chosen)
+        chosen_wall = walls[chosen_label]
+        oracle_label, oracle_wall = min(walls.items(), key=lambda item: item[1])
+        ratio = oracle_wall / chosen_wall if chosen_wall > 0 else 1.0
+        rows.append(
+            [
+                name,
+                chosen_label,
+                oracle_label,
+                round(chosen_wall, 5),
+                round(oracle_wall, 5),
+                round(ratio, 4),
+            ]
+        )
+        assert chosen_wall <= REGRET_CEILING * oracle_wall + REGRET_EPSILON, (
+            f"{name}: planner chose {chosen_label} ({chosen_wall:.5f}s) but "
+            f"the oracle's best is {oracle_label} ({oracle_wall:.5f}s) — "
+            f"regret exceeds {REGRET_CEILING}x + {REGRET_EPSILON}s\n"
+            f"plan: {chosen.describe()}"
+        )
+
+    class _Table:
+        experiment_id = "E19-planner-quality"
+        notes = (
+            f"N={NUM_SERIES} L={LENGTH} b={BASIC} window={WINDOW} "
+            f"step={STEP}; {TRIALS} scored runs per candidate after one "
+            f"warm-up; ceiling {REGRET_CEILING}x + {REGRET_EPSILON}s"
+        )
+        headers = [
+            "workload",
+            "chosen",
+            "oracle_best",
+            "chosen_wall_seconds",
+            "oracle_wall_seconds",
+            "oracle_over_chosen_ratio",
+        ]
+
+        def table(self):
+            header = " | ".join(self.headers)
+            lines = [header, "-" * len(header)]
+            lines += [" | ".join(str(v) for v in row) for row in rows]
+            return "\n".join(lines)
+
+    print_experiment_table(_Table())
+
+    BENCH_RECORD.write_text(json.dumps({
+        "bench": "E19 planner quality (learned choice vs best-of-all oracle)",
+        "rows": [dict(zip(_Table.headers, row)) for row in rows],
+        "ceiling": {
+            "max_regret_ratio": REGRET_CEILING,
+            "epsilon_seconds": REGRET_EPSILON,
+            "enforced": True,
+        },
+        "workloads": _Table.notes,
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "REPRO_BENCH_SCALE": BENCH_SCALE,
+        },
+    }, indent=2) + "\n")

@@ -40,6 +40,7 @@ REQUIRED_PAGES = (
     "docs/architecture.md",
     "docs/benchmarks.md",
     "docs/invariants.md",
+    "docs/planner.md",
     "docs/scaling.md",
     "docs/service.md",
 )

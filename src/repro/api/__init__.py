@@ -35,6 +35,7 @@ with ``workers=N`` to shard large threshold queries across a worker pool
 (:mod:`repro.parallel`) with bit-identical results.
 """
 
+from repro.api.cost import Calibration, CostModel, FeedbackStore
 from repro.api.planner import (
     KIND_LAGGED,
     KIND_THRESHOLD,
@@ -53,11 +54,14 @@ from repro.api.results import (
 from repro.api.session import CorrelationSession
 
 __all__ = [
+    "Calibration",
     "CorrelationResult",
     "CorrelationSeriesResult",
     "CorrelationSession",
+    "CostModel",
     "Edge",
     "ExecutionPlan",
+    "FeedbackStore",
     "KIND_LAGGED",
     "KIND_THRESHOLD",
     "KIND_TOPK",

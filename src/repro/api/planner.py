@@ -21,26 +21,35 @@ LaggedQuery            ``sliding_lagged_correlation`` (raw or        none
                        streamed window buffers)
 =====================  ============================================  ==========
 
-Every family additionally carries an *execution* decision: with
-``workers=N`` configured, the planner shards the pair space across a worker
-pool (:class:`repro.parallel.ShardedExecutor`) whenever the path supports
-pair subsets and the pair count clears ``parallel_min_pairs`` — small
-matrices stay serial because the dispatch overhead would dominate.  Sharded
-results are bit-identical to serial ones.  When a requested strategy is
-declined by policy the plan stays serial/dense and records the reason
-(surfaced by ``ExecutionPlan.describe()``); a configuration that cannot be
-honoured at all — e.g. a lagged ``memory_budget`` smaller than one window
-buffer — raises :class:`~repro.exceptions.ExperimentError` naming the query
-family, the requested strategy and the reason.
+Every family additionally carries an *execution* and a *build* decision —
+serial vs sharded (and across how many workers), dense vs tiled (and at
+what tile size) vs incremental.  Eligibility is still gated by hard policy
+(an engine must support pair subsets to shard; unaligned windows read raw
+values; a budget below the data forbids a dense build), but among the
+*eligible* candidates the planner now ranks by **predicted wall cost**: a
+:class:`~repro.api.cost.CostModel` (micro-benchmark calibrated, or the
+committed fixture under ``REPRO_COST_CALIBRATION=off``) prices every
+candidate, and once the shared :class:`~repro.api.cost.FeedbackStore` has
+observed every candidate of a decision often enough, observed runtimes
+replace the calibrated guesses (``plan.describe()`` then says
+``source=feedback(n=...)``).  Chosen or declined, the plan string names the
+costs and reasons — no fallback is silent.  Sharded and tiled results are
+bit-identical to serial/dense ones, so the ranking is free to pick any
+eligible candidate.  A configuration that cannot be honoured at all — e.g.
+a lagged ``memory_budget`` smaller than one window buffer — raises
+:class:`~repro.exceptions.ExperimentError` naming the query family, the
+requested strategy and the reason.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.api.cost import MIN_FEEDBACK_SAMPLES, CostModel, PlanWorkload
 from repro.api.queries import LaggedQuery, TopKQuery
 from repro.api.results import LaggedSeriesResult
 from repro.config import (
@@ -117,9 +126,34 @@ class ExecutionPlan:
     #: ``memory_budget`` or under an available append chain.  On an
     #: ``incremental`` plan ``build_reason`` is instead the *positive*
     #: justification (which chained prefix will be extended).  Surfaced by
-    #: :meth:`describe` so no fallback is silent.
+    #: :meth:`describe` (via the unified :meth:`reasons` list) so no
+    #: fallback is silent.
     execution_reason: Optional[str] = None
     build_reason: Optional[str] = None
+    #: Cost-ranking provenance, set by :meth:`QueryPlanner.plan` whenever a
+    #: cost model ranked this plan: the predicted wall seconds, whether the
+    #: prediction came from ``calibration`` or ``feedback(n=...)``, the
+    #: rendered ranking (``cost_detail``, only on the chosen plan of a
+    #: multi-candidate decision), and the feedback key ``execute`` records
+    #: the observed wall time under.
+    predicted_seconds: Optional[float] = None
+    cost_source: Optional[str] = None
+    cost_detail: Optional[str] = None
+    cost_key: Optional[str] = None
+
+    def reasons(self) -> Tuple[Tuple[str, str], ...]:
+        """Every recorded decision reason, as ordered ``(stage, reason)`` pairs.
+
+        The single source :meth:`describe` renders reasons from — execution
+        first, then build — so neither annotation can shadow or drop the
+        other however the plan was put together.
+        """
+        out = []
+        if self.execution_reason:
+            out.append(("execution", self.execution_reason))
+        if self.build_reason:
+            out.append(("build", self.build_reason))
+        return tuple(out)
 
     def describe(self) -> str:
         engine = self.engine.describe() if self.engine is not None else "-"
@@ -128,21 +162,49 @@ class ExecutionPlan:
             if self.layout is not None
             else "raw"
         )
+        reasons = dict(self.reasons())
         execution = self.execution
         if self.execution == EXECUTION_SHARDED:
             execution = f"{self.execution}(workers={self.workers})"
-        if self.execution_reason:
-            execution += f" ({self.execution_reason})"
+        if "execution" in reasons:
+            execution += f" ({reasons['execution']})"
         summary = f"plan[{self.kind}] engine={engine} sketch={layout} exec={execution}"
         if self.sketch_build == SKETCH_BUILD_INCREMENTAL:
-            summary += f" build=incremental({self.build_reason})"
+            summary += f" build=incremental({reasons.get('build')})"
         elif self.sketch_build == SKETCH_BUILD_TILED:
             summary += f" build=tiled(budget={self.memory_budget}B)"
-            if self.build_reason:
-                summary += f" ({self.build_reason})"
-        elif self.build_reason:
-            summary += f" build=dense ({self.build_reason})"
+            if "build" in reasons:
+                summary += f" ({reasons['build']})"
+        elif "build" in reasons:
+            summary += f" build=dense ({reasons['build']})"
+        if self.cost_detail:
+            summary += f" cost: {self.cost_detail}, source={self.cost_source}"
         return summary
+
+
+@dataclass
+class _BuildOption:
+    """One feasible sketch-build candidate, pre-costing."""
+
+    build: str
+    reason: Optional[str] = None
+    tile_budget: Optional[int] = None
+    #: Basic windows an incremental extension must append (0 elsewhere).
+    delta_windows: int = 0
+
+
+@dataclass
+class _Candidate:
+    """One feasible (execution, workers, build, tile) combination, costed."""
+
+    execution: str
+    workers: int
+    build: str
+    tile_budget: Optional[int]
+    build_reason: Optional[str]
+    key: str
+    predicted: float
+    cost: float
 
 
 class QueryPlanner:
@@ -188,6 +250,12 @@ class QueryPlanner:
         matrix's column-chunk source instead of building a sketch.
         Unaligned windows need the raw values and stay dense (the plan
         records the reason).
+    cost_model:
+        The :class:`~repro.api.cost.CostModel` ranking eligible candidates.
+        Defaults to the per-process shared model (micro-benchmark
+        calibrated, or the committed fixture under
+        ``REPRO_COST_CALIBRATION=off``); inject one to force deterministic
+        decisions in tests.
 
     Examples
     --------
@@ -214,6 +282,7 @@ class QueryPlanner:
         parallel_min_pairs: int = DEFAULT_PARALLEL_MIN_PAIRS,
         parallel_mode: str = MODE_AUTO,
         memory_budget: Optional[int] = None,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ExperimentError(f"workers must be at least 1, got {workers}")
@@ -229,6 +298,7 @@ class QueryPlanner:
         self.parallel_min_pairs = parallel_min_pairs
         self.parallel_mode = parallel_mode
         self.memory_budget = memory_budget
+        self.cost_model = cost_model
         self._default_engine: Optional[SlidingCorrelationEngine] = None
 
     # ---------------------------------------------------------------- engines
@@ -251,6 +321,12 @@ class QueryPlanner:
             self._default_engine = create_engine(self.engine_name, **options)
         return self._default_engine
 
+    def _resolve_cost_model(self) -> CostModel:
+        """The planner's cost model, defaulting to the per-process one."""
+        if self.cost_model is None:
+            self.cost_model = CostModel.shared()
+        return self.cost_model
+
     # ---------------------------------------------------------------- planning
     def plan(
         self,
@@ -260,11 +336,33 @@ class QueryPlanner:
     ) -> ExecutionPlan:
         """Decide the execution path for one query (no side effects).
 
+        The decision is the cheapest member of :meth:`candidate_plans`:
+        hard eligibility gates prune the candidate set (with the decline
+        reasons recorded on the plan), and predicted wall cost — observed
+        runtimes once the feedback store has seen every candidate — ranks
+        what remains.
+
         ``engine`` overrides the planner's default for threshold queries —
         this is how the experiment harness runs its engine line-up through
         one shared sketch cache.  Top-k and lagged queries execute on fixed
         sketch/raw paths, so an engine override there would be silently
         ignored; it raises instead.
+        """
+        return self.candidate_plans(matrix, query, engine=engine)[0]
+
+    def candidate_plans(
+        self,
+        matrix: TimeSeriesMatrix,
+        query: SlidingQuery,
+        engine: Optional[SlidingCorrelationEngine] = None,
+    ) -> List[ExecutionPlan]:
+        """Every eligible candidate plan for one query, cheapest first.
+
+        All candidates answer the query bit-identically; they differ only
+        in predicted wall cost (``predicted_seconds`` / ``cost_source``,
+        with the rendered ranking on the chosen plan's ``cost_detail``).
+        The explore phase of the planner-quality benchmark executes each
+        one to feed the :class:`~repro.api.cost.FeedbackStore`.
         """
         query.validate_against_length(matrix.length)
         if isinstance(query, (LaggedQuery, TopKQuery)) and engine is not None:
@@ -273,122 +371,290 @@ class QueryPlanner:
                 f"{type(query).__name__} has a fixed execution path"
             )
         if isinstance(query, LaggedQuery):
-            execution, workers, execution_reason = self._execution_for(matrix, query)
-            sketch_build, build_reason = self._lagged_build_for(matrix, query)
-            return ExecutionPlan(
-                query=query,
-                kind=KIND_LAGGED,
-                execution=execution,
-                workers=workers,
-                sketch_build=sketch_build,
-                memory_budget=self.memory_budget,
-                execution_reason=execution_reason,
-                build_reason=build_reason,
-            )
-        if isinstance(query, TopKQuery):
+            kind, layout, engine_obj = KIND_LAGGED, None, None
+            builds = self._lagged_build_options(matrix, query)
+        elif isinstance(query, TopKQuery):
+            kind, engine_obj = KIND_TOPK, None
             layout = BasicWindowLayout.for_query(query, self.basic_window_size)
-            execution, workers, execution_reason = self._execution_for(
-                matrix, query, layout=layout
-            )
-            sketch_build, build_reason = self._sketch_build_for(matrix, layout, query)
-            return ExecutionPlan(
-                query=query,
-                kind=KIND_TOPK,
-                layout=layout,
-                execution=execution,
-                workers=workers,
-                sketch_build=sketch_build,
-                memory_budget=self.memory_budget,
-                execution_reason=execution_reason,
-                build_reason=build_reason,
-            )
-        if engine is None:
-            engine = self.resolve_engine()
-        layout = engine.plan_layout(query)
-        execution, workers, execution_reason = self._execution_for(
-            matrix, query, layout=layout, engine=engine
+            builds = self._build_options(matrix, layout, query)
+        else:
+            kind = KIND_THRESHOLD
+            engine_obj = engine if engine is not None else self.resolve_engine()
+            layout = engine_obj.plan_layout(query)
+            builds = self._build_options(matrix, layout, query, engine=engine_obj)
+        executions, execution_reason = self._execution_options(
+            matrix, query, layout=layout, engine=engine_obj
         )
-        sketch_build, build_reason = self._sketch_build_for(
-            matrix, layout, query, engine=engine
-        )
-        return ExecutionPlan(
-            query=query,
-            kind=KIND_THRESHOLD,
-            engine=engine,
-            layout=layout,
-            execution=execution,
-            workers=workers,
-            sketch_build=sketch_build,
-            memory_budget=self.memory_budget,
-            execution_reason=execution_reason,
-            build_reason=build_reason,
+        return self._ranked_plans(
+            matrix, query, kind, layout, engine_obj, builds, executions,
+            execution_reason,
         )
 
-    def _execution_for(
+    def _ranked_plans(
+        self,
+        matrix: TimeSeriesMatrix,
+        query: SlidingQuery,
+        kind: str,
+        layout: Optional[BasicWindowLayout],
+        engine: Optional[SlidingCorrelationEngine],
+        builds: List[_BuildOption],
+        executions: List[Tuple[str, int]],
+        execution_reason: Optional[str],
+    ) -> List[ExecutionPlan]:
+        """Cost every (build x execution) combination and sort cheapest first.
+
+        Ties keep enumeration order (builds outer: incremental before
+        dense/tiled; executions inner: serial before sharded), which is how
+        a fully-cached sketch still plans ``incremental`` — both prepare
+        for free, and the historic preference breaks the tie.
+
+        The ranking source is ``calibration`` until the feedback store
+        holds :data:`~repro.api.cost.MIN_FEEDBACK_SAMPLES` observations for
+        *every* candidate key; from then on observed means (blended with
+        the calibrated prior) rank the candidates and the plans say
+        ``source=feedback(n=...)``.  Partial coverage never mixes sources —
+        an observed mean is not comparable to a calibrated guess.
+        """
+        model = self._resolve_cost_model()
+        feedback = self.sketch_cache.feedback
+        itemsize = np.dtype(FLOAT_DTYPE).itemsize
+        pairs = pair_count(matrix.num_series)
+        data_bytes = matrix.num_series * matrix.length * itemsize
+        cached = layout is not None and self.sketch_cache.contains(matrix, layout)
+        sketch_elems = (
+            matrix.num_series * layout.count * layout.size
+            if layout is not None
+            else 0
+        )
+        candidates: List[_Candidate] = []
+        for option in builds:
+            workload = PlanWorkload(
+                kind=kind,
+                pairs=pairs,
+                windows=query.num_windows,
+                lag_span=(2 * query.max_lag + 1) if kind == KIND_LAGGED else 1,
+                sketch_elems=sketch_elems,
+                delta_elems=(
+                    matrix.num_series * option.delta_windows * layout.size
+                    if layout is not None
+                    else 0
+                ),
+                data_bytes=data_bytes,
+                cached=cached,
+            )
+            if option.build == SKETCH_BUILD_INCREMENTAL:
+                state = "prefix"
+            elif layout is None:
+                state = "raw"
+            else:
+                state = "warm" if cached else "cold"
+            for execution, workers in executions:
+                predicted = model.predict(
+                    workload, execution, workers, option.build, option.tile_budget
+                )
+                key = self._feedback_key(
+                    matrix, query, kind, engine, execution, workers, option, state
+                )
+                candidates.append(
+                    _Candidate(
+                        execution=execution,
+                        workers=workers,
+                        build=option.build,
+                        tile_budget=option.tile_budget,
+                        build_reason=option.reason,
+                        key=key,
+                        predicted=predicted,
+                        cost=predicted,
+                    )
+                )
+        observed = min(feedback.count(candidate.key) for candidate in candidates)
+        if observed >= MIN_FEEDBACK_SAMPLES:
+            source = f"feedback(n={observed})"
+            for candidate in candidates:
+                candidate.cost = feedback.blended(candidate.key, candidate.predicted)
+        else:
+            source = "calibration"
+        ranked = sorted(candidates, key=lambda candidate: candidate.cost)
+        detail = self._cost_detail(ranked) if len(ranked) > 1 else None
+        plans = []
+        for index, candidate in enumerate(ranked):
+            budget = (
+                candidate.tile_budget
+                if candidate.build == SKETCH_BUILD_TILED
+                and candidate.tile_budget is not None
+                else self.memory_budget
+            )
+            plans.append(
+                ExecutionPlan(
+                    query=query,
+                    kind=kind,
+                    engine=engine,
+                    layout=layout,
+                    execution=candidate.execution,
+                    workers=candidate.workers,
+                    sketch_build=candidate.build,
+                    memory_budget=budget,
+                    execution_reason=execution_reason,
+                    build_reason=candidate.build_reason,
+                    predicted_seconds=candidate.cost,
+                    cost_source=source,
+                    cost_detail=detail if index == 0 else None,
+                    cost_key=candidate.key,
+                )
+            )
+        return plans
+
+    @staticmethod
+    def _cost_detail(ranked: List[_Candidate]) -> str:
+        """The rendered ranking, cheapest first: ``sharded(4w)=0.8s < serial=2.1s``."""
+        multi_exec = len({(c.execution, c.workers) for c in ranked}) > 1
+        multi_build = len({(c.build, c.tile_budget) for c in ranked}) > 1
+
+        def label(candidate: _Candidate) -> str:
+            exec_part = (
+                f"sharded({candidate.workers}w)"
+                if candidate.execution == EXECUTION_SHARDED
+                else "serial"
+            )
+            build_part = candidate.build
+            if (
+                candidate.build == SKETCH_BUILD_TILED
+                and candidate.tile_budget is not None
+            ):
+                build_part = f"tiled@{candidate.tile_budget}B"
+            if multi_build and multi_exec:
+                return f"{exec_part}+{build_part}"
+            if multi_build:
+                return build_part
+            return exec_part
+
+        return " < ".join(
+            f"{label(candidate)}={candidate.cost:.3g}s" for candidate in ranked
+        )
+
+    def _feedback_key(
+        self,
+        matrix: TimeSeriesMatrix,
+        query: SlidingQuery,
+        kind: str,
+        engine: Optional[SlidingCorrelationEngine],
+        execution: str,
+        workers: int,
+        option: _BuildOption,
+        state: str,
+    ) -> str:
+        """The key observed wall times are recorded under.
+
+        Identifies the workload (family, sizes, engine) and the candidate
+        (execution, workers, build, tile size) plus the sketch state at
+        plan time (``cold``/``warm``/``prefix``/``raw``) — a cold build and
+        a warm repeat are different workloads and must not share samples.
+        Thresholds are deliberately absent: wall cost barely depends on
+        them, and sweeps should pool their observations.
+        """
+        parts = [
+            kind,
+            f"N={matrix.num_series}",
+            f"L={matrix.length}",
+            f"range={query.start}:{query.end}",
+            f"win={query.window}",
+            f"step={query.step}",
+        ]
+        if kind == KIND_TOPK:
+            parts.append(f"k={query.k}")
+        if kind == KIND_LAGGED:
+            parts.append(f"lag={query.max_lag}")
+        if engine is not None:
+            parts.append(f"engine={engine.name}")
+        exec_part = (
+            execution if execution == EXECUTION_SERIAL else f"{execution}@{workers}"
+        )
+        build_part = option.build
+        if option.build == SKETCH_BUILD_TILED and option.tile_budget is not None:
+            build_part = f"{option.build}@{option.tile_budget}"
+        parts += [f"exec={exec_part}", f"build={build_part}", f"sketch={state}"]
+        return "|".join(parts)
+
+    def _execution_options(
         self,
         matrix: TimeSeriesMatrix,
         query: SlidingQuery,
         layout: Optional[BasicWindowLayout] = None,
         engine: Optional[SlidingCorrelationEngine] = None,
-    ) -> tuple:
-        """The ``(execution, workers, reason)`` decision for any query family.
+    ) -> Tuple[List[Tuple[str, int]], Optional[str]]:
+        """Eligible ``(execution, workers)`` candidates plus the decline reason.
 
-        Serial is the default; a reason string is recorded only when workers
-        were *requested* (``workers > 1``) and the planner declined, so
-        ``plan.describe()`` names why instead of falling back silently.
-        Declines here are policy (the serial run answers the query exactly);
-        impossible configurations raise from the build decisions instead.
+        Serial is always eligible.  Sharded variants join the candidate set
+        — for the cost ranking to price, not as a foregone decision — only
+        when workers were *requested* (``workers > 1``) and the hard gates
+        pass; a failed gate records why, so ``plan.describe()`` names the
+        decline instead of falling back silently.  Declines here are policy
+        (the serial run answers the query exactly); impossible
+        configurations raise from the build decisions instead.
         """
+        serial: List[Tuple[str, int]] = [(EXECUTION_SERIAL, 1)]
         if self.workers is None or self.workers <= 1:
-            return EXECUTION_SERIAL, 1, None
+            return serial, None
         if engine is not None and not engine.supports_pair_subset():
-            return (
-                EXECUTION_SERIAL,
-                1,
-                f"engine {engine.describe()} does not support pair subsets",
-            )
+            return serial, f"engine {engine.describe()} does not support pair subsets"
         if pair_count(matrix.num_series) < self.parallel_min_pairs:
             return (
-                EXECUTION_SERIAL,
-                1,
+                serial,
                 f"pair count below parallel_min_pairs={self.parallel_min_pairs}",
             )
         if not self._windows_sketch_aligned(layout, query):
-            return EXECUTION_SERIAL, 1, "windows not basic-window aligned"
-        return EXECUTION_SHARDED, self.workers, None
+            return serial, "windows not basic-window aligned"
+        return (
+            serial + [(EXECUTION_SHARDED, w) for w in self._worker_candidates()],
+            None,
+        )
 
-    def _sketch_build_for(
+    def _worker_candidates(self) -> List[int]:
+        """Worker counts worth pricing: the configured count and its half.
+
+        Two points are enough for the ranking to notice when dispatch
+        overhead beats parallel speedup at this workload's size; the
+        feedback loop refines the choice from observed runs.
+        """
+        half = (self.workers or 1) // 2
+        out = [half] if half > 1 and half != self.workers else []
+        return out + [self.workers]
+
+    def _build_options(
         self,
         matrix: TimeSeriesMatrix,
         layout: Optional[BasicWindowLayout],
         query: SlidingQuery,
         engine: Optional[SlidingCorrelationEngine] = None,
-    ) -> tuple:
-        """The ``(sketch_build, reason)`` decision for a planned layout.
+    ) -> List[_BuildOption]:
+        """Feasible sketch-build candidates for a planned layout.
 
-        Incremental is preferred whenever it applies: the matrix heads an
-        append chain (``SketchCache.extend_chain`` ran on it) and a chained
-        cache entry covers a prefix of the planned layout, so the sketch
-        refreshes in O(Δ) — bit-identical to a rebuild — instead of
-        recomputing O(history) statistics.  The plan's ``build_reason`` then
-        states *which* prefix is extended; when a chain exists but cannot
-        serve the query (unaligned windows, raw-values engine, no chained
-        entry for this layout) the decline is named instead of silently
-        rebuilding.  Cold matrices (never appended) skip the incremental
-        question entirely and keep their historic plan strings.
+        Incremental joins the candidate set whenever it applies: the matrix
+        heads an append chain (``SketchCache.extend_chain`` ran on it) and a
+        chained cache entry covers a prefix of the planned layout, so the
+        sketch refreshes in O(Δ) — bit-identical to a rebuild — instead of
+        recomputing O(history) statistics.  Its reason states *which*
+        prefix is extended; when a chain exists but cannot serve the query
+        (unaligned windows, raw-values engine, no chained entry for this
+        layout) the decline is named instead of silently rebuilding.  Cold
+        matrices (never appended) skip the incremental question entirely
+        and keep their historic plan strings.
 
-        Tiled is chosen only when it pays *and* suffices: a budget is
-        configured, the raw data it would have to hold at once exceeds it,
-        every query window recombines from whole basic windows (an unaligned
-        window needs the raw matrix for edge correction anyway, so tiling
-        the build would not bound the run's memory), and the engine
-        configuration is sketch-only (``engine.needs_raw_values`` — e.g.
-        Dangoron's pivot selection under horizontal pruning would
+        Tiled candidates appear only when tiling pays *and* suffices: a
+        budget is configured, the raw data it would have to hold at once
+        exceeds it (a dense build is then infeasible, not merely slower),
+        every query window recombines from whole basic windows (an
+        unaligned window needs the raw matrix for edge correction anyway,
+        so tiling the build would not bound the run's memory), and the
+        engine configuration is sketch-only (``engine.needs_raw_values`` —
+        e.g. Dangoron's pivot selection under horizontal pruning would
         materialize the matrix regardless, so such plans honestly stay
         dense instead of claiming a bounded build).  The reason names why a
-        configured budget fell back to dense.
+        configured budget fell back to dense; the cost ranking picks the
+        tile size (:meth:`_tile_candidates`).
         """
         declined = None
+        options: List[_BuildOption] = []
         if layout is not None and self.sketch_cache.has_chain(matrix):
             if not self._windows_sketch_aligned(layout, query):
                 declined = "incremental declined: unaligned windows read raw values"
@@ -404,28 +670,75 @@ class QueryPlanner:
                         "a prefix of this layout"
                     )
                 else:
-                    return SKETCH_BUILD_INCREMENTAL, (
-                        f"chained sketch covers {coverage}/{layout.count} "
-                        f"basic windows"
+                    options.append(
+                        _BuildOption(
+                            build=SKETCH_BUILD_INCREMENTAL,
+                            reason=(
+                                f"chained sketch covers {coverage}/{layout.count} "
+                                f"basic windows"
+                            ),
+                            delta_windows=layout.count - coverage,
+                        )
                     )
         if self.memory_budget is None:
-            return SKETCH_BUILD_DENSE, declined
+            options.append(_BuildOption(build=SKETCH_BUILD_DENSE, reason=declined))
+            return options
         if layout is None:
-            return SKETCH_BUILD_DENSE, "execution path plans no sketch layout"
+            options.append(
+                _BuildOption(
+                    build=SKETCH_BUILD_DENSE,
+                    reason="execution path plans no sketch layout",
+                )
+            )
+            return options
         if not self._windows_sketch_aligned(layout, query):
-            return SKETCH_BUILD_DENSE, self._joined(
-                declined, "unaligned windows read raw values"
+            options.append(
+                _BuildOption(
+                    build=SKETCH_BUILD_DENSE,
+                    reason=self._joined(
+                        declined, "unaligned windows read raw values"
+                    ),
+                )
             )
+            return options
         if engine is not None and engine.needs_raw_values(query):
-            return SKETCH_BUILD_DENSE, self._joined(
-                declined, "engine needs raw values (pivot selection)"
+            options.append(
+                _BuildOption(
+                    build=SKETCH_BUILD_DENSE,
+                    reason=self._joined(
+                        declined, "engine needs raw values (pivot selection)"
+                    ),
+                )
             )
+            return options
         dense_bytes = matrix.num_series * matrix.length * np.dtype(FLOAT_DTYPE).itemsize
         if dense_bytes <= self.memory_budget:
-            return SKETCH_BUILD_DENSE, self._joined(
-                declined, "raw data fits the budget"
+            options.append(
+                _BuildOption(
+                    build=SKETCH_BUILD_DENSE,
+                    reason=self._joined(declined, "raw data fits the budget"),
+                )
             )
-        return SKETCH_BUILD_TILED, declined
+            return options
+        options += [
+            _BuildOption(build=SKETCH_BUILD_TILED, reason=declined, tile_budget=tile)
+            for tile in self._tile_candidates(matrix, layout)
+        ]
+        return options
+
+    def _tile_candidates(
+        self, matrix: TimeSeriesMatrix, layout: BasicWindowLayout
+    ) -> List[int]:
+        """Tile sizes worth pricing: the full budget, and its half when that
+        still holds one basic-window column block per series.  Fewer, larger
+        tiles amortize per-tile overhead; the cost ranking decides."""
+        budget = self.memory_budget
+        floor = matrix.num_series * layout.size * np.dtype(FLOAT_DTYPE).itemsize
+        half = budget // 2
+        out = [budget]
+        if half >= floor and half != budget:
+            out.append(half)
+        return out
 
     @staticmethod
     def _joined(declined: Optional[str], reason: str) -> str:
@@ -434,18 +747,23 @@ class QueryPlanner:
             return declined or reason
         return f"{declined}; {reason}"
 
-    def _lagged_build_for(self, matrix: TimeSeriesMatrix, query: SlidingQuery) -> tuple:
-        """The ``(sketch_build, reason)`` decision for a lagged query.
+    def _lagged_build_options(
+        self, matrix: TimeSeriesMatrix, query: SlidingQuery
+    ) -> List[_BuildOption]:
+        """The sketch-build candidate for a lagged query.
 
         Lagged queries never build a sketch (``layout=None``); ``tiled``
         here means *streamed window buffers*: windows assemble out of the
         matrix's column-chunk source into one bounded rolling buffer
         (:func:`repro.core.lag.iter_query_windows`) instead of slicing a
-        resident array.  A budget that cannot even hold one ``(N, window)``
-        buffer is impossible to honour, not a policy decline, and raises.
+        resident array.  The budget dictates the single feasible candidate
+        — streaming when the data exceeds it, dense when it fits — so the
+        cost ranking only prices the execution axis here.  A budget that
+        cannot even hold one ``(N, window)`` buffer is impossible to
+        honour, not a policy decline, and raises.
         """
         if self.memory_budget is None:
-            return SKETCH_BUILD_DENSE, None
+            return [_BuildOption(build=SKETCH_BUILD_DENSE, reason=None)]
         window_bytes = (
             matrix.num_series * query.window * np.dtype(FLOAT_DTYPE).itemsize
         )
@@ -458,8 +776,18 @@ class QueryPlanner:
             )
         dense_bytes = matrix.num_series * matrix.length * np.dtype(FLOAT_DTYPE).itemsize
         if dense_bytes <= self.memory_budget:
-            return SKETCH_BUILD_DENSE, "raw data fits the budget"
-        return SKETCH_BUILD_TILED, None
+            return [
+                _BuildOption(
+                    build=SKETCH_BUILD_DENSE, reason="raw data fits the budget"
+                )
+            ]
+        return [
+            _BuildOption(
+                build=SKETCH_BUILD_TILED,
+                reason=None,
+                tile_budget=self.memory_budget,
+            )
+        ]
 
     @staticmethod
     def _windows_sketch_aligned(
@@ -479,7 +807,24 @@ class QueryPlanner:
 
     # --------------------------------------------------------------- execution
     def execute(self, matrix: TimeSeriesMatrix, plan: ExecutionPlan):
-        """Run a plan, fetching (or building) its sketch from the shared cache."""
+        """Run a plan, fetching (or building) its sketch from the shared cache.
+
+        Closes the feedback loop: the observed wall time is recorded under
+        the plan's ``cost_key`` in the cache's
+        :class:`~repro.api.cost.FeedbackStore`, so repeated workloads rank
+        future candidates by what actually happened on this machine.
+        Hand-built plans (``cost_key=None``) run without recording.
+        """
+        started = time.perf_counter()
+        result = self._run_plan(matrix, plan)
+        if plan.cost_key is not None:
+            self.sketch_cache.feedback.record(
+                plan.cost_key, time.perf_counter() - started
+            )
+        return result
+
+    def _run_plan(self, matrix: TimeSeriesMatrix, plan: ExecutionPlan):
+        """Dispatch one plan to its execution path (no feedback bookkeeping)."""
         sketch = None
         cache_hit = False
         if plan.layout is not None:

@@ -32,6 +32,7 @@ from typing import Dict, Iterable, Iterator, List, Optional
 
 import numpy as np
 
+from repro.api.cost import CostModel, FeedbackStore
 from repro.api.planner import ExecutionPlan, QueryPlanner
 from repro.api.queries import LaggedQuery, TopKQuery
 from repro.config import DEFAULT_BASIC_WINDOW_SIZE
@@ -70,6 +71,10 @@ class CorrelationSession:
         the budget streams through the tiled out-of-core builder
         (:mod:`repro.core.tiled`) with bit-identical results.  Combine with
         :meth:`from_chunk_store` so the dense matrix is never materialized.
+    cost_model:
+        The :class:`~repro.api.cost.CostModel` the planner ranks eligible
+        execution/build candidates with; defaults to the per-process shared
+        model.  Inject one for deterministic decisions in tests.
     planner:
         A preconfigured :class:`QueryPlanner`; overrides the options above.
         Pass planners sharing one :class:`SketchCache` to share sketch
@@ -100,6 +105,7 @@ class CorrelationSession:
         basic_window_size: int = DEFAULT_BASIC_WINDOW_SIZE,
         workers: Optional[int] = None,
         memory_budget: Optional[int] = None,
+        cost_model: Optional[CostModel] = None,
         planner: Optional[QueryPlanner] = None,
     ) -> None:
         self.matrix = matrix
@@ -112,6 +118,7 @@ class CorrelationSession:
                 basic_window_size=basic_window_size,
                 workers=workers,
                 memory_budget=memory_budget,
+                cost_model=cost_model,
             )
         )
 
@@ -258,6 +265,12 @@ class CorrelationSession:
     def cache_stats(self) -> CacheStats:
         """Hit/miss counters of the sketch cache."""
         return self.planner.sketch_cache.stats
+
+    @property
+    def feedback(self) -> FeedbackStore:
+        """Observed per-plan runtimes the planner learns from (shared with
+        everything that shares this session's sketch cache)."""
+        return self.planner.sketch_cache.feedback
 
     def describe(self) -> str:
         """One-line summary of the session (data shape plus planner config)."""

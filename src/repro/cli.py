@@ -227,6 +227,21 @@ def _build_query(args: argparse.Namespace, end: int):
     return ThresholdQuery(threshold=args.threshold, **common)
 
 
+def _cost_model_for(choice):
+    """The planner cost model a ``--cost-calibration`` flag asks for.
+
+    ``None`` (flag absent) defers to the planner's process-shared model,
+    which honours the ``REPRO_COST_CALIBRATION`` environment knob.
+    """
+    from repro.api.cost import CostModel
+
+    if choice == "fixture":
+        return CostModel.fixture()
+    if choice == "measured":
+        return CostModel.measured()
+    return None
+
+
 def _command_query(args: argparse.Namespace) -> int:
     if args.mode != "threshold" and (args.engine != "dangoron" or args.engine_opt):
         # Engines answer threshold queries only; accepting these flags for
@@ -252,6 +267,7 @@ def _command_query(args: argparse.Namespace) -> int:
         basic_window_size=args.basic_window,
         workers=args.workers,
         memory_budget=memory_budget,
+        cost_model=_cost_model_for(args.cost_calibration),
     )
     # Shows whether the planner chose serial or sharded execution — in
     # particular *why* an explicit --workers request stays serial (pair
@@ -319,6 +335,7 @@ def create_server(args: argparse.Namespace):
         memory_budget=memory_budget,
         write_buffer_columns=args.write_buffer_columns,
         write_buffer_seconds=args.write_buffer_seconds,
+        cost_model=_cost_model_for(args.cost_calibration),
     )
     return CorrelationServer(
         service, host=args.host, port=args.port, verbose=args.verbose
@@ -442,6 +459,13 @@ def build_parser() -> argparse.ArgumentParser:
              "materializing the dense matrix",
     )
     query.add_argument(
+        "--cost-calibration", default=None, choices=["measured", "fixture"],
+        help="how the planner prices candidate plans: 'measured' "
+             "micro-benchmarks this machine on first use, 'fixture' uses the "
+             "committed deterministic calibration (default: the "
+             "REPRO_COST_CALIBRATION environment knob)",
+    )
+    query.add_argument(
         "--absolute", action="store_true", help="threshold on |c| instead of c"
     )
     query.add_argument(
@@ -488,6 +512,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-buffer-seconds", type=float, default=None, metavar="SECONDS",
         help="flush buffered appends once the oldest buffered column is this "
              "old; reads always flush first, so queries see every append",
+    )
+    serve.add_argument(
+        "--cost-calibration", default=None, choices=["measured", "fixture"],
+        help="how each dataset's planner prices candidate plans (see "
+             "'repro query --cost-calibration'; default: the "
+             "REPRO_COST_CALIBRATION environment knob)",
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"

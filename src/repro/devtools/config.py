@@ -132,6 +132,7 @@ class LintConfig:
     # ------------------------------------------------------------------ RPR005
     #: Modules where ``# guarded-by: <lock>`` annotations are enforced.
     lock_discipline_modules: Tuple[str, ...] = (
+        "repro/api/cost.py",
         "repro/service/service.py",
         "repro/storage/cache.py",
     )

@@ -35,6 +35,7 @@ from typing import Deque, Dict, List, Optional
 import numpy as np
 
 from repro import __version__
+from repro.api.cost import CostModel
 from repro.api.queries import ThresholdQuery
 from repro.api.session import CorrelationSession
 from repro.api.planner import QueryPlanner
@@ -127,6 +128,7 @@ class DatasetRuntime:
         memory_budget: Optional[int] = None,
         write_buffer_columns: Optional[int] = None,
         write_buffer_seconds: Optional[float] = None,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         self.name = name
         self.catalog = catalog
@@ -135,6 +137,7 @@ class DatasetRuntime:
         self.basic_window_size = basic_window_size
         self.default_workers = workers
         self.memory_budget = memory_budget
+        self.cost_model = cost_model
         self.write_buffer_columns = write_buffer_columns
         self.write_buffer_seconds = write_buffer_seconds
         self.store = catalog.load_dataset(name)
@@ -201,6 +204,7 @@ class DatasetRuntime:
                     sketch_cache=self.sketch_cache,
                     workers=workers,
                     memory_budget=self.memory_budget,
+                    cost_model=self.cost_model,
                 ),
             )
             self._sessions[workers] = session
@@ -400,6 +404,9 @@ class DatasetRuntime:
                 "extended_windows": cache.stats.extended_windows,
                 "buffered_columns": cache.stats.buffered_columns,
             },
+            # What the planner has learned: observed wall-clock per plan key,
+            # the feedback that outranks calibration once samples accumulate.
+            "plan_timings": cache.feedback.snapshot(),
         }
 
 
@@ -438,6 +445,7 @@ class CorrelationService:
         memory_budget: Optional[int] = None,
         write_buffer_columns: Optional[int] = None,
         write_buffer_seconds: Optional[float] = None,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         if write_buffer_columns is not None and write_buffer_columns < 1:
             raise ServiceError(
@@ -457,6 +465,7 @@ class CorrelationService:
         self.memory_budget = memory_budget
         self.write_buffer_columns = write_buffer_columns
         self.write_buffer_seconds = write_buffer_seconds
+        self.cost_model = cost_model
         self._runtimes: Dict[str, DatasetRuntime] = {}  # guarded-by: _runtimes_lock
         self._runtimes_lock = threading.Lock()
 
@@ -612,6 +621,7 @@ class CorrelationService:
             memory_budget=self.memory_budget,
             write_buffer_columns=self.write_buffer_columns,
             write_buffer_seconds=self.write_buffer_seconds,
+            cost_model=self.cost_model,
         )
         with self._runtimes_lock:
             # Two threads may have built the runtime concurrently; first wins

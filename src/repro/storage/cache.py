@@ -22,6 +22,7 @@ import hashlib
 import threading
 import weakref
 from collections import OrderedDict
+from pathlib import Path
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -503,9 +504,29 @@ class SketchCache:
         on for every cached sketch with this bound, so dense window scans that
         repeat across the sharing queries (e.g. each sweep run's first window)
         are also answered once.  ``0`` disables the memo.
+    feedback_path:
+        When set, the cache's :class:`~repro.api.cost.FeedbackStore` loads
+        from (and :meth:`~repro.api.cost.FeedbackStore.save` writes to) this
+        JSON file, persisting what the planner learned alongside the
+        sketches.  A corrupt or truncated file does not take the cache down:
+        the store starts empty — the planner falls back to calibration —
+        and carries the :class:`~repro.exceptions.StorageError` message on
+        ``feedback.load_error``.
+
+    The feedback store shares this cache's lock, so planner threads
+    recording observed runtimes serialize with the cache's own bookkeeping.
     """
 
-    def __init__(self, max_entries: int = 8, scan_memo_entries: int = 16) -> None:
+    def __init__(
+        self,
+        max_entries: int = 8,
+        scan_memo_entries: int = 16,
+        feedback_path: Optional[object] = None,
+    ) -> None:
+        # Deferred import: ``repro.api`` imports this module at its top
+        # level, so importing ``repro.api.cost`` here at module scope would
+        # be circular.
+        from repro.api.cost import FeedbackStore
         if max_entries < 1:
             raise StorageError(f"max_entries must be at least 1, got {max_entries}")
         if scan_memo_entries < 0:
@@ -526,6 +547,14 @@ class SketchCache:
         # the chain under the old digest and re-files it under the new one,
         # moving every cache entry along with it.
         self._chains: Dict[str, _FingerprintChain] = {}  # guarded-by: _lock
+        if feedback_path is not None and Path(feedback_path).exists():
+            try:
+                self.feedback = FeedbackStore.load(feedback_path, lock=self._lock)
+            except StorageError as exc:
+                self.feedback = FeedbackStore(path=feedback_path, lock=self._lock)
+                self.feedback.load_error = str(exc)
+        else:
+            self.feedback = FeedbackStore(path=feedback_path, lock=self._lock)
 
     def __len__(self) -> int:
         with self._lock:

@@ -40,7 +40,14 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.api import LaggedQuery, QueryPlanner, ThresholdQuery, TopKQuery
+from repro.api import (
+    Calibration,
+    CostModel,
+    LaggedQuery,
+    QueryPlanner,
+    ThresholdQuery,
+    TopKQuery,
+)
 from repro.api.planner import (
     EXECUTION_SERIAL,
     EXECUTION_SHARDED,
@@ -270,6 +277,56 @@ def test_every_runnable_cell_is_bit_identical_to_reference(num_series, seed):
         result = planner.run(matrix, _query(family))
         assert _canonical(family, result) == references[(family, pruned)], (
             f"cell {cell} diverged from the serial/dense reference"
+        )
+
+
+# --------------------------------------------- cost-chosen plans stay identical
+def _calibrations():
+    """Arbitrary-but-valid calibrations, spanning ~10 orders of magnitude.
+
+    Drawn as exponents so extreme machines (a throughput of 1e2 next to one
+    of 1e12) are as likely as plausible ones — the point is that *no*
+    calibration, however skewed, may change an answer.
+    """
+    throughput = st.floats(min_value=2.0, max_value=12.0).map(lambda e: 10.0**e)
+    overhead = st.floats(min_value=-9.0, max_value=-2.0).map(lambda e: 10.0**e)
+    return st.builds(
+        Calibration,
+        sketch_build_elems_per_s=throughput,
+        sketch_extend_elems_per_s=throughput,
+        pair_scan_pair_windows_per_s=throughput,
+        merge_pair_windows_per_s=throughput,
+        shard_dispatch_seconds=overhead,
+        parallel_efficiency=st.floats(min_value=0.05, max_value=1.0),
+        tile_io_bytes_per_s=throughput,
+        tile_overhead_seconds=overhead,
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(calibration=_calibrations(), seed=st.integers(min_value=0, max_value=2**16))
+def test_cost_chosen_plans_are_bit_identical_whatever_the_calibration(
+    calibration, seed
+):
+    """The cost model may only pick *which* candidate runs, never *what* it
+    answers: under any injected calibration — so any reachable choice of
+    execution, worker count and tile size — every family's chosen plan
+    reproduces the serial/dense reference byte for byte.
+    """
+    num_series = 7
+    matrix = _matrix(num_series, seed)
+    for family in FAMILIES:
+        reference = _planner("serial", "dense", False, num_series).run(
+            matrix, _query(family)
+        )
+        chooser = _planner("sharded", "tiled", False, num_series)
+        chooser.cost_model = CostModel(calibration)
+        plan = chooser.plan(matrix, _query(family))
+        assert plan.cost_source == "calibration"
+        result = chooser.execute(matrix, plan)
+        assert _canonical(family, result) == _canonical(family, reference), (
+            f"{family} diverged under plan {plan.describe()!r} "
+            f"with calibration {calibration}"
         )
 
 

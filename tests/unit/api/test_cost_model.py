@@ -1,0 +1,205 @@
+"""The cost model: calibration sources, prediction structure, env wiring.
+
+The planner's decisions are only as trustworthy as the model pricing them,
+so this file pins the model's *structure* (additive build + scan + dispatch
++ merge, cached prepares are free, lag spans multiply scan work) against
+hand-computed expectations on an injected calibration, and exercises every
+calibration source (``fixture`` / ``measured`` / ``injected`` / the
+``REPRO_COST_CALIBRATION`` environment knob) the planner can run under.
+"""
+
+import math
+
+import pytest
+
+from repro.api.cost import (
+    ENV_CALIBRATION,
+    FIXTURE_CALIBRATION,
+    Calibration,
+    CostModel,
+    PlanWorkload,
+    measure_calibration,
+)
+from repro.config import DEFAULT_SHARDS_PER_WORKER
+from repro.exceptions import StorageError
+
+#: Round-number throughputs so expected costs are exact decimal arithmetic.
+UNIT = Calibration(
+    sketch_build_elems_per_s=1000.0,
+    sketch_extend_elems_per_s=500.0,
+    pair_scan_pair_windows_per_s=100.0,
+    merge_pair_windows_per_s=200.0,
+    shard_dispatch_seconds=0.01,
+    parallel_efficiency=0.5,
+    tile_io_bytes_per_s=2000.0,
+    tile_overhead_seconds=0.25,
+)
+
+
+def _workload(**overrides):
+    base = dict(
+        kind="threshold",
+        pairs=10,
+        windows=4,
+        sketch_elems=2000,
+        data_bytes=4000,
+    )
+    base.update(overrides)
+    return PlanWorkload(**base)
+
+
+class TestPredictionStructure:
+    def test_serial_dense_is_build_plus_scan(self):
+        model = CostModel(UNIT)
+        cost = model.predict(_workload(), "serial", 1, "dense")
+        assert cost == pytest.approx(2000 / 1000.0 + 10 * 4 / 100.0)
+
+    def test_cached_sketch_prepares_for_free(self):
+        model = CostModel(UNIT)
+        cost = model.predict(_workload(cached=True), "serial", 1, "dense")
+        assert cost == pytest.approx(10 * 4 / 100.0)
+
+    def test_sharded_adds_dispatch_and_merge_but_divides_the_scan(self):
+        model = CostModel(UNIT)
+        workers = 4
+        scan = 10 * 4 / 100.0
+        expected = (
+            2000 / 1000.0
+            + scan / (workers * UNIT.parallel_efficiency)
+            + workers * DEFAULT_SHARDS_PER_WORKER * UNIT.shard_dispatch_seconds
+            + 10 * 4 / 200.0
+        )
+        cost = model.predict(_workload(), "sharded", workers, "dense")
+        assert cost == pytest.approx(expected)
+
+    def test_tiled_build_pays_io_and_per_tile_overhead(self):
+        model = CostModel(UNIT)
+        cost = model.predict(
+            _workload(), "serial", 1, "tiled", tile_budget=1000
+        )
+        tiles = math.ceil(4000 / 1000)
+        expected = (
+            2000 / 1000.0 + 4000 / 2000.0 + tiles * 0.25 + 10 * 4 / 100.0
+        )
+        assert cost == pytest.approx(expected)
+
+    def test_smaller_tiles_cost_more_overhead(self):
+        model = CostModel(UNIT)
+        big = model.predict(_workload(), "serial", 1, "tiled", tile_budget=4000)
+        small = model.predict(_workload(), "serial", 1, "tiled", tile_budget=500)
+        assert small > big
+
+    def test_incremental_prepare_scales_with_the_delta_only(self):
+        model = CostModel(UNIT)
+        cost = model.predict(
+            _workload(delta_elems=100), "serial", 1, "incremental"
+        )
+        assert cost == pytest.approx(100 / 500.0 + 10 * 4 / 100.0)
+
+    def test_lagged_tiled_streams_rather_than_builds(self):
+        # "tiled" on a lagged workload is streamed window buffers: IO cost
+        # only, no sketch-build term, no per-tile overhead.
+        model = CostModel(UNIT)
+        cost = model.predict(
+            _workload(kind="lagged", lag_span=5), "serial", 1, "tiled",
+            tile_budget=1000,
+        )
+        assert cost == pytest.approx(4000 / 2000.0 + 10 * 4 * 5 / 100.0)
+
+    def test_lag_span_multiplies_the_scan(self):
+        model = CostModel(UNIT)
+        narrow = model.predict(
+            _workload(kind="lagged", lag_span=1), "serial", 1, "dense"
+        )
+        wide = model.predict(
+            _workload(kind="lagged", lag_span=9), "serial", 1, "dense"
+        )
+        assert wide - narrow == pytest.approx(8 * 10 * 4 / 100.0)
+
+    def test_more_pairs_never_cost_less(self):
+        model = CostModel(FIXTURE_CALIBRATION)
+        costs = [
+            model.predict(_workload(pairs=pairs), "serial", 1, "dense")
+            for pairs in (1, 10, 100, 1000)
+        ]
+        assert costs == sorted(costs)
+
+
+class TestCalibrationValidation:
+    def test_rejects_nan_and_negative_fields(self):
+        for bad in (float("nan"), float("inf"), -1.0):
+            with pytest.raises(StorageError, match="finite and"):
+                Calibration(
+                    sketch_build_elems_per_s=bad,
+                    sketch_extend_elems_per_s=1.0,
+                    pair_scan_pair_windows_per_s=1.0,
+                    merge_pair_windows_per_s=1.0,
+                    shard_dispatch_seconds=0.0,
+                    parallel_efficiency=0.5,
+                    tile_io_bytes_per_s=1.0,
+                    tile_overhead_seconds=0.0,
+                )
+
+    def test_rejects_zero_throughput(self):
+        with pytest.raises(StorageError, match="must be positive"):
+            Calibration(
+                sketch_build_elems_per_s=1.0,
+                sketch_extend_elems_per_s=1.0,
+                pair_scan_pair_windows_per_s=0.0,
+                merge_pair_windows_per_s=1.0,
+                shard_dispatch_seconds=0.0,
+                parallel_efficiency=0.5,
+                tile_io_bytes_per_s=1.0,
+                tile_overhead_seconds=0.0,
+            )
+
+    def test_rejects_out_of_range_efficiency(self):
+        for bad in (0.0, 1.5):
+            with pytest.raises(StorageError, match="parallel_efficiency"):
+                Calibration(
+                    sketch_build_elems_per_s=1.0,
+                    sketch_extend_elems_per_s=1.0,
+                    pair_scan_pair_windows_per_s=1.0,
+                    merge_pair_windows_per_s=1.0,
+                    shard_dispatch_seconds=0.0,
+                    parallel_efficiency=bad,
+                    tile_io_bytes_per_s=1.0,
+                    tile_overhead_seconds=0.0,
+                )
+
+
+class TestCalibrationSources:
+    def test_fixture_mode_is_the_committed_constant(self):
+        model = CostModel.fixture()
+        assert model.calibration is FIXTURE_CALIBRATION
+        assert model.calibration.source == "fixture"
+
+    def test_environment_off_selects_the_fixture(self):
+        for value in ("off", "fixture", "OFF", " 0 ", "false"):
+            model = CostModel.from_environment({ENV_CALIBRATION: value})
+            assert model.calibration.source == "fixture", value
+
+    def test_environment_default_measures_this_machine(self):
+        model = CostModel.from_environment({})
+        assert model.calibration.source == "measured"
+
+    def test_measured_calibration_is_sane(self):
+        calibration = measure_calibration()
+        assert calibration.source == "measured"
+        # Any real machine reduces at least a million elements per second
+        # and scans at least a thousand pair-windows; a wildly implausible
+        # number here means a broken timer, not a slow host.
+        assert calibration.sketch_build_elems_per_s > 1e6
+        assert calibration.pair_scan_pair_windows_per_s > 1e3
+        assert 0 < calibration.parallel_efficiency <= 1
+
+    def test_shared_model_honours_the_tier1_env_pin(self):
+        # conftest.py pins REPRO_COST_CALIBRATION=off for the whole suite,
+        # so the per-process shared model every default planner uses must be
+        # the deterministic fixture.
+        CostModel.reset_shared()
+        try:
+            assert CostModel.shared().calibration.source == "fixture"
+            assert CostModel.shared() is CostModel.shared()
+        finally:
+            CostModel.reset_shared()
