@@ -823,29 +823,43 @@ class QueryPlanner:
             )
         return result
 
+    def materialize_sketch(self, matrix: TimeSeriesMatrix, plan: ExecutionPlan):
+        """Fetch (or build) the sketch a plan will recombine from.
+
+        This is the exact sketch-acquisition step :meth:`execute` performs —
+        honoring the plan's build strategy (incremental extension, tiled
+        out-of-core, dense) against the shared cache — exposed so the service
+        can materialize a plan's sketch once in the parent process and export
+        it to an mmap-backed segment for the worker pool.  Returns ``None``
+        for plans that read raw values (``plan.layout is None``).
+        """
+        if plan.layout is None:
+            return None
+        if plan.sketch_build == SKETCH_BUILD_INCREMENTAL:
+            return self.sketch_cache.get_or_extend(
+                matrix,
+                plan.layout,
+                memory_budget=plan.memory_budget,
+                workers=self.workers or 1,
+            )
+        if plan.sketch_build == SKETCH_BUILD_TILED:
+            return self.sketch_cache.get_or_build_tiled(
+                matrix,
+                plan.layout,
+                memory_budget=plan.memory_budget,
+                workers=self.workers or 1,
+            )
+        return self.sketch_cache.get_or_build(matrix, plan.layout)
+
     def _run_plan(self, matrix: TimeSeriesMatrix, plan: ExecutionPlan):
         """Dispatch one plan to its execution path (no feedback bookkeeping)."""
-        sketch = None
         cache_hit = False
         if plan.layout is not None:
             hits_before = self.sketch_cache.stats.hits
-            if plan.sketch_build == SKETCH_BUILD_INCREMENTAL:
-                sketch = self.sketch_cache.get_or_extend(
-                    matrix,
-                    plan.layout,
-                    memory_budget=plan.memory_budget,
-                    workers=self.workers or 1,
-                )
-            elif plan.sketch_build == SKETCH_BUILD_TILED:
-                sketch = self.sketch_cache.get_or_build_tiled(
-                    matrix,
-                    plan.layout,
-                    memory_budget=plan.memory_budget,
-                    workers=self.workers or 1,
-                )
-            else:
-                sketch = self.sketch_cache.get_or_build(matrix, plan.layout)
+            sketch = self.materialize_sketch(matrix, plan)
             cache_hit = self.sketch_cache.stats.hits > hits_before
+        else:
+            sketch = None
 
         if plan.kind == KIND_LAGGED:
             query: LaggedQuery = plan.query  # type: ignore[assignment]

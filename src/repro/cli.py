@@ -323,6 +323,10 @@ def create_server(args: argparse.Namespace):
 
     if args.workers is not None and args.workers < 1:
         raise ReproError(f"--workers must be at least 1, got {args.workers}")
+    if args.service_workers is not None and args.service_workers < 1:
+        raise ReproError(
+            f"--service-workers must be at least 1, got {args.service_workers}"
+        )
     memory_budget = (
         parse_byte_size(args.memory_budget) if args.memory_budget is not None else None
     )
@@ -336,6 +340,9 @@ def create_server(args: argparse.Namespace):
         write_buffer_columns=args.write_buffer_columns,
         write_buffer_seconds=args.write_buffer_seconds,
         cost_model=_cost_model_for(args.cost_calibration),
+        service_workers=args.service_workers,
+        admission_queue_limit=args.admission_queue_limit,
+        batch_window_seconds=args.batch_window_seconds,
     )
     return CorrelationServer(
         service, host=args.host, port=args.port, verbose=args.verbose
@@ -518,6 +525,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="how each dataset's planner prices candidate plans (see "
              "'repro query --cost-calibration'; default: the "
              "REPRO_COST_CALIBRATION environment knob)",
+    )
+    serve.add_argument(
+        "--service-workers", type=int, default=None, metavar="N",
+        help="run query scans in a pool of N forked worker processes over "
+             "shared mmap sketch segments (default: in-process execution)",
+    )
+    serve.add_argument(
+        "--admission-queue-limit", type=int, default=None, metavar="N",
+        help="shed query load with 429 + Retry-After once a dataset has N "
+             "requests in flight (default: admit everything)",
+    )
+    serve.add_argument(
+        "--batch-window-seconds", type=float, default=0.0, metavar="SECONDS",
+        help="group-commit window for threshold batching: wait this long for "
+             "compatible queries to join one shared scan (default: 0, only "
+             "batch while queued)",
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"

@@ -327,6 +327,23 @@ class BasicWindowSketch:
             self._corr_prefix = prefix
         return self._corr_prefix
 
+    def attach_corr_prefix(self, prefix: np.ndarray) -> None:
+        """Adopt a precomputed :attr:`corr_prefix` tensor.
+
+        Used when the prefix was materialized elsewhere — e.g. exported once
+        by the service parent into an mmap-backed shared segment — so that
+        attaching processes answer Eq. 2 bound checks from the shared pages
+        instead of each allocating a private ``(count+1, N, N)`` tensor.
+        """
+        self._require_pairwise()
+        count, n, _ = self.pair_corrs.shape
+        if tuple(prefix.shape) != (count + 1, n, n):
+            raise SketchError(
+                f"corr prefix shape {tuple(prefix.shape)} does not match the "
+                f"sketch's ({count + 1}, {n}, {n})"
+            )
+        self._corr_prefix = _contiguous_array(prefix)
+
     @property
     def sumprod_prefix(self) -> np.ndarray:
         """Prefix sums of the per-basic-window pair sums of products."""

@@ -134,6 +134,7 @@ class LintConfig:
     lock_discipline_modules: Tuple[str, ...] = (
         "repro/api/cost.py",
         "repro/service/service.py",
+        "repro/service/workers.py",
         "repro/storage/cache.py",
     )
 

@@ -71,9 +71,14 @@ class ServiceError(ReproError):
     preserved and the HTTP status is carried on the ``status`` attribute.
     """
 
-    def __init__(self, message: str, status: int = 400) -> None:
+    def __init__(
+        self, message: str, status: int = 400, retry_after: "float | None" = None
+    ) -> None:
         super().__init__(message)
         self.status = status
+        #: Seconds after which the client should retry (the server's
+        #: ``Retry-After`` header); set on load-shedding 429 responses.
+        self.retry_after = retry_after
 
 
 class ParallelError(ReproError):

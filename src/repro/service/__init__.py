@@ -15,9 +15,15 @@ Layers (each importable and testable on its own):
 :mod:`repro.service.wire`
     The versioned JSON schema for query specs and the unified result
     protocol; ``result_from_wire(result_to_wire(r))`` is bit-identical.
+:mod:`repro.service.batching`
+    Compatible-query batching: one scan at ``min(threshold)``, each
+    caller's answer filtered from it bit-identically.
+:mod:`repro.service.workers`
+    :class:`WorkerPool` — forked session workers executing scans over
+    shared mmap segments (:mod:`repro.storage.shared`).
 :mod:`repro.service.service`
-    :class:`CorrelationService` — catalog lookup, warm sessions, request
-    coalescing, appends and standing queries.  No sockets.
+    :class:`CorrelationService` — catalog lookup, warm sessions, admission
+    control, batching/coalescing, appends and standing queries.  No sockets.
 :mod:`repro.service.http`
     :class:`CorrelationServer` — the ``ThreadingHTTPServer`` front and the
     route table.
@@ -26,9 +32,17 @@ Layers (each importable and testable on its own):
     objects a local session does.
 
 See ``docs/service.md`` for the endpoint reference and a runnable
-walkthrough; ``repro serve --catalog DIR`` starts a server from the CLI.
+walkthrough; ``repro serve --catalog DIR`` starts a server from the CLI
+(``--service-workers N`` turns on the multi-process pool).
 """
 
+from repro.service.batching import (
+    QueryBatch,
+    batch_key_for,
+    canonical_request_key,
+    filter_threshold_result,
+    is_batchable,
+)
 from repro.service.client import ServiceClient
 from repro.service.http import CorrelationServer
 from repro.service.service import CorrelationService, DatasetRuntime
@@ -39,15 +53,24 @@ from repro.service.wire import (
     result_from_wire,
     result_to_wire,
 )
+from repro.service.workers import WorkerConfig, WorkerPool, rss_anon_bytes
 
 __all__ = [
     "CorrelationServer",
     "CorrelationService",
     "DatasetRuntime",
+    "QueryBatch",
     "RESULT_SCHEMA",
     "ServiceClient",
+    "WorkerConfig",
+    "WorkerPool",
+    "batch_key_for",
+    "canonical_request_key",
+    "filter_threshold_result",
+    "is_batchable",
     "query_from_wire",
     "query_to_wire",
     "result_from_wire",
     "result_to_wire",
+    "rss_anon_bytes",
 ]

@@ -10,6 +10,7 @@ without sockets.
 Routes::
 
     GET  /healthz                          liveness + version + dataset count
+    GET  /metrics                          service-wide observability document
     GET  /datasets                         catalog inventory
     GET  /datasets/{name}                  one dataset + runtime statistics
     POST /datasets/{name}/query            unified query spec -> result document
@@ -18,10 +19,11 @@ Routes::
     GET  /datasets/{name}/watch/{id}       windows the standing query emitted
 
 Error mapping: :class:`~repro.exceptions.ServiceError` carries its own
-status (404 for unknown datasets/routes, 400 otherwise); every other
-:class:`~repro.exceptions.ReproError` is a 400 (the request was understood
-but invalid); anything else is a 500.  Error bodies are always
-``{"error": {"type": ..., "message": ...}}``.
+status (404 for unknown datasets/routes, 429 for shed load, 400 otherwise);
+every other :class:`~repro.exceptions.ReproError` is a 400 (the request was
+understood but invalid); anything else is a 500.  Error bodies are always
+``{"error": {"type": ..., "message": ...}}``; a shed 429 additionally sends
+a ``Retry-After`` header (the service's ``retry_after_seconds``).
 """
 
 from __future__ import annotations
@@ -41,6 +43,7 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 
 _ROUTES: List[Tuple[str, re.Pattern, str]] = [
     ("GET", re.compile(r"^/healthz$"), "health"),
+    ("GET", re.compile(r"^/metrics$"), "metrics"),
     ("GET", re.compile(r"^/datasets$"), "datasets"),
     ("GET", re.compile(r"^/datasets/([^/]+)$"), "dataset_info"),
     ("POST", re.compile(r"^/datasets/([^/]+)/query$"), "query"),
@@ -66,18 +69,30 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in getattr(self, "_extra_headers", []):
+            self.send_header(name, value)
+        self._extra_headers = []
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
-    def _write_error(self, status: int, error_type: str, message: str) -> None:
+    def _write_error(
+        self,
+        status: int,
+        error_type: str,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
         # An error may leave an unread request body on the (HTTP/1.1
         # keep-alive) socket — e.g. the 413 cap rejects before reading, a 405
         # hits a POST whose body was never consumed.  Leftover bytes would be
         # parsed as the next request line, desynchronizing the connection, so
         # every error response closes it.
         self.close_connection = True
+        self._extra_headers = (
+            [("Retry-After", f"{retry_after:g}")] if retry_after is not None else []
+        )
         self._write_json(status, {"error": {"type": error_type, "message": message}})
 
     def _read_body(self) -> Dict[str, object]:
@@ -115,7 +130,12 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     document = handler(*match.groups())
                 self._write_json(200, document)
             except ServiceError as error:
-                self._write_error(error.status, type(error).__name__, str(error))
+                self._write_error(
+                    error.status,
+                    type(error).__name__,
+                    str(error),
+                    retry_after=error.retry_after,
+                )
             except ReproError as error:
                 self._write_error(400, type(error).__name__, str(error))
             except BrokenPipeError:  # client went away mid-response
@@ -187,14 +207,17 @@ class CorrelationServer:
             self._httpd.serve_forever()
         finally:
             self._httpd.server_close()
+            self.service.close()
 
     def stop(self) -> None:
-        """Shut the server down and release the socket (idempotent)."""
+        """Shut the server down, release the socket and close the service's
+        worker pool and segment exports (idempotent)."""
         if self._thread is not None:
             self._httpd.shutdown()
             self._thread.join(timeout=10)
             self._thread = None
         self._httpd.server_close()
+        self.service.close()
 
     def __enter__(self) -> "CorrelationServer":
         return self.start()

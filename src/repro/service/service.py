@@ -15,21 +15,36 @@ by every subsequent query; the service is that deployment shape:
   matching an on-disk index seeds the cache from disk instead of paying the
   γ·N² build,
 * identical concurrent queries are **coalesced**: the first request executes,
-  the rest wait on it and share the same response document, and
+  the rest wait on it and share the same response document,
+* *compatible* concurrent threshold queries — same dataset, same window
+  grid, different thresholds — are **batched**: one threshold-exact scan
+  runs at the lowest requested threshold and each caller's answer is
+  filtered from it, bit-identically to an independent exact run of its own
+  query (:mod:`repro.service.batching`),
+* a bounded per-dataset **admission queue** sheds overload with a 429 +
+  ``Retry-After`` envelope instead of collapsing, and
 * appended columns feed each registered standing query's
   :class:`~repro.streaming.online.OnlineCorrelationMonitor`, so monitors see
   new windows as soon as their data completes.
 
-Execution is serialized per dataset (sessions and sketch caches are not
-thread-safe); different datasets run concurrently.
+With ``service_workers=N`` the scans themselves run in a
+:class:`~repro.service.workers.WorkerPool` of forked processes over shared
+mmap-backed sketch segments (:mod:`repro.storage.shared`): the parent plans,
+seeds, exports and keeps the counters; workers attach the exported segment
+read-only and execute, so N concurrent queries use N cores instead of
+contending on one GIL.  Without a pool, execution is serialized per dataset
+exactly as before (sessions and sketch caches are not thread-safe);
+different datasets always run concurrently.
 """
 
 from __future__ import annotations
 
-import json
+import shutil
+import tempfile
 import threading
 import time
 from collections import deque
+from pathlib import Path
 from typing import Deque, Dict, List, Optional
 
 import numpy as np
@@ -42,9 +57,24 @@ from repro.api.planner import QueryPlanner
 from repro.config import DEFAULT_BASIC_WINDOW_SIZE
 from repro.core.sketch import BasicWindowSketch
 from repro.exceptions import ServiceError, StorageError
-from repro.service.wire import query_from_wire, query_to_wire, result_to_wire
+from repro.service.batching import (
+    QueryBatch,
+    batch_key_for,
+    canonical_request_key,
+    exact_scan_options,
+    filter_threshold_result,
+    is_batchable,
+)
+from repro.service.wire import (
+    query_from_wire,
+    query_to_wire,
+    result_from_wire,
+    result_to_wire,
+)
+from repro.service.workers import WorkerConfig, WorkerPool
 from repro.storage.cache import SketchCache
 from repro.storage.catalog import Catalog
+from repro.storage.shared import SegmentManager
 from repro.streaming.online import OnlineCorrelationMonitor
 from repro.timeseries.matrix import TimeSeriesMatrix
 
@@ -129,6 +159,7 @@ class DatasetRuntime:
         write_buffer_columns: Optional[int] = None,
         write_buffer_seconds: Optional[float] = None,
         cost_model: Optional[CostModel] = None,
+        segments: Optional[SegmentManager] = None,
     ) -> None:
         self.name = name
         self.catalog = catalog
@@ -149,10 +180,30 @@ class DatasetRuntime:
         # which the leader holds for the whole execution.
         self.flights_lock = threading.Lock()
         self.flights: Dict[str, _Flight] = {}  # guarded-by: flights_lock
+        # Open threshold batches, keyed by compatibility key (the request
+        # minus its threshold); same short-hold discipline as ``flights``.
+        self.batches_lock = threading.Lock()
+        self.batches: Dict[str, QueryBatch] = {}  # guarded-by: batches_lock
+        # Admission accounting has its own lock so shedding decisions never
+        # wait on ``lock`` — a full queue must answer 429 immediately even
+        # while a leader holds the runtime lock for a long scan.
+        self.admission_lock = threading.Lock()
+        self.admitted = 0  # guarded-by: admission_lock
+        self.shed = 0  # guarded-by: admission_lock
+        # Parent-side segment exports for pooled execution (None when the
+        # service runs without a worker pool); mutated only under ``lock``.
+        self.segments = segments
         self.watches: Dict[str, _StandingQuery] = {}  # guarded-by: lock
+        # ``queries`` counts answered requests; ``executed`` counts planner
+        # scans.  ``coalesced`` (identical request joined a flight/slot) and
+        # ``batched`` (distinct threshold derived from a shared scan) count
+        # the requests answered *without* their own scan, so at any snapshot
+        # queries >= coalesced + batched.
         self.counters: Dict[str, int] = {
             "queries": 0,
+            "executed": 0,
             "coalesced": 0,
+            "batched": 0,
             "appended_columns": 0,
             "indexes_seeded": 0,
             "flushes": 0,
@@ -162,7 +213,8 @@ class DatasetRuntime:
         self._write_buffer_columns = 0  # guarded-by: lock
         self._write_buffer_started: Optional[float] = None  # guarded-by: lock
         self._matrix: Optional[TimeSeriesMatrix] = None  # guarded-by: lock
-        self._sessions: Dict[Optional[int], CorrelationSession] = {}  # guarded-by: lock
+        # Keyed (workers, exact_scan) -- see ``session_for``.
+        self._sessions: Dict[tuple, CorrelationSession] = {}  # guarded-by: lock
         # One cache for the dataset's whole lifetime: every session (whatever
         # its worker count) and every seeded on-disk index shares it.
         self.sketch_cache = SketchCache()
@@ -190,16 +242,30 @@ class DatasetRuntime:
                 self._matrix = self.store.to_matrix()
         return self._matrix
 
-    def session_for(self, workers: Optional[int]) -> CorrelationSession:  # requires-lock: lock
-        """The warm session answering queries at this worker count."""
+    def session_for(
+        self, workers: Optional[int], exact_scan: bool = False
+    ) -> CorrelationSession:  # requires-lock: lock
+        """The warm session answering queries at this worker count.
+
+        ``exact_scan`` sessions run with the threshold-dependent jumping
+        heuristic disabled (:func:`~repro.service.batching
+        .exact_scan_options`) — the configuration multi-threshold batch
+        leaders scan under so every member's derived answer is exact.
+        """
         workers = workers if workers is not None else self.default_workers
-        session = self._sessions.get(workers)
+        key = (workers, exact_scan)
+        session = self._sessions.get(key)
         if session is None:
+            options = (
+                exact_scan_options(self.engine, self.engine_options)
+                if exact_scan
+                else self.engine_options
+            )
             session = CorrelationSession(
                 self.matrix,
                 planner=QueryPlanner(
                     engine=self.engine,
-                    engine_options=self.engine_options,
+                    engine_options=options,
                     basic_window_size=self.basic_window_size,
                     sketch_cache=self.sketch_cache,
                     workers=workers,
@@ -207,7 +273,7 @@ class DatasetRuntime:
                     cost_model=self.cost_model,
                 ),
             )
-            self._sessions[workers] = session
+            self._sessions[key] = session
         return session
 
     def seed_sketch_for(self, plan) -> bool:  # requires-lock: lock
@@ -389,25 +455,42 @@ class DatasetRuntime:
 
     # ------------------------------------------------------------------ stats
     def stats(self) -> Dict[str, object]:
-        cache = self.sketch_cache
-        return {
-            **self.counters,
-            "sessions": len(self._sessions),
-            "watches": len(self.watches),
-            "sketch_cache": {
-                "hits": cache.stats.hits,
-                "misses": cache.stats.misses,
-                "builds": cache.builds,
-                "seeds": cache.seeds,
-                "entries": len(cache),
-                "extensions": cache.stats.sketch_extensions,
-                "extended_windows": cache.stats.extended_windows,
-                "buffered_columns": cache.stats.buffered_columns,
-            },
-            # What the planner has learned: observed wall-clock per plan key,
-            # the feedback that outranks calibration once samples accumulate.
-            "plan_timings": cache.feedback.snapshot(),
-        }
+        """A consistent snapshot of the runtime's counters and cache state.
+
+        Taken under the runtime locks (admission first, then the main lock;
+        they never nest the other way), so a reader hammering this endpoint
+        during queries and appends observes every counter set atomically —
+        no torn reads, and the ``queries >= coalesced + batched`` invariant
+        holds at every snapshot.
+        """
+        with self.admission_lock:
+            admission = {"queue_depth": self.admitted, "shed": self.shed}
+        with self.lock:
+            cache = self.sketch_cache
+            document: Dict[str, object] = {
+                **self.counters,
+                "admission": admission,
+                "sessions": len(self._sessions),
+                "watches": len(self.watches),
+                "sketch_cache": {
+                    "hits": cache.stats.hits,
+                    "misses": cache.stats.misses,
+                    "builds": cache.builds,
+                    "seeds": cache.seeds,
+                    "entries": len(cache),
+                    "extensions": cache.stats.sketch_extensions,
+                    "extended_windows": cache.stats.extended_windows,
+                    "buffered_columns": cache.stats.buffered_columns,
+                },
+                # What the planner has learned: observed wall-clock per plan
+                # key, the feedback that outranks calibration once samples
+                # accumulate.  Pooled scans report their worker-side wall
+                # back into this same store.
+                "plan_timings": cache.feedback.snapshot(),
+            }
+            if self.segments is not None:
+                document["segments"] = self.segments.describe()
+        return document
 
 
 class CorrelationService:
@@ -433,6 +516,30 @@ class CorrelationService:
         Query and watch reads flush first, so they always observe every
         accepted append.  Both ``None`` (the default) keeps appends
         write-through, exactly as before the buffer existed.
+    service_workers:
+        Size of the forked :class:`~repro.service.workers.WorkerPool`
+        executing scans over shared mmap segments.  ``None`` (the default)
+        keeps execution in-process under each dataset's runtime lock.
+    admission_queue_limit:
+        Maximum requests a single dataset may have in flight (queued plus
+        executing).  Beyond it, :meth:`query` sheds with a 429
+        :class:`ServiceError` carrying ``retry_after``.  ``None`` admits
+        everything.
+    retry_after_seconds:
+        The ``Retry-After`` hint attached to shed responses.
+    batch_window_seconds:
+        Group-commit window for threshold batching: a batch leader waits
+        this long (lock-free) before fixing the floor threshold and
+        scanning, so a burst of compatible queries lands in one scan.  The
+        default ``0.0`` adds no latency — batches then only accumulate
+        while a leader queues behind other work, which is when batching
+        pays anyway.
+    segment_root:
+        Directory for segment exports when a pool is configured; a private
+        temporary directory (removed by :meth:`close`) when omitted.
+    worker_pool_mode:
+        ``"auto"`` forks real processes and falls back to inline execution
+        where fork is unavailable; ``"process"``/``"inline"`` force a mode.
     """
 
     def __init__(
@@ -446,6 +553,12 @@ class CorrelationService:
         write_buffer_columns: Optional[int] = None,
         write_buffer_seconds: Optional[float] = None,
         cost_model: Optional[CostModel] = None,
+        service_workers: Optional[int] = None,
+        admission_queue_limit: Optional[int] = None,
+        retry_after_seconds: float = 1.0,
+        batch_window_seconds: float = 0.0,
+        segment_root=None,
+        worker_pool_mode: str = "auto",
     ) -> None:
         if write_buffer_columns is not None and write_buffer_columns < 1:
             raise ServiceError(
@@ -457,6 +570,24 @@ class CorrelationService:
                 f"write_buffer_seconds must be a positive age in seconds, "
                 f"got {write_buffer_seconds}"
             )
+        if service_workers is not None and service_workers < 1:
+            raise ServiceError(
+                f"service_workers must be a positive worker count, "
+                f"got {service_workers}"
+            )
+        if admission_queue_limit is not None and admission_queue_limit < 1:
+            raise ServiceError(
+                f"admission_queue_limit must be a positive request count, "
+                f"got {admission_queue_limit}"
+            )
+        if retry_after_seconds <= 0:
+            raise ServiceError(
+                f"retry_after_seconds must be positive, got {retry_after_seconds}"
+            )
+        if batch_window_seconds < 0:
+            raise ServiceError(
+                f"batch_window_seconds must be non-negative, got {batch_window_seconds}"
+            )
         self.catalog = catalog if isinstance(catalog, Catalog) else Catalog(catalog)
         self.engine = engine
         self.engine_options = dict(engine_options or {})
@@ -466,8 +597,39 @@ class CorrelationService:
         self.write_buffer_columns = write_buffer_columns
         self.write_buffer_seconds = write_buffer_seconds
         self.cost_model = cost_model
+        self.service_workers = service_workers
+        self.admission_queue_limit = admission_queue_limit
+        self.retry_after_seconds = float(retry_after_seconds)
+        self.batch_window_seconds = float(batch_window_seconds)
         self._runtimes: Dict[str, DatasetRuntime] = {}  # guarded-by: _runtimes_lock
         self._runtimes_lock = threading.Lock()
+        self._closed = False
+        self._pool: Optional[WorkerPool] = None
+        self._segment_root: Optional[Path] = None
+        self._owns_segment_root = False
+        if service_workers is not None:
+            # The pool forks at construction time — before the HTTP server's
+            # request threads exist — so the children never inherit a
+            # mid-mutation lock.
+            self._pool = WorkerPool(
+                service_workers,
+                WorkerConfig(
+                    engine=engine,
+                    engine_options=dict(engine_options or {}),
+                    basic_window_size=basic_window_size,
+                    memory_budget=memory_budget,
+                    cost_model=cost_model,
+                ),
+                mode=worker_pool_mode,
+            )
+            if segment_root is not None:
+                self._segment_root = Path(segment_root)
+                self._segment_root.mkdir(parents=True, exist_ok=True)
+            else:
+                self._segment_root = Path(
+                    tempfile.mkdtemp(prefix="repro-segments-")
+                )
+                self._owns_segment_root = True
 
     # ------------------------------------------------------------- operations
     def health(self) -> Dict[str, object]:
@@ -512,20 +674,57 @@ class CorrelationService:
         }
 
     def query(self, name: str, request: Dict[str, object]) -> Dict[str, object]:
-        """Answer one query request, coalescing identical concurrent ones.
+        """Answer one query request through admission, batching and coalescing.
 
         The request document is the query spec (see
         :func:`~repro.service.wire.query_from_wire`) plus the optional
         transport fields ``workers`` (sharded execution override) and
-        ``include_edges`` (inline the flattened edge list).  Identical
-        concurrent requests — same dataset, same canonical JSON — share one
-        planner execution: the first becomes the leader, the rest block on its
-        flight and return the same response object.
+        ``include_edges`` (inline the flattened edge list).
+
+        Admission first: with an ``admission_queue_limit`` configured, a
+        dataset already saturated sheds this request with a 429 carrying
+        ``retry_after`` — the caller got a correct *refusal*, never a wrong
+        answer.  Admitted threshold requests join the dataset's open
+        compatible batch (one scan at the minimum threshold, every member's
+        answer filtered from it bit-identically); exact duplicates inside a
+        batch coalesce onto one member slot.  Everything else keeps the
+        exact-match singleflight.
         """
         if not isinstance(request, dict):
             raise ServiceError(f"request body must be a JSON object, got {type(request).__name__}")
         runtime = self._runtime(name)
-        key = json.dumps(request, sort_keys=True, separators=(",", ":"))
+        self._admit(runtime)
+        try:
+            if is_batchable(request):
+                return self._query_batched(runtime, request)
+            return self._query_singleflight(runtime, request)
+        finally:
+            self._leave(runtime)
+
+    # ----------------------------------------------------------- admission
+    def _admit(self, runtime: DatasetRuntime) -> None:
+        limit = self.admission_queue_limit
+        with runtime.admission_lock:
+            if limit is not None and runtime.admitted >= limit:
+                runtime.shed += 1
+                raise ServiceError(
+                    f"dataset {runtime.name!r} admission queue is full "
+                    f"({runtime.admitted} requests in flight, limit {limit})",
+                    status=429,
+                    retry_after=self.retry_after_seconds,
+                )
+            runtime.admitted += 1
+
+    def _leave(self, runtime: DatasetRuntime) -> None:
+        with runtime.admission_lock:
+            runtime.admitted -= 1
+
+    # --------------------------------------------------------- query paths
+    def _query_singleflight(
+        self, runtime: DatasetRuntime, request: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Exact-identity coalescing for non-batchable requests."""
+        key = canonical_request_key(request)
         # Join or create the flight under the dataset's own coalescing lock:
         # requests for *other* datasets never touch it, and the service-wide
         # ``_runtimes_lock`` stays reserved for the runtimes map itself.
@@ -536,17 +735,20 @@ class CorrelationService:
                 flight = _Flight()
                 runtime.flights[key] = flight
         if not leader:
-            # Count the join under ``runtime.lock`` like every other counter
-            # mutation (previously this increment raced the leader's
-            # ``counters["queries"]`` update, which runs under that lock).
-            with runtime.lock:
-                runtime.counters["coalesced"] += 1
             flight.event.wait()
             if flight.error is not None:
                 raise flight.error
+            # Count the join only once the shared payload is known-good, and
+            # under ``runtime.lock`` like every other counter mutation, so a
+            # stats snapshot never sees a joined-but-unanswered request.
+            with runtime.lock:
+                runtime.counters["queries"] += 1
+                runtime.counters["coalesced"] += 1
             return flight.payload
         try:
             flight.payload = self._execute(runtime, request)
+            with runtime.lock:
+                runtime.counters["queries"] += 1
             return flight.payload
         except BaseException as error:
             flight.error = error
@@ -555,6 +757,59 @@ class CorrelationService:
             with runtime.flights_lock:
                 runtime.flights.pop(key, None)
             flight.event.set()
+
+    def _query_batched(
+        self, runtime: DatasetRuntime, request: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Compatible-batch coalescing for threshold requests."""
+        # Parse *before* joining: a malformed request must fail alone, never
+        # poison a batch other callers are waiting on.
+        workers, include_edges, query = self._parse_request(request)
+        exact_key = canonical_request_key(request)
+        batch_key = batch_key_for(request)
+        with runtime.batches_lock:
+            batch = runtime.batches.get(batch_key)
+            if batch is not None and batch.closed and exact_key not in batch.members:
+                # The open batch already chose its floor and is scanning; a
+                # *new* threshold cannot ride that scan (it may undercut the
+                # floor), so it starts a replacement batch.  Exact duplicates
+                # of a scanning member still coalesce below — identical
+                # requests share one execution for its whole duration.
+                batch = None
+            leader = batch is None
+            if leader:
+                batch = QueryBatch(batch_key)
+                runtime.batches[batch_key] = batch
+            member, created = batch.join(exact_key, request)
+            member.query = query
+        if not leader:
+            batch.event.wait()
+            if batch.error is not None:
+                raise batch.error
+            with runtime.lock:
+                runtime.counters["queries"] += 1
+                # A distinct threshold was *batched* (derived from the shared
+                # scan); an exact duplicate merely *coalesced* onto a slot.
+                runtime.counters["batched" if created else "coalesced"] += 1
+            return member.payload
+        try:
+            if self.batch_window_seconds > 0.0:
+                # Group-commit: wait lock-free so a burst of compatible
+                # queries joins before the floor threshold is fixed.
+                time.sleep(self.batch_window_seconds)
+            self._execute_batch(runtime, batch, workers, include_edges)
+            with runtime.lock:
+                runtime.counters["queries"] += 1
+            return member.payload
+        except BaseException as error:
+            batch.error = error
+            raise
+        finally:
+            with runtime.batches_lock:
+                if runtime.batches.get(batch_key) is batch:
+                    del runtime.batches[batch_key]
+                batch.closed = True
+            batch.event.set()
 
     def append(self, name: str, request: Dict[str, object]) -> Dict[str, object]:
         """Append streamed time steps to a dataset.
@@ -622,31 +877,216 @@ class CorrelationService:
             write_buffer_columns=self.write_buffer_columns,
             write_buffer_seconds=self.write_buffer_seconds,
             cost_model=self.cost_model,
+            segments=(
+                SegmentManager(self._segment_root / name)
+                if self._segment_root is not None
+                else None
+            ),
         )
         with self._runtimes_lock:
             # Two threads may have built the runtime concurrently; first wins
             # so every request shares one warm cache.
             return self._runtimes.setdefault(name, loaded)
 
-    def _execute(self, runtime: DatasetRuntime, request: Dict[str, object]) -> Dict[str, object]:
+    @staticmethod
+    def _parse_request(request: Dict[str, object]):
         spec = {k: v for k, v in request.items() if k not in _REQUEST_ONLY_FIELDS}
         workers = request.get("workers")
         if workers is not None and (isinstance(workers, bool) or not isinstance(workers, int)):
             raise ServiceError(f"request field 'workers' must be an integer, got {workers!r}")
         include_edges = bool(request.get("include_edges", False))
-        query = query_from_wire(spec)
+        return workers, include_edges, query_from_wire(spec)
+
+    def _segment_job(self, runtime: DatasetRuntime, session, plan):  # requires-lock: lock
+        """Prepare pooled execution for a plan, or ``None`` to run inline.
+
+        Materializes the plan's sketch in the parent (through the shared
+        cache — seeded, incremental and tiled builds all land here once) and
+        ensures the current snapshot is exported as a shared segment.  Plans
+        without a basic-window layout fall back inline, as does a pool-less
+        service.
+        """
+        if self._pool is None or runtime.segments is None or plan.layout is None:
+            return None
+        sketch = session.planner.materialize_sketch(session.matrix, plan)
+        if sketch is None or not sketch.has_pairwise:
+            return None
+        fingerprint = runtime.sketch_cache.fingerprint_of(session.matrix)
+        path, generation = runtime.segments.ensure(
+            runtime.store, sketch, fingerprint, runtime.store.series_ids
+        )
+        return str(path), generation
+
+    def _run_scan(self, runtime: DatasetRuntime, choose_query, workers, include_edges):
+        """Plan and run one scan; returns ``(payload, result_or_None)``.
+
+        ``choose_query`` is called under the runtime lock (after the write
+        flush) and returns ``(query, exact_scan)`` — for a batch leader
+        that is the moment the batch closes and its floor threshold is
+        fixed, so joiners keep accumulating for as long as the leader
+        queued on the lock; ``exact_scan`` is True for multi-threshold
+        batches, whose scan must be threshold-exact to derive every
+        member bit-identically.  Planning, seeding and segment export also happen under the
+        lock; a pooled scan then executes *outside* it, which is the
+        concurrency this PR buys — N compatible batches or distinct queries
+        scan on N cores while the parent lock only covers the cheap
+        bookkeeping.  The worker's observed wall feeds the planner's
+        :class:`~repro.api.cost.FeedbackStore` exactly as an inline run
+        would, so the adaptive planner keeps learning under pooled serving.
+        """
         with runtime.lock:
             runtime.flush_writes()
-            session = runtime.session_for(workers)
+            query, exact_scan = choose_query()
+            session = runtime.session_for(workers, exact_scan)
             plan = session.plan(query)
             runtime.seed_sketch_for(plan)
-            # Execute the plan we just seeded for (not session.run, which
-            # would re-plan): the seeded layout and the executed layout can
-            # never diverge, and planning happens once per request.
-            result = session.planner.execute(session.matrix, plan)
-            runtime.counters["queries"] += 1
+            job = self._segment_job(runtime, session, plan)
+            if job is None:
+                # Execute the plan we just seeded for (not session.run, which
+                # would re-plan): the seeded layout and the executed layout
+                # can never diverge, and planning happens once per request.
+                result = session.planner.execute(session.matrix, plan)
+                runtime.counters["executed"] += 1
+                payload = {
+                    "dataset": runtime.name,
+                    "plan": plan.describe(),
+                    **result_to_wire(result, include_edges=include_edges),
+                }
+                return payload, result
+        segment_dir, generation = job
+        reply = self._pool.run_query(
+            runtime.name,
+            query_to_wire(query),
+            segment_dir,
+            generation,
+            workers=workers,
+            include_edges=include_edges,
+            exact_scan=exact_scan,
+        )
+        with runtime.lock:
+            runtime.counters["executed"] += 1
+            cost_key = reply.get("cost_key")
+            if cost_key:
+                runtime.sketch_cache.feedback.record(
+                    cost_key, float(reply["wall_seconds"])
+                )
+        return {"dataset": runtime.name, **reply["payload"]}, None
+
+    def _execute(self, runtime: DatasetRuntime, request: Dict[str, object]) -> Dict[str, object]:
+        workers, include_edges, query = self._parse_request(request)
+        payload, _ = self._run_scan(
+            runtime, lambda: (query, False), workers, include_edges
+        )
+        return payload
+
+    def _execute_batch(
+        self,
+        runtime: DatasetRuntime,
+        batch: QueryBatch,
+        workers: Optional[int],
+        include_edges: bool,
+    ) -> None:
+        """Run one scan at the batch's minimum threshold; fill every member.
+
+        The batch *closes* only once the leader holds the runtime lock —
+        new thresholds accumulate for as long as the leader queued behind
+        other scans, which is exactly when batching pays.  New thresholds
+        arriving after the close open a replacement batch instead of missing
+        this scan; exact duplicates keep coalescing until it completes.
+        Multi-threshold batches scan with the threshold-dependent jumping
+        heuristic disabled (:func:`~repro.service.batching
+        .exact_scan_options`) — its skip schedule varies with the scan
+        threshold, so an exact scan is what makes the members derivable.
+        Members' payloads are derived through
+        :func:`filter_threshold_result` — a pure subset filter,
+        bit-identical to an independent exact run of each member's query
+        and independent of the batch's composition — and carry a ``batch``
+        marker documenting the shared scan.  Single-threshold batches are
+        pure coalescing and keep the normal plan.
+        """
+        state: Dict[str, object] = {}
+
+        def close_and_choose_floor():
+            # Runs under ``runtime.lock`` (see ``_run_scan``); the nested
+            # batches_lock hold is the only lock -> batches_lock nesting in
+            # the service and nothing nests them the other way around.  The
+            # batch stays in the open map (closed) until the leader's
+            # ``finally`` removes it, so exact duplicates keep coalescing
+            # onto their scanning member for the execution's whole duration.
+            with runtime.batches_lock:
+                batch.closed = True
+                members = list(batch.members.values())
+            floor = min(members, key=lambda m: m.query.threshold)
+            state["members"] = members
+            state["floor"] = floor
+            exact_scan = len({m.query.threshold for m in members}) > 1
+            return floor.query, exact_scan
+
+        floor_payload, result = self._run_scan(
+            runtime, close_and_choose_floor, workers, include_edges
+        )
+        members = state["members"]
+        floor = state["floor"]
+        floor.payload = floor_payload
+        others = [member for member in members if member is not floor]
+        if not others:
+            return
+        if result is None:
+            # Pooled scan: rebuild the result object from the wire document.
+            # ``repro.result/v1`` round-trips bit-identically, so the derived
+            # members are exactly what an inline scan would have produced.
+            result = result_from_wire(floor_payload)
+        for member in others:
+            derived = filter_threshold_result(result, member.query)
+            member.payload = {
+                "dataset": runtime.name,
+                "plan": floor_payload["plan"],
+                "batch": {
+                    "floor_threshold": float(floor.query.threshold),
+                    "members": len(members),
+                },
+                **result_to_wire(derived, include_edges=include_edges),
+            }
+
+    # ------------------------------------------------------------------ metrics
+    def metrics(self) -> Dict[str, object]:
+        """Service-wide observability document (``GET /metrics``).
+
+        Per-dataset counters (queries/executed/coalesced/batched), admission
+        queue depths and shed counts, sketch-cache statistics, per-plan
+        timings, segment generations, plus the worker pool's own accounting.
+        """
+        with self._runtimes_lock:
+            runtimes = dict(self._runtimes)
         return {
-            "dataset": runtime.name,
-            "plan": plan.describe(),
-            **result_to_wire(result, include_edges=include_edges),
+            "service": {
+                "version": __version__,
+                "engine": self.engine,
+                "service_workers": self.service_workers,
+                "admission_queue_limit": self.admission_queue_limit,
+                "retry_after_seconds": self.retry_after_seconds,
+            },
+            "worker_pool": self._pool.describe() if self._pool is not None else None,
+            "datasets": {name: runtime.stats() for name, runtime in runtimes.items()},
         }
+
+    def close(self) -> None:
+        """Stop the worker pool and remove owned segment exports (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+        with self._runtimes_lock:
+            runtimes = list(self._runtimes.values())
+        for runtime in runtimes:
+            if runtime.segments is not None:
+                runtime.segments.close()
+        if self._owns_segment_root and self._segment_root is not None:
+            shutil.rmtree(self._segment_root, ignore_errors=True)
+
+    def __enter__(self) -> "CorrelationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

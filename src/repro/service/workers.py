@@ -1,0 +1,468 @@
+"""The service's multi-process worker pool over shared mmap segments.
+
+One :class:`WorkerPool` holds N forked session workers.  Each worker is a
+tiny loop on a pipe: it receives query jobs naming a dataset, a wire query
+spec, and the ``(segment path, generation)`` of the dataset's current shared
+segment; attaches the segment read-only (``np.load(mmap_mode="r")`` — the
+kernel shares the file-backed pages across every worker, so the dominant
+sketch arrays exist once in memory, not once per worker); seeds a private
+:class:`~repro.storage.cache.SketchCache` with the attached sketch; and
+executes the query through the ordinary
+:class:`~repro.api.planner.QueryPlanner` path, returning the wire result
+document plus the plan's ``cost_key`` and observed wall seconds so the
+parent can feed its :class:`~repro.api.cost.FeedbackStore`.
+
+Workers re-attach when a job names a generation newer than the one they
+hold (the parent bumps the generation on every append), and the pool
+replaces a worker that dies mid-request — the caller's job is retried once
+on a fresh worker before surfacing a 503.
+
+Fork is the only start method used for real process workers (the config —
+engine options, cost model — is inherited, never pickled).  Environments
+without working ``fork`` (or whose sandbox blocks process creation) degrade
+to ``inline`` mode: the same attach-and-execute path runs in the calling
+process, keeping the API and tests uniform while the throughput benchmarks
+self-skip their scaling assertions.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import signal
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.api.cost import CostModel
+from repro.api.planner import QueryPlanner
+from repro.api.session import CorrelationSession
+from repro.exceptions import ReproError, ServiceError
+from repro.service.batching import exact_scan_options
+from repro.service.wire import query_from_wire, result_to_wire
+from repro.storage.cache import SketchCache
+from repro.storage.shared import SharedSegment, attach_segment
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+MODE_PROCESS = "process"
+MODE_INLINE = "inline"
+
+
+def rss_anon_bytes() -> Optional[int]:
+    """This process's anonymous-resident-set size in bytes (Linux only).
+
+    ``RssAnon`` deliberately excludes file-backed pages: a worker scanning a
+    shared mmap segment grows its ``VmRSS`` by the pages it touches, but
+    those pages are shared with every sibling — only anonymous memory is a
+    private, per-worker cost, which is what the service's memory assertion
+    bounds.  Returns ``None`` where ``/proc`` is unavailable.
+    """
+    try:
+        text = Path("/proc/self/status").read_text()
+    except OSError:
+        return None
+    for line in text.splitlines():
+        if line.startswith("RssAnon:"):
+            return int(line.split()[1]) * 1024
+    return None
+
+
+@dataclass
+class WorkerConfig:
+    """The session configuration workers execute under (inherited via fork)."""
+
+    engine: str = "dangoron"
+    engine_options: Dict[str, object] = field(default_factory=dict)
+    basic_window_size: int = 16
+    memory_budget: Optional[int] = None
+    cost_model: Optional[CostModel] = None
+
+
+class _Attachment:
+    """One worker's warm state for one attached segment generation."""
+
+    def __init__(self, segment: SharedSegment, config: WorkerConfig) -> None:
+        self.generation = segment.generation
+        self.segment = segment
+        self.config = config
+        self.matrix = TimeSeriesMatrix(segment.values, series_ids=segment.series_ids)
+        self.cache = SketchCache()
+        # Adopt the manifest's fingerprint before seeding: the cache then
+        # keys the attached sketch without re-hashing O(N·L) history the
+        # parent already fingerprinted.
+        self.cache.adopt_fingerprint(self.matrix, segment.fingerprint)
+        self.cache.seed(self.matrix, segment.sketch)
+        # Keyed (workers, exact_scan): batch-leader jobs run threshold-exact
+        # scans (jumping heuristic off) so derived members stay bit-identical.
+        self._sessions: Dict[tuple, CorrelationSession] = {}
+
+    def session_for(
+        self, workers: Optional[int], exact_scan: bool = False
+    ) -> CorrelationSession:
+        key = (workers, exact_scan)
+        session = self._sessions.get(key)
+        if session is None:
+            options = (
+                exact_scan_options(self.config.engine, self.config.engine_options)
+                if exact_scan
+                else self.config.engine_options
+            )
+            session = CorrelationSession(
+                self.matrix,
+                planner=QueryPlanner(
+                    engine=self.config.engine,
+                    engine_options=options,
+                    basic_window_size=self.config.basic_window_size,
+                    sketch_cache=self.cache,
+                    workers=workers,
+                    memory_budget=self.config.memory_budget,
+                    cost_model=self.config.cost_model,
+                ),
+            )
+            self._sessions[key] = session
+        return session
+
+
+class AttachmentCache:
+    """``(dataset, generation)`` → warm :class:`_Attachment`, LRU-bounded.
+
+    This is the worker-side half of the generation protocol: a job carries
+    the generation the parent exported, and a worker without a warm
+    attachment for that generation re-opens the named segment directory.
+    Several generations stay warm at once — different query shapes export
+    different basic-window layouts under distinct generations, and holding
+    only the latest would re-attach (and rebuild warm sessions) on every
+    alternation.  Least-recently-used attachments beyond :attr:`CAPACITY`
+    are dropped; their memmaps close with them.
+    """
+
+    #: Warm attachments kept per worker (covers the distinct query layouts
+    #: a workload alternates between; superseded generations age out).
+    CAPACITY = 8
+
+    def __init__(self, config: WorkerConfig) -> None:
+        self.config = config
+        self._attachments: "OrderedDict[tuple, _Attachment]" = OrderedDict()
+
+    def attachment_for(
+        self, dataset: str, segment_dir: str, generation: int
+    ) -> _Attachment:
+        key = (dataset, generation)
+        attachment = self._attachments.get(key)
+        if attachment is None:
+            segment = attach_segment(segment_dir)
+            if segment.generation != generation:
+                raise ServiceError(
+                    f"segment at {segment_dir} carries generation "
+                    f"{segment.generation} but the job was dispatched for "
+                    f"generation {generation}",
+                    status=503,
+                )
+            attachment = _Attachment(segment, self.config)
+            self._attachments[key] = attachment
+        self._attachments.move_to_end(key)
+        while len(self._attachments) > self.CAPACITY:
+            self._attachments.popitem(last=False)
+        return attachment
+
+
+def _execute_query(
+    attachments: AttachmentCache, message: Dict[str, object]
+) -> Dict[str, object]:
+    attachment = attachments.attachment_for(
+        message["dataset"], message["segment_dir"], message["generation"]
+    )
+    query = query_from_wire(message["spec"])
+    session = attachment.session_for(
+        message.get("workers"), bool(message.get("exact_scan"))
+    )
+    plan = session.plan(query)
+    started = time.perf_counter()
+    result = session.planner.execute(attachment.matrix, plan)
+    wall = time.perf_counter() - started
+    return {
+        "payload": {
+            "plan": plan.describe(),
+            **result_to_wire(result, include_edges=bool(message.get("include_edges"))),
+        },
+        "cost_key": plan.cost_key,
+        "wall_seconds": wall,
+        "generation": attachment.generation,
+    }
+
+
+def _worker_main(conn, config: WorkerConfig) -> None:
+    """The forked worker loop: attach, execute, reply, until told to stop."""
+    # The parent coordinates shutdown; a terminal Ctrl-C must not race it.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    attachments = AttachmentCache(config)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = message.get("op")
+        if op == "stop":
+            break
+        try:
+            if op == "rss":
+                reply = {"ok": True, "rss_anon_bytes": rss_anon_bytes()}
+            elif op == "query":
+                reply = {"ok": True, **_execute_query(attachments, message)}
+            else:
+                raise ServiceError(f"unknown worker op {op!r}")
+        except BaseException as error:  # noqa: BLE001 — errors cross the pipe
+            reply = {
+                "ok": False,
+                "error": type(error).__name__,
+                "message": str(error),
+                "status": getattr(error, "status", None),
+                "repro": isinstance(error, ReproError),
+            }
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class _WorkerHandle:
+    """Parent-side end of one worker: the process and its pipe."""
+
+    __slots__ = ("process", "conn", "spawn_rss")
+
+    def __init__(self, process, conn, spawn_rss: Optional[int]) -> None:
+        self.process = process
+        self.conn = conn
+        self.spawn_rss = spawn_rss
+
+
+class WorkerPool:
+    """N forked query workers behind a free-handle queue.
+
+    ``run_query`` blocks until a worker is free (that wait *is* the
+    admission queue's service order), sends the job, and returns the
+    worker's reply.  A worker that dies mid-request is replaced and the job
+    retried once on a fresh worker — the window a restarting deployment
+    exposes to clients — before a 503 surfaces.
+    """
+
+    def __init__(
+        self, size: int, config: WorkerConfig, mode: str = "auto"
+    ) -> None:
+        if size < 1:
+            raise ServiceError(f"worker pool size must be at least 1, got {size}")
+        if mode not in ("auto", MODE_PROCESS, MODE_INLINE):
+            raise ServiceError(f"unknown worker pool mode {mode!r}")
+        self.size = size
+        self.config = config
+        self._lock = threading.Lock()
+        self.restarts = 0  # guarded-by: _lock
+        self.dispatched = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+        self._handles: List[_WorkerHandle] = []  # guarded-by: _lock
+        self._free: "queue.Queue[_WorkerHandle]" = queue.Queue()
+        self._inline_attachments = AttachmentCache(config)
+        self._inline_lock = threading.Lock()
+        self.mode = MODE_INLINE
+        if mode != MODE_INLINE:
+            try:
+                self._start_processes()
+                self.mode = MODE_PROCESS
+            except (OSError, ValueError, EOFError):
+                if mode == MODE_PROCESS:
+                    raise
+                # auto: sandboxes without fork/semaphores keep the same API
+                # through the in-process path; benchmarks check .mode and
+                # self-skip their scaling floors.
+                self._teardown_processes()
+
+    # ------------------------------------------------------------------ spawn
+    @staticmethod
+    def _context():
+        return multiprocessing.get_context("fork")
+
+    def _spawn(self) -> _WorkerHandle:
+        ctx = self._context()
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.config),
+            name="repro-service-worker",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        # Handshake doubles as the spawn-time RSS baseline for the shared
+        # memory assertion (RssAnon: anonymous pages only — see
+        # :func:`rss_anon_bytes`).
+        parent_conn.send({"op": "rss"})
+        baseline = parent_conn.recv()
+        return _WorkerHandle(process, parent_conn, baseline.get("rss_anon_bytes"))
+
+    def _start_processes(self) -> None:
+        for _ in range(self.size):
+            handle = self._spawn()
+            with self._lock:
+                self._handles.append(handle)
+            self._free.put(handle)
+
+    def _teardown_processes(self) -> None:
+        with self._lock:
+            handles, self._handles = self._handles, []
+        for handle in handles:
+            try:
+                handle.conn.send({"op": "stop"})
+            except (BrokenPipeError, OSError):
+                pass
+            handle.conn.close()
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.terminate()
+        while True:
+            try:
+                self._free.get_nowait()
+            except queue.Empty:
+                break
+
+    def _replace(self, dead: _WorkerHandle) -> None:
+        dead.conn.close()
+        dead.process.join(timeout=5)
+        replacement = self._spawn()
+        with self._lock:
+            self.restarts += 1
+            try:
+                self._handles.remove(dead)
+            except ValueError:  # pragma: no cover - already torn down
+                pass
+            self._handles.append(replacement)
+        self._free.put(replacement)
+
+    # --------------------------------------------------------------- dispatch
+    def run_query(
+        self,
+        dataset: str,
+        spec: Dict[str, object],
+        segment_dir: str,
+        generation: int,
+        workers: Optional[int] = None,
+        include_edges: bool = False,
+        exact_scan: bool = False,
+    ) -> Dict[str, object]:
+        """Execute one query on a free worker; returns the worker's reply.
+
+        The reply carries ``payload`` (the wire result document including the
+        plan string), ``cost_key``/``wall_seconds`` for the parent's feedback
+        store, and the ``generation`` the worker ended up attached to.
+        ``exact_scan`` jobs run under the threshold-exact session (see
+        :meth:`_Attachment.session_for`) — batch leaders dispatch them so
+        members derived from the floor scan stay bit-identical.
+        """
+        job = {
+            "op": "query",
+            "dataset": dataset,
+            "spec": spec,
+            "segment_dir": str(segment_dir),
+            "generation": int(generation),
+            "workers": workers,
+            "include_edges": include_edges,
+            "exact_scan": exact_scan,
+        }
+        with self._lock:
+            self.dispatched += 1
+        if self.mode == MODE_INLINE:
+            # Execute in-process but surface errors exactly as a forked
+            # worker would, so callers see one error contract per mode.
+            with self._inline_lock:
+                try:
+                    reply = {"ok": True, **_execute_query(self._inline_attachments, job)}
+                except ServiceError:
+                    raise
+                except Exception as error:  # noqa: BLE001 — mirrors the pipe
+                    reply = {
+                        "ok": False,
+                        "error": type(error).__name__,
+                        "message": str(error),
+                        "status": getattr(error, "status", None),
+                        "repro": isinstance(error, ReproError),
+                    }
+            return self._unwrap(dataset, reply)
+        last_error: Optional[BaseException] = None
+        for _ in range(2):  # the original dispatch plus one restart retry
+            handle = self._free.get()
+            try:
+                handle.conn.send(job)
+                reply = handle.conn.recv()
+            except (BrokenPipeError, EOFError, OSError) as error:
+                last_error = error
+                self._replace(handle)
+                continue
+            self._free.put(handle)
+            return self._unwrap(dataset, reply)
+        raise ServiceError(
+            f"worker died executing query on dataset {dataset!r} "
+            f"(twice; last error: {last_error})",
+            status=503,
+        )
+
+    @staticmethod
+    def _unwrap(dataset: str, reply: Dict[str, object]) -> Dict[str, object]:
+        if reply.get("ok"):
+            return reply
+        status = reply.get("status")
+        if status is None:
+            status = 400 if reply.get("repro") else 500
+        raise ServiceError(
+            f"{reply.get('error')}: {reply.get('message')}", status=int(status)
+        )
+
+    # ---------------------------------------------------------------- observe
+    def worker_rss(self) -> List[Dict[str, Optional[int]]]:
+        """Spawn-baseline and current ``RssAnon`` of every live worker.
+
+        Acquires every free handle (so it waits out in-flight queries) and
+        asks each worker for its current anonymous RSS.  Returns one
+        ``{"spawn": ..., "now": ...}`` dict per worker; empty in inline mode.
+        """
+        if self.mode != MODE_PROCESS:
+            return []
+        held = [self._free.get() for _ in range(self.size)]
+        samples = []
+        try:
+            for handle in held:
+                handle.conn.send({"op": "rss"})
+                reply = handle.conn.recv()
+                samples.append(
+                    {"spawn": handle.spawn_rss, "now": reply.get("rss_anon_bytes")}
+                )
+        finally:
+            for handle in held:
+                self._free.put(handle)
+        return samples
+
+    def describe(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "size": self.size,
+                "mode": self.mode,
+                "restarts": self.restarts,
+                "dispatched": self.dispatched,
+            }
+
+    # ------------------------------------------------------------------ close
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self.mode == MODE_PROCESS:
+            self._teardown_processes()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -17,6 +17,12 @@ from repro.storage.cache import (
 )
 from repro.storage.catalog import Catalog, DatasetEntry
 from repro.storage.chunk_store import ChunkStore, ChunkStoreReader
+from repro.storage.shared import (
+    SegmentManager,
+    SharedSegment,
+    attach_segment,
+    export_segment,
+)
 from repro.storage.stats_index import StatsIndex
 
 __all__ = [
@@ -26,8 +32,12 @@ __all__ = [
     "ChunkStoreReader",
     "DatasetEntry",
     "QueryCache",
+    "SegmentManager",
+    "SharedSegment",
     "SketchCache",
     "StatsIndex",
+    "attach_segment",
+    "export_segment",
     "matrix_fingerprint",
     "query_fingerprint",
 ]

@@ -577,6 +577,17 @@ class SketchCache:
     ) -> Tuple[str, int, int, int, bool]:
         return self._key_for(self._fingerprint(matrix), layout, pairwise)
 
+    def fingerprint_of(self, matrix: TimeSeriesMatrix) -> str:
+        """The matrix's content fingerprint, via the cache's memo.
+
+        Adopted fingerprints (:meth:`adopt_fingerprint`, the append chain)
+        are honored, so callers keying external state the way cache entries
+        are keyed — e.g. the service's shared mmap segments — never trigger
+        a redundant O(N·L) hash of history the chain already accounted for.
+        """
+        with self._lock:
+            return self._fingerprint(matrix)
+
     def get_or_build(
         self,
         matrix: TimeSeriesMatrix,

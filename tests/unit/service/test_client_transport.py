@@ -1,0 +1,191 @@
+"""Client transport behaviour: timeouts, reset retries, Retry-After decode.
+
+Runs :class:`ServiceClient` against raw-socket fake servers that misbehave in
+controlled ways, pinning the transport contract the docstring promises:
+
+* a connection **reset** (peer closes an accepted connection without a
+  response) is retried exactly ``retry_resets`` times, then surfaces 503;
+* a **timeout** is never retried — the query may still be running server-side
+  and re-sending doubles the load the timeout signalled;
+* a shed 429's ``Retry-After`` header lands on ``ServiceError.retry_after``;
+* the per-request ``timeout=`` override takes precedence over the
+  constructor default.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import ServiceClient
+
+OK_BODY = json.dumps({"status": "ok", "datasets": 0}).encode()
+OK_RESPONSE = (
+    b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+    b"Content-Length: %d\r\nConnection: close\r\n\r\n%s" % (len(OK_BODY), OK_BODY)
+)
+
+
+class FakeServer:
+    """One-thread TCP server scripted by a per-connection behaviour list.
+
+    Each accepted connection consumes the next behaviour: ``"reset"`` closes
+    immediately without responding (the client sees a reset / empty
+    response), ``"hang"`` reads the request but never answers (the client
+    times out), ``"ok"`` serves a canned 200, and a ``bytes`` value is sent
+    verbatim (for scripted error responses).
+    """
+
+    def __init__(self, behaviours):
+        self.behaviours = list(behaviours)
+        self.connections = 0
+        self._closing = False
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self._sock.settimeout(10)
+        self.url = "http://127.0.0.1:%d" % self._sock.getsockname()[1]
+        self._hung = []
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        for behaviour in self.behaviours:
+            try:
+                conn, _ = self._sock.accept()
+            except (socket.timeout, OSError):
+                return
+            if self._closing:
+                conn.close()
+                return
+            self.connections += 1
+            if behaviour == "reset":
+                # RST instead of FIN: no response ever started.
+                conn.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    b"\x01\x00\x00\x00\x00\x00\x00\x00",
+                )
+                conn.close()
+                continue
+            conn.recv(65536)
+            if behaviour == "hang":
+                self._hung.append(conn)  # keep it open; never respond
+                continue
+            conn.sendall(OK_RESPONSE if behaviour == "ok" else behaviour)
+            conn.close()
+
+    def close(self):
+        self._closing = True
+        for conn in self._hung:
+            conn.close()
+        # Wake a thread blocked in accept() (closing the listening socket
+        # does not interrupt it); the flag makes it exit.
+        try:
+            socket.create_connection(
+                self._sock.getsockname(), timeout=1
+            ).close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5)
+        self._sock.close()
+
+
+@pytest.fixture
+def serve():
+    servers = []
+
+    def start(*behaviours):
+        server = FakeServer(behaviours)
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        server.close()
+
+
+def test_reset_is_retried_once_then_succeeds(serve):
+    server = serve("reset", "ok")
+    client = ServiceClient(server.url, timeout=5, retry_resets=1)
+    assert client.health()["status"] == "ok"
+    assert server.connections == 2
+
+
+def test_reset_without_retries_is_503(serve):
+    server = serve("reset", "ok")
+    client = ServiceClient(server.url, timeout=5, retry_resets=0)
+    with pytest.raises(ServiceError) as excinfo:
+        client.health()
+    assert excinfo.value.status == 503
+    assert "cannot reach service" in str(excinfo.value)
+    assert server.connections == 1  # the scripted "ok" was never requested
+
+
+def test_retries_are_bounded_by_retry_resets(serve):
+    server = serve("reset", "reset", "reset", "ok")
+    client = ServiceClient(server.url, timeout=5, retry_resets=2)
+    with pytest.raises(ServiceError) as excinfo:
+        client.health()
+    assert excinfo.value.status == 503
+    assert server.connections == 3  # 1 original + 2 retries, not 4
+
+
+def test_timeout_is_never_retried(serve):
+    server = serve("hang", "ok")
+    client = ServiceClient(server.url, timeout=0.2, retry_resets=3)
+    with pytest.raises(ServiceError) as excinfo:
+        client.health()
+    assert excinfo.value.status == 503
+    assert server.connections == 1  # no second attempt after the timeout
+
+
+def test_per_request_timeout_overrides_constructor_default(serve):
+    server = serve("hang")
+    client = ServiceClient(server.url, timeout=600, retry_resets=0)
+    with pytest.raises(ServiceError):
+        client.query_raw(
+            "demo",
+            {"mode": "threshold", "start": 0, "end": 8, "window": 4,
+             "step": 4, "threshold": 0.5},
+            timeout=0.2,
+        )
+
+
+def test_refused_connection_is_not_retried_and_is_503():
+    # Bind-then-close guarantees a port nothing listens on.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout=2, retry_resets=5)
+    with pytest.raises(ServiceError) as excinfo:
+        client.health()
+    assert excinfo.value.status == 503
+
+
+def test_retry_after_header_lands_on_the_error(serve):
+    body = json.dumps(
+        {"error": {"type": "ServiceError", "message": "queue full", "status": 429}}
+    ).encode()
+    shed = (
+        b"HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\n"
+        b"Retry-After: 1.5\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+        % (len(body), body)
+    )
+    server = serve(shed)
+    client = ServiceClient(server.url, timeout=5)
+    with pytest.raises(ServiceError) as excinfo:
+        client.health()
+    assert excinfo.value.status == 429
+    assert excinfo.value.retry_after == 1.5
+    assert "queue full" in str(excinfo.value)
+
+
+def test_negative_retry_resets_rejected():
+    with pytest.raises(ServiceError, match="non-negative"):
+        ServiceClient("http://127.0.0.1:1", retry_resets=-1)

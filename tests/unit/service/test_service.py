@@ -136,10 +136,10 @@ class TestCoalescing:
         started = threading.Event()
         original = DatasetRuntime.session_for
 
-        def slow_session_for(self, workers):
+        def slow_session_for(self, workers, exact_scan=False):
             started.set()
             release.wait(timeout=10)
-            return original(self, workers)
+            return original(self, workers, exact_scan)
 
         monkeypatch.setattr(DatasetRuntime, "session_for", slow_session_for)
         payloads = []
@@ -162,12 +162,13 @@ class TestCoalescing:
         assert len(payloads) == 2
         assert payloads[0] is payloads[1]  # literally the same response object
         assert runtime.counters["coalesced"] == 1
-        assert runtime.counters["queries"] == 1
+        assert runtime.counters["queries"] == 2  # both requests were answered
+        assert runtime.counters["executed"] == 1  # ... by one planner scan
 
     def test_leader_error_propagates_to_followers(self, service, monkeypatch):
         release = threading.Event()
 
-        def exploding_session_for(self, workers):
+        def exploding_session_for(self, workers, exact_scan=False):
             release.wait(timeout=10)
             raise RuntimeError("engine on fire")
 

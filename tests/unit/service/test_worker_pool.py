@@ -1,0 +1,201 @@
+"""Worker pool over shared segments: dispatch, re-attach, crash recovery.
+
+Exercises the pool in both modes.  Inline mode (always available) pins the
+attach-and-execute path and its bit-identity against an in-process session.
+Process mode (self-skipping where ``fork`` is unavailable) additionally pins
+the crash-replacement retry, the stale-generation re-attach protocol, and
+the per-worker RSS observation used by the service memory assertion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import CorrelationSession, ThresholdQuery
+from repro.core.basic_window import BasicWindowLayout
+from repro.core.sketch import BasicWindowSketch
+from repro.exceptions import ServiceError
+from repro.service.wire import query_to_wire, result_from_wire
+from repro.service.workers import (
+    MODE_INLINE,
+    MODE_PROCESS,
+    AttachmentCache,
+    WorkerConfig,
+    WorkerPool,
+    rss_anon_bytes,
+)
+from repro.storage.chunk_store import ChunkStore
+from repro.storage.shared import SegmentManager
+from repro.timeseries.matrix import TimeSeriesMatrix
+
+NUM_SERIES = 5
+LENGTH = 128
+BASIC = 16
+
+QUERY = ThresholdQuery(start=0, end=LENGTH, window=64, step=32, threshold=0.4)
+
+
+def _values(seed: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal(LENGTH)
+    return np.stack(
+        [base + 0.4 * rng.standard_normal(LENGTH) for _ in range(NUM_SERIES)]
+    )
+
+
+@pytest.fixture
+def store():
+    chunk_store = ChunkStore(NUM_SERIES, chunk_columns=64)
+    chunk_store.append(_values())
+    return chunk_store
+
+
+@pytest.fixture
+def segment(tmp_path, store):
+    """(manager, path, generation) for the store's current snapshot."""
+    layout = BasicWindowLayout(offset=0, size=BASIC, count=LENGTH // BASIC)
+    sketch = BasicWindowSketch.build(store.read_all(), layout)
+    manager = SegmentManager(tmp_path / "segments")
+    path, generation = manager.ensure(store, sketch, "fp-base", store.series_ids)
+    yield manager, path, generation
+    manager.close()
+
+
+def _expected_edges(values: np.ndarray):
+    session = CorrelationSession(
+        TimeSeriesMatrix(values, series_ids=[f"s{i}" for i in range(NUM_SERIES)]),
+        basic_window_size=BASIC,
+    )
+    return session.run(QUERY).to_edges()
+
+
+def _pool_available() -> bool:
+    probe = WorkerPool(1, WorkerConfig(basic_window_size=BASIC), mode="auto")
+    mode = probe.mode
+    probe.close()
+    return mode == MODE_PROCESS
+
+
+class TestInlineMode:
+    def test_inline_query_is_bit_identical(self, store, segment):
+        _, path, generation = segment
+        pool = WorkerPool(2, WorkerConfig(basic_window_size=BASIC), mode=MODE_INLINE)
+        try:
+            reply = pool.run_query("demo", query_to_wire(QUERY), path, generation)
+        finally:
+            pool.close()
+        assert reply["generation"] == generation
+        assert reply["cost_key"]
+        assert reply["wall_seconds"] >= 0
+        remote = result_from_wire(reply["payload"])
+        assert remote.to_edges() == _expected_edges(store.read_all())
+        assert pool.describe() == {
+            "size": 2, "mode": MODE_INLINE, "restarts": 0, "dispatched": 1,
+        }
+        assert pool.worker_rss() == []  # process-mode observation only
+
+    def test_invalid_pool_size_and_mode_rejected(self):
+        with pytest.raises(ServiceError, match="at least 1"):
+            WorkerPool(0, WorkerConfig())
+        with pytest.raises(ServiceError, match="unknown worker pool mode"):
+            WorkerPool(1, WorkerConfig(), mode="threads")
+
+    def test_query_errors_cross_the_boundary_with_status(self, segment):
+        _, path, generation = segment
+        pool = WorkerPool(1, WorkerConfig(basic_window_size=BASIC), mode=MODE_INLINE)
+        try:
+            bad = query_to_wire(QUERY) | {"end": LENGTH * 10}
+            with pytest.raises(ServiceError) as excinfo:
+                pool.run_query("demo", bad, path, generation)
+        finally:
+            pool.close()
+        assert excinfo.value.status == 400  # a ReproError, not a worker crash
+
+
+class TestGenerationProtocol:
+    def test_stale_generation_job_is_rejected(self, segment):
+        _, path, generation = segment
+        attachments = AttachmentCache(WorkerConfig(basic_window_size=BASIC))
+        attachments.attachment_for("demo", str(path), generation)
+        # A job naming a generation the segment does not carry (the worker
+        # re-attached a pruned or superseded path) must 503, never answer
+        # from the wrong snapshot.
+        with pytest.raises(ServiceError) as excinfo:
+            attachments.attachment_for("demo", str(path), generation + 1)
+        assert excinfo.value.status == 503
+        assert "generation" in str(excinfo.value)
+
+    def test_reattach_on_generation_bump(self, tmp_path, store, segment):
+        manager, path, generation = segment
+        config = WorkerConfig(basic_window_size=BASIC)
+        attachments = AttachmentCache(config)
+        first = attachments.attachment_for("demo", str(path), generation)
+        # Same generation: the warm attachment is reused (no re-open).
+        assert attachments.attachment_for("demo", str(path), generation) is first
+
+        # Append in the parent: new fingerprint, new generation, new segment.
+        extra = np.random.default_rng(8).standard_normal((NUM_SERIES, 32))
+        store.append(extra)
+        layout = BasicWindowLayout(offset=0, size=BASIC, count=store.length // BASIC)
+        sketch = BasicWindowSketch.build(store.read_all(), layout)
+        new_path, new_generation = manager.ensure(
+            store, sketch, "fp-appended", store.series_ids
+        )
+        assert new_generation == generation + 1
+        second = attachments.attachment_for("demo", str(new_path), new_generation)
+        assert second is not first
+        assert second.generation == new_generation
+        assert second.matrix.length == store.length
+        # The superseded generation stays warm until LRU pressure drops it:
+        # alternating layouts must not re-attach on every switch.
+        assert attachments.attachment_for("demo", str(path), generation) is first
+
+
+@pytest.mark.skipif(not _pool_available(), reason="fork worker pool unavailable")
+class TestProcessMode:
+    def test_process_query_is_bit_identical(self, store, segment):
+        _, path, generation = segment
+        with WorkerPool(2, WorkerConfig(basic_window_size=BASIC)) as pool:
+            assert pool.mode == MODE_PROCESS
+            reply = pool.run_query("demo", query_to_wire(QUERY), path, generation)
+            remote = result_from_wire(reply["payload"])
+            assert remote.to_edges() == _expected_edges(store.read_all())
+
+    def test_dead_worker_is_replaced_and_job_retried(self, store, segment):
+        _, path, generation = segment
+        with WorkerPool(1, WorkerConfig(basic_window_size=BASIC)) as pool:
+            (handle,) = pool._handles
+            handle.process.terminate()
+            handle.process.join(timeout=5)
+            # The next job finds the dead worker, replaces it, and still
+            # answers correctly on the replacement.
+            reply = pool.run_query("demo", query_to_wire(QUERY), path, generation)
+            remote = result_from_wire(reply["payload"])
+            assert remote.to_edges() == _expected_edges(store.read_all())
+            assert pool.describe()["restarts"] == 1
+
+    def test_worker_rss_reports_every_worker(self, store, segment):
+        _, path, generation = segment
+        with WorkerPool(2, WorkerConfig(basic_window_size=BASIC)) as pool:
+            pool.run_query("demo", query_to_wire(QUERY), path, generation)
+            samples = pool.worker_rss()
+            assert len(samples) == 2
+            for sample in samples:
+                assert sample["spawn"] is None or sample["spawn"] > 0
+                assert sample["now"] is None or sample["now"] > 0
+
+    def test_close_is_idempotent_and_stops_workers(self, segment):
+        pool = WorkerPool(2, WorkerConfig(basic_window_size=BASIC))
+        processes = [handle.process for handle in pool._handles]
+        pool.close()
+        pool.close()
+        for process in processes:
+            process.join(timeout=5)
+            assert not process.is_alive()
+
+
+def test_rss_anon_bytes_reads_proc():
+    rss = rss_anon_bytes()
+    # On Linux /proc is present; elsewhere the helper degrades to None.
+    assert rss is None or rss > 0
